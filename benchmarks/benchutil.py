@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the paper-format table it regenerates and also writes it
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote recorded
+output.  Trained systems come from the session-scoped fixtures in
+``conftest.py`` (cached under ``.artifacts/`` after the first run).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,24 @@
+"""Session-scoped trained systems shared by all benchmarks.
+
+The first run trains the three standard systems (minutes, pure numpy) and
+caches checkpoints in ``.artifacts/``; later runs load instantly.
+"""
+
+import pytest
+
+from repro.analysis import STANDARD_CONFIGS, train_system
+
+
+@pytest.fixture(scope="session")
+def mnist_system():
+    return train_system(STANDARD_CONFIGS["mnist"])
+
+
+@pytest.fixture(scope="session")
+def gtsrb_system():
+    return train_system(STANDARD_CONFIGS["gtsrb"])
+
+
+@pytest.fixture(scope="session")
+def frontcar_system():
+    return train_system(STANDARD_CONFIGS["frontcar"])

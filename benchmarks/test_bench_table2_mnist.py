@@ -1,0 +1,54 @@
+"""Table II, rows ID 1 — the MNIST monitor across γ ∈ {0, 1, 2}.
+
+All 40 neurons of the monitored ReLU(fc(40)) layer, zones for all 10
+classes.  Shape to reproduce (paper: 7.66% → 2.01% → 0.6% out-of-pattern;
+10.70% → 21.89% → 31.66% misclassified-within-out-of-pattern):
+
+* the out-of-pattern rate *falls* monotonically with γ and is small at γ=2
+  (the monitor is "largely silent");
+* the misclassified share *within* out-of-pattern images *rises* with γ
+  (warnings get more meaningful as benign novelty is absorbed).
+
+The timed kernel is the runtime membership check for one batch — the cost
+the monitor adds per decision.
+"""
+
+import numpy as np
+
+from benchutil import record
+from repro.analysis import build_monitor, gamma_sweep, render_table2
+from repro.monitor import extract_patterns
+from repro.nn.data import stack_dataset
+
+GAMMAS = [0, 1, 2]
+
+
+def test_table2_mnist(mnist_system):
+    monitor = build_monitor(mnist_system, gamma=0)
+    sweep = gamma_sweep(mnist_system, monitor, GAMMAS)
+    record(
+        "table2-mnist",
+        render_table2(1, mnist_system.misclassification_rate, sweep),
+    )
+
+    rates = [row.out_of_pattern_rate for row in sweep]
+    precisions = [row.misclassified_within_oop for row in sweep]
+
+    # Monotone shrinking warning rate.
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+    # Largely silent at the calibrated point (paper: 0.6%; allow headroom).
+    assert rates[-1] < 0.15
+    # Warnings are informative: the misclassified share within warnings
+    # exceeds the base misclassification rate at the largest gamma.
+    assert precisions[-1] > mnist_system.misclassification_rate
+
+
+def test_bench_mnist_monitor_query(benchmark, mnist_system):
+    monitor = build_monitor(mnist_system, gamma=2)
+    inputs, _ = stack_dataset(mnist_system.val_dataset)
+    patterns, logits = extract_patterns(
+        mnist_system.spec.model, mnist_system.spec.monitored_module, inputs[:256]
+    )
+    predictions = logits.argmax(axis=1)
+    monitor.check(patterns[:1], predictions[:1])  # force zone build
+    benchmark(lambda: monitor.check(patterns, predictions))

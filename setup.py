@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so ``pip install -e . --no-use-pep517`` needs a setup.py to fall back on.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

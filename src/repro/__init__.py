@@ -1,0 +1,54 @@
+"""repro — Runtime Monitoring Neuron Activation Patterns (DATE 2019).
+
+A from-scratch reproduction of Cheng, Nührenberg & Yasuoka's BDD-based
+runtime monitor for neural-network activation patterns, including every
+substrate it needs: a pure-numpy deep-learning framework (`repro.nn`), a
+ROBDD engine (`repro.bdd`), synthetic stand-ins for MNIST / GTSRB / the
+front-car case study (`repro.datasets`), the paper's architectures
+(`repro.models`), the monitor itself (`repro.monitor`), statistical
+baselines (`repro.baselines`) and the experiment harness
+(`repro.analysis`).
+
+Quickstart::
+
+    from repro import (build_model, generate_mnist, NeuronActivationMonitor,
+                       MonitoredClassifier)
+    # see examples/quickstart.py for the full train->monitor->deploy loop
+"""
+
+__version__ = "1.0.0"
+
+from repro.bdd import BDDManager
+from repro.datasets import generate_frontcar, generate_gtsrb, generate_mnist
+from repro.models import ModelSpec, available_models, build_model
+from repro.monitor import (
+    CalibrationResult,
+    ComfortZone,
+    DistributionShiftDetector,
+    GammaCalibrator,
+    MonitoredClassifier,
+    MonitorEvaluation,
+    NeuronActivationMonitor,
+    Verdict,
+    evaluate_monitor,
+)
+
+__all__ = [
+    "__version__",
+    "BDDManager",
+    "generate_mnist",
+    "generate_gtsrb",
+    "generate_frontcar",
+    "build_model",
+    "available_models",
+    "ModelSpec",
+    "NeuronActivationMonitor",
+    "ComfortZone",
+    "GammaCalibrator",
+    "CalibrationResult",
+    "MonitoredClassifier",
+    "Verdict",
+    "MonitorEvaluation",
+    "evaluate_monitor",
+    "DistributionShiftDetector",
+]

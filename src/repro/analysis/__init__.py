@@ -1,0 +1,51 @@
+"""Experiment harness: training cache, monitor builders, sweeps, tables."""
+
+from repro.analysis.experiments import (
+    DEFAULT_CACHE_DIR,
+    STANDARD_CONFIGS,
+    ExperimentConfig,
+    TrainedSystem,
+    build_monitor,
+    gamma_sweep,
+    sensitivity_for_classes,
+    train_system,
+)
+from repro.analysis.sweeps import (
+    AbstractionPoint,
+    SelectionPoint,
+    ShiftPoint,
+    abstraction_sweep,
+    corruption_sweep,
+    neuron_fraction_sweep,
+)
+from repro.analysis.tables import (
+    format_table,
+    percent,
+    render_comparison,
+    render_table1,
+    render_table2,
+    table1_row,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "TrainedSystem",
+    "STANDARD_CONFIGS",
+    "DEFAULT_CACHE_DIR",
+    "train_system",
+    "build_monitor",
+    "gamma_sweep",
+    "sensitivity_for_classes",
+    "abstraction_sweep",
+    "neuron_fraction_sweep",
+    "corruption_sweep",
+    "AbstractionPoint",
+    "SelectionPoint",
+    "ShiftPoint",
+    "format_table",
+    "percent",
+    "render_table1",
+    "render_table2",
+    "render_comparison",
+    "table1_row",
+]

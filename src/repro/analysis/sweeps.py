@@ -1,0 +1,140 @@
+"""Parameter sweeps behind the paper's figures and our ablations.
+
+* :func:`abstraction_sweep` quantifies Figure 2: how zone density (the
+  coarseness of the abstraction) and warning usefulness trade off as γ
+  grows, from α1 (no generalisation) towards α3 (over-generalisation).
+* :func:`neuron_fraction_sweep` ablates §II's gradient-based selection
+  against random selection.
+* :func:`corruption_sweep` measures the §I distribution-shift claim: the
+  out-of-pattern rate should climb with deployment-time corruption severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import TrainedSystem, build_monitor, gamma_sweep
+from repro.datasets import corrupt
+from repro.monitor import MonitorEvaluation, evaluate_patterns, extract_patterns
+from repro.nn.data import stack_dataset
+
+
+@dataclass
+class AbstractionPoint:
+    """One γ point of the Figure 2 sweep."""
+
+    gamma: int
+    mean_zone_density: float
+    mean_zone_nodes: float
+    evaluation: MonitorEvaluation
+
+    @property
+    def regime(self) -> str:
+        """Coarse label along the α1 → α3 axis of Figure 2."""
+        if self.evaluation.out_of_pattern_rate > 0.5:
+            return "under-generalising (alpha-1)"
+        if self.mean_zone_density > 0.5:
+            return "over-generalising (alpha-3)"
+        return "useful band"
+
+
+def abstraction_sweep(
+    system: TrainedSystem,
+    gammas: Sequence[int],
+    classes: Optional[Sequence[int]] = None,
+    neuron_fraction: Optional[float] = None,
+) -> List[AbstractionPoint]:
+    """Figure 2 quantified: zone density + warning quality per γ."""
+    monitor = build_monitor(
+        system, gamma=0, classes=classes, neuron_fraction=neuron_fraction
+    )
+    evaluations = gamma_sweep(system, monitor, list(gammas))
+    points = []
+    for gamma, evaluation in zip(gammas, evaluations):
+        monitor.set_gamma(gamma)
+        stats = monitor.statistics()
+        non_empty = [s for s in stats.values() if s["visited_patterns"] > 0]
+        density = float(np.mean([s["density"] for s in non_empty])) if non_empty else 0.0
+        nodes = float(np.mean([s["nodes"] for s in non_empty])) if non_empty else 0.0
+        points.append(
+            AbstractionPoint(
+                gamma=gamma,
+                mean_zone_density=density,
+                mean_zone_nodes=nodes,
+                evaluation=evaluation,
+            )
+        )
+    return points
+
+
+@dataclass
+class SelectionPoint:
+    """One (fraction, strategy) cell of the neuron-selection ablation."""
+
+    fraction: float
+    selection: str
+    evaluation: MonitorEvaluation
+
+
+def neuron_fraction_sweep(
+    system: TrainedSystem,
+    fractions: Sequence[float],
+    gamma: int,
+    classes: Optional[Sequence[int]] = None,
+    strategies: Sequence[str] = ("gradient", "random"),
+    random_seed: int = 0,
+) -> List[SelectionPoint]:
+    """Ablate the monitored-neuron fraction and the selection strategy."""
+    points = []
+    for fraction in fractions:
+        for strategy in strategies:
+            monitor = build_monitor(
+                system,
+                gamma=gamma,
+                classes=classes,
+                neuron_fraction=fraction,
+                selection=strategy,
+                selection_seed=random_seed,
+            )
+            evaluation = gamma_sweep(system, monitor, [gamma])[0]
+            points.append(
+                SelectionPoint(fraction=fraction, selection=strategy, evaluation=evaluation)
+            )
+    return points
+
+
+@dataclass
+class ShiftPoint:
+    """One (corruption, severity) cell of the distribution-shift sweep."""
+
+    corruption: str
+    severity: float
+    evaluation: MonitorEvaluation
+
+
+def corruption_sweep(
+    system: TrainedSystem,
+    monitor,
+    corruptions: Sequence[str],
+    severities: Sequence[float],
+    seed: int = 0,
+) -> List[ShiftPoint]:
+    """Out-of-pattern rate under deployment-time corruptions (§I claim)."""
+    inputs, labels = stack_dataset(system.val_dataset)
+    points = []
+    for kind in corruptions:
+        for severity in severities:
+            shifted = corrupt(inputs, kind, severity=severity, seed=seed)
+            patterns, logits = extract_patterns(
+                system.spec.model, system.spec.monitored_module, shifted
+            )
+            evaluation = evaluate_patterns(
+                monitor, patterns, logits.argmax(axis=1), labels
+            )
+            points.append(
+                ShiftPoint(corruption=kind, severity=severity, evaluation=evaluation)
+            )
+    return points

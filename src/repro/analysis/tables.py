@@ -1,0 +1,92 @@
+"""Plain-text table rendering in the paper's format.
+
+No plotting dependencies: every benchmark prints the rows/series a figure or
+table in the paper reports, aligned for terminal reading and easy diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.monitor.metrics import MonitorEvaluation
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a ratio as a percentage string (``0.0766 -> '7.66%'``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Align columns of pre-stringified cells under their headers."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def table1_row(
+    network_id: int, classifier: str, architecture: str,
+    train_accuracy: float, val_accuracy: float,
+) -> List[str]:
+    """One row of Table I."""
+    return [
+        str(network_id),
+        classifier,
+        architecture,
+        percent(train_accuracy),
+        percent(val_accuracy),
+    ]
+
+
+def render_table1(rows: Iterable[Sequence[str]]) -> str:
+    """Table I: architectures and accuracies."""
+    return format_table(
+        ["ID", "Classifier", "Model architecture", "Acc (train)", "Acc (val)"], rows
+    )
+
+
+def render_table2(
+    network_id: int,
+    misclassification_rate: float,
+    sweep: Iterable[MonitorEvaluation],
+) -> str:
+    """Table II: out-of-pattern statistics per γ for one network."""
+    rows = []
+    for ev in sweep:
+        rows.append(
+            [
+                str(network_id),
+                percent(misclassification_rate),
+                str(ev.gamma),
+                percent(ev.out_of_pattern_rate),
+                percent(ev.misclassified_within_oop),
+            ]
+        )
+    return format_table(
+        [
+            "ID",
+            "miscls rate",
+            "gamma",
+            "#oop/#total",
+            "#oop-miscls/#oop",
+        ],
+        rows,
+    )
+
+
+def render_comparison(
+    rows: Iterable[Sequence[str]],
+    headers: Sequence[str] = ("detector", "warning rate", "precision", "recall", "FPR"),
+) -> str:
+    """Baseline-comparison table (matched warning rates)."""
+    return format_table(headers, rows)

@@ -1,0 +1,8 @@
+"""Baselines: statistical misclassification detectors (paper §IV contrast)
+and the explicit-set reference monitor used to cross-check BDD semantics."""
+
+from repro.baselines.softmax_threshold import MaxSoftmaxDetector
+from repro.baselines.logit_margin import LogitMarginDetector
+from repro.baselines.hamming_set import HammingSetMonitor
+
+__all__ = ["MaxSoftmaxDetector", "LogitMarginDetector", "HammingSetMonitor"]

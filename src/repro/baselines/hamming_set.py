@@ -1,0 +1,117 @@
+"""Explicit-set reference monitor: the semantic oracle for the BDD monitor.
+
+Stores visited patterns as a plain array and answers the γ-zone membership
+query exactly, by computing the minimum Hamming distance to any visited
+pattern.  Mathematically identical to
+:class:`~repro.monitor.monitor.NeuronActivationMonitor` (Definition 2 says
+``p ∈ Z^γ_c`` iff some visited pattern is within distance γ), but with
+O(#visited × d) query cost instead of O(d).  Used to cross-check the BDD
+implementation on real networks and to quantify the BDD's advantage in the
+scaling bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.monitor.patterns import extract_patterns
+from repro.nn.data import Dataset, stack_dataset
+from repro.nn.layers import Module
+
+
+class HammingSetMonitor:
+    """Per-class visited-pattern arrays with distance-γ membership."""
+
+    def __init__(
+        self,
+        layer_width: int,
+        classes: Iterable[int],
+        gamma: int = 0,
+        monitored_neurons: Optional[Sequence[int]] = None,
+    ):
+        if layer_width <= 0:
+            raise ValueError(f"layer_width must be positive, got {layer_width}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.layer_width = layer_width
+        self.classes = sorted(set(int(c) for c in classes))
+        self.gamma = gamma
+        if monitored_neurons is None:
+            self.monitored_neurons = np.arange(layer_width)
+        else:
+            self.monitored_neurons = np.asarray(sorted(set(monitored_neurons)))
+        self._patterns: Dict[int, np.ndarray] = {
+            c: np.zeros((0, len(self.monitored_neurons)), dtype=np.uint8)
+            for c in self.classes
+        }
+
+    @classmethod
+    def build(
+        cls,
+        model: Module,
+        monitored_module: Module,
+        train_dataset: Dataset,
+        gamma: int = 0,
+        classes: Optional[Iterable[int]] = None,
+        monitored_neurons: Optional[Sequence[int]] = None,
+        batch_size: int = 256,
+    ) -> "HammingSetMonitor":
+        """Mirror of ``NeuronActivationMonitor.build`` with set storage."""
+        inputs, labels = stack_dataset(train_dataset)
+        patterns, logits = extract_patterns(model, monitored_module, inputs, batch_size)
+        predictions = logits.argmax(axis=1)
+        if classes is None:
+            classes = np.unique(labels).tolist()
+        monitor = cls(
+            layer_width=patterns.shape[1],
+            classes=classes,
+            gamma=gamma,
+            monitored_neurons=monitored_neurons,
+        )
+        projected = patterns[:, monitor.monitored_neurons]
+        for c in monitor.classes:
+            mask = (labels == c) & (predictions == c)
+            if mask.any():
+                unique = np.unique(projected[mask], axis=0)
+                monitor._patterns[c] = unique.astype(np.uint8)
+        return monitor
+
+    def set_gamma(self, gamma: int) -> None:
+        """Change the distance threshold (no recomputation needed)."""
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.gamma = gamma
+
+    def min_distance(self, pattern: np.ndarray, class_index: int) -> int:
+        """Minimum Hamming distance from ``pattern`` to the visited set."""
+        visited = self._patterns[class_index]
+        if len(visited) == 0:
+            return pattern.shape[-1] + 1  # beyond any achievable distance
+        projected = np.asarray(pattern).reshape(-1)[self.monitored_neurons]
+        return int((visited != projected).sum(axis=1).min())
+
+    def check(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """True per row when within distance γ of the class's visited set."""
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        projected = patterns[:, self.monitored_neurons]
+        supported = np.ones(len(patterns), dtype=bool)
+        for c in self.classes:
+            mask = predicted_classes == c
+            if not mask.any():
+                continue
+            visited = self._patterns[c]
+            if len(visited) == 0:
+                supported[mask] = False
+                continue
+            block = projected[mask]
+            # (n, 1, d) != (1, m, d) -> per-pair distances, min over visited.
+            distances = (block[:, None, :] != visited[None, :, :]).sum(axis=2)
+            supported[mask] = distances.min(axis=1) <= self.gamma
+        return supported
+
+    def num_visited(self, class_index: int) -> int:
+        """Number of distinct visited patterns for a class."""
+        return len(self._patterns[class_index])

@@ -1,0 +1,58 @@
+"""Logit-margin misclassification detector (second statistical baseline).
+
+Warns when the margin between the top-1 and top-2 logits is small — a
+confidence measure that, unlike max-softmax, is invariant to the softmax
+temperature.  Fitted and evaluated with the same protocol as
+:class:`~repro.baselines.softmax_threshold.MaxSoftmaxDetector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.metrics import MonitorEvaluation
+
+
+@dataclass
+class LogitMarginDetector:
+    """Warn when ``top1_logit - top2_logit`` is below ``threshold``."""
+
+    threshold: float = 1.0
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        """Margin per row (higher = more trusted)."""
+        if logits.shape[1] < 2:
+            raise ValueError("margin needs at least two classes")
+        part = np.partition(logits, -2, axis=1)
+        return part[:, -1] - part[:, -2]
+
+    def warnings(self, logits: np.ndarray) -> np.ndarray:
+        """Boolean warning flags per row."""
+        return self.scores(logits) < self.threshold
+
+    def fit_threshold(self, logits: np.ndarray, target_warning_rate: float) -> float:
+        """Set the threshold so ~``target_warning_rate`` of rows warn."""
+        if not 0.0 <= target_warning_rate <= 1.0:
+            raise ValueError(
+                f"target_warning_rate must be in [0, 1], got {target_warning_rate}"
+            )
+        self.threshold = float(np.quantile(self.scores(logits), target_warning_rate))
+        return self.threshold
+
+    def evaluate(
+        self, logits: np.ndarray, labels: np.ndarray, gamma_tag: int = -1
+    ) -> MonitorEvaluation:
+        """Score warnings against misclassifications (Table II semantics)."""
+        labels = np.asarray(labels)
+        predictions = logits.argmax(axis=1)
+        warned = self.warnings(logits)
+        misclassified = predictions != labels
+        return MonitorEvaluation(
+            gamma=gamma_tag,
+            total=int(len(labels)),
+            misclassified=int(misclassified.sum()),
+            out_of_pattern=int(warned.sum()),
+            out_of_pattern_misclassified=int((warned & misclassified).sum()),
+        )

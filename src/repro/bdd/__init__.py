@@ -1,0 +1,39 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+This subpackage is a from-scratch replacement for the ``dd`` package used in
+the paper.  It provides the exact primitives Algorithm 1 of the paper needs —
+``emptySet`` (the ``false`` constant), ``or``, ``encode`` (cube encoding of a
+bit-vector) and ``exists`` (existential quantification over one variable) —
+plus the usual ROBDD toolbox: canonical hash-consed nodes, the ``ite``
+operator, restriction, model counting and enumeration, Hamming-ball
+expansion, and DOT export.
+
+Quick example::
+
+    from repro.bdd import BDDManager
+
+    mgr = BDDManager(3)
+    f = mgr.from_pattern([1, 0, 1])        # the single pattern 101
+    g = mgr.exists(f, 1)                   # patterns 1-1 (don't-care bit 1)
+    assert mgr.contains(g, [1, 1, 1])
+    assert mgr.sat_count(g) == 2
+"""
+
+from repro.bdd.manager import BDDFunction, BDDManager
+from repro.bdd.analysis import (
+    enumerate_models,
+    node_count,
+    sat_count,
+    zone_statistics,
+)
+from repro.bdd.dot import to_dot
+
+__all__ = [
+    "BDDManager",
+    "BDDFunction",
+    "sat_count",
+    "enumerate_models",
+    "node_count",
+    "zone_statistics",
+    "to_dot",
+]

@@ -1,0 +1,39 @@
+"""DOT (Graphviz) export for ROBDDs.
+
+Purely textual — no graphviz dependency.  Solid edges are the ``high`` (1)
+branch, dashed edges the ``low`` (0) branch, matching the usual BDD drawing
+convention.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bdd.manager import BDDManager
+
+
+def to_dot(manager: BDDManager, ref: int, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``ref`` as a DOT digraph string."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen = set()
+    stack = [ref]
+    while stack:
+        node = stack.pop()
+        if node in seen or manager.is_terminal(node):
+            continue
+        seen.add(node)
+        label = manager.var_names[manager.level_of(node)]
+        lines.append(f'  node{node} [label="{label}", shape=circle];')
+        low, high = manager.low_of(node), manager.high_of(node)
+        lines.append(f"  node{node} -> node{low} [style=dashed];")
+        lines.append(f"  node{node} -> node{high} [style=solid];")
+        stack.append(low)
+        stack.append(high)
+    if manager.is_terminal(ref):
+        # Point out which terminal the whole function is.
+        lines.append(f'  root [label="f", shape=plaintext];')
+        lines.append(f"  root -> node{ref};")
+    lines.append("}")
+    return "\n".join(lines)

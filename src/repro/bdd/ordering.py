@@ -1,0 +1,88 @@
+"""Variable-ordering heuristics for pattern-set BDDs.
+
+ROBDD size is notoriously sensitive to variable order.  The paper leans on
+the ``dd`` package's defaults; building our own engine means owning the
+problem.  These heuristics compute an ordering (a permutation of pattern
+columns) from the training patterns themselves before the zone is built:
+
+* :func:`balance_order` — most-balanced bits first: variables that are
+  almost always 0 or 1 collapse into few nodes near the bottom.
+* :func:`correlation_order` — greedy chaining of strongly correlated bits so
+  related neurons sit at adjacent levels, where sharing is possible.
+* :func:`random_order` — the control for ablation.
+
+:func:`evaluate_ordering` measures the node count a given order yields, so
+the ordering ablation bench can quantify the effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bdd.analysis import node_count
+from repro.bdd.manager import BDDManager
+
+
+def activation_frequencies(patterns: np.ndarray) -> np.ndarray:
+    """Per-column frequency of 1s in a ``(N, d)`` pattern array."""
+    patterns = np.atleast_2d(patterns)
+    if patterns.size == 0:
+        raise ValueError("patterns must be non-empty")
+    return patterns.mean(axis=0)
+
+
+def balance_order(patterns: np.ndarray, balanced_first: bool = True) -> np.ndarray:
+    """Order columns by how balanced (close to 50% on) they are."""
+    freqs = activation_frequencies(patterns)
+    imbalance = np.abs(freqs - 0.5)
+    order = np.argsort(imbalance, kind="stable")
+    return order if balanced_first else order[::-1].copy()
+
+
+def correlation_order(patterns: np.ndarray) -> np.ndarray:
+    """Greedy chain: start at the most balanced column, repeatedly append
+    the remaining column with the strongest absolute correlation to the
+    last chosen one."""
+    patterns = np.atleast_2d(patterns).astype(np.float64)
+    n, d = patterns.shape
+    if d == 1:
+        return np.array([0])
+    centered = patterns - patterns.mean(axis=0)
+    std = centered.std(axis=0)
+    std[std == 0] = 1.0
+    normalised = centered / std
+    corr = np.abs(normalised.T @ normalised) / max(n, 1)
+
+    start = int(np.argmin(np.abs(patterns.mean(axis=0) - 0.5)))
+    chosen = [start]
+    remaining = set(range(d)) - {start}
+    while remaining:
+        last = chosen[-1]
+        best = max(remaining, key=lambda j: corr[last, j])
+        chosen.append(best)
+        remaining.remove(best)
+    return np.array(chosen)
+
+
+def random_order(width: int, seed: int = 0) -> np.ndarray:
+    """A random permutation — the ablation control."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return np.random.default_rng(seed).permutation(width)
+
+
+def evaluate_ordering(patterns: np.ndarray, order: Sequence[int]) -> Dict[str, int]:
+    """Build the pattern-set BDD under ``order`` and report its size.
+
+    ``order[k]`` gives the pattern column placed at BDD level ``k``.
+    """
+    patterns = np.atleast_2d(patterns)
+    order = np.asarray(order)
+    if sorted(order.tolist()) != list(range(patterns.shape[1])):
+        raise ValueError("order must be a permutation of the pattern columns")
+    permuted = patterns[:, order]
+    mgr = BDDManager(patterns.shape[1])
+    zone = mgr.from_patterns(permuted)
+    return {"nodes": node_count(mgr, zone), "total_nodes": len(mgr)}

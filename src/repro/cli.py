@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Version, registered models, cached artifacts.
+``train``
+    Train (or load) one of the standard systems; prints Table I-style
+    accuracies.
+``evaluate``
+    Build a monitor at a fixed γ and print the Table II row for the
+    validation set.
+``sweep``
+    Run the γ calibration sweep and report the chosen coarseness.
+
+All heavy lifting is delegated to :mod:`repro.analysis`; the CLI is a thin,
+scriptable veneer used by the examples and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.analysis import (
+    DEFAULT_CACHE_DIR,
+    STANDARD_CONFIGS,
+    build_monitor,
+    gamma_sweep,
+    percent,
+    render_table2,
+    train_system,
+)
+from repro.models import available_models
+
+
+def _add_system_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system",
+        choices=sorted(STANDARD_CONFIGS),
+        required=True,
+        help="which standard experiment system to use",
+    )
+
+
+def _add_monitor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--classes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="restrict the monitor to these class indices (default: all)",
+    )
+    parser.add_argument(
+        "--neuron-fraction",
+        type=float,
+        default=None,
+        help="monitor only this fraction of neurons (gradient-selected)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Runtime monitoring of neuron activation patterns (DATE 2019)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version, models and cached artifacts")
+
+    train_p = sub.add_parser("train", help="train or load a standard system")
+    _add_system_argument(train_p)
+    train_p.add_argument("--force", action="store_true", help="retrain even if cached")
+    train_p.add_argument("--verbose", action="store_true", help="per-epoch progress")
+
+    eval_p = sub.add_parser("evaluate", help="evaluate a monitor at one gamma")
+    _add_system_argument(eval_p)
+    _add_monitor_arguments(eval_p)
+    eval_p.add_argument("--gamma", type=int, default=0, help="Hamming radius")
+
+    sweep_p = sub.add_parser("sweep", help="gamma calibration sweep")
+    _add_system_argument(sweep_p)
+    _add_monitor_arguments(sweep_p)
+    sweep_p.add_argument("--max-gamma", type=int, default=3)
+    sweep_p.add_argument(
+        "--max-warning-rate",
+        type=float,
+        default=0.05,
+        help="silence target used to choose gamma",
+    )
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__}")
+    print(f"registered models: {', '.join(available_models())}")
+    print(f"standard systems:  {', '.join(sorted(STANDARD_CONFIGS))}")
+    cache = os.path.abspath(DEFAULT_CACHE_DIR)
+    if os.path.isdir(cache):
+        artifacts = sorted(f for f in os.listdir(cache) if f.endswith(".npz"))
+        print(f"cached artifacts ({cache}):")
+        for name in artifacts or ["  (none)"]:
+            print(f"  {name}")
+    else:
+        print("no artifact cache yet")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    system = train_system(
+        STANDARD_CONFIGS[args.system], force=args.force, verbose=args.verbose
+    )
+    print(f"system:         {args.system}")
+    print(f"train accuracy: {percent(system.train_accuracy)}")
+    print(f"val accuracy:   {percent(system.val_accuracy)}")
+    print(f"monitored layer width: {system.spec.monitored_width}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    system = train_system(STANDARD_CONFIGS[args.system])
+    monitor = build_monitor(
+        system,
+        gamma=args.gamma,
+        classes=args.classes,
+        neuron_fraction=args.neuron_fraction,
+    )
+    rows = gamma_sweep(system, monitor, [args.gamma])
+    print(render_table2(1, system.misclassification_rate, rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    system = train_system(STANDARD_CONFIGS[args.system])
+    monitor = build_monitor(
+        system, gamma=0, classes=args.classes, neuron_fraction=args.neuron_fraction
+    )
+    rows = gamma_sweep(system, monitor, list(range(args.max_gamma + 1)))
+    print(render_table2(1, system.misclassification_rate, rows))
+    acceptable = [r for r in rows if r.out_of_pattern_rate <= args.max_warning_rate]
+    chosen = min((r.gamma for r in acceptable), default=rows[-1].gamma)
+    print(f"\nchosen gamma: {chosen} "
+          f"(silence target {percent(args.max_warning_rate)})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Synthetic dataset generators standing in for MNIST, GTSRB and the
+proprietary front-car detector data (see DESIGN.md for the substitution
+rationale).  All generators are seeded and balanced."""
+
+from repro.datasets.mnist import MnistConfig, generate_mnist
+from repro.datasets.mnist import shifted_config as mnist_shifted_config
+from repro.datasets.gtsrb import (
+    CLASS_SPECS,
+    GtsrbConfig,
+    NUM_CLASSES as GTSRB_NUM_CLASSES,
+    STOP_SIGN_CLASS,
+    generate_gtsrb,
+)
+from repro.datasets.gtsrb import shifted_config as gtsrb_shifted_config
+from repro.datasets.frontcar import (
+    NO_FRONT_CAR,
+    FrontCarConfig,
+    generate_frontcar,
+)
+from repro.datasets.frontcar import shifted_config as frontcar_shifted_config
+from repro.datasets.multiobject import (
+    GRID,
+    MultiObjectConfig,
+    MultiObjectDataset,
+    generate_multiobject,
+)
+from repro.datasets.corruptions import CORRUPTIONS, corrupt, feature_noise
+from repro.datasets.glyphs import glyph, glyph_names, render_text
+
+__all__ = [
+    "generate_mnist",
+    "MnistConfig",
+    "mnist_shifted_config",
+    "generate_gtsrb",
+    "GtsrbConfig",
+    "gtsrb_shifted_config",
+    "GTSRB_NUM_CLASSES",
+    "STOP_SIGN_CLASS",
+    "CLASS_SPECS",
+    "generate_frontcar",
+    "FrontCarConfig",
+    "frontcar_shifted_config",
+    "NO_FRONT_CAR",
+    "generate_multiobject",
+    "MultiObjectConfig",
+    "MultiObjectDataset",
+    "GRID",
+    "corrupt",
+    "feature_noise",
+    "CORRUPTIONS",
+    "glyph",
+    "glyph_names",
+    "render_text",
+]

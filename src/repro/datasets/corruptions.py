@@ -1,0 +1,96 @@
+"""Operation-time corruptions: the distribution shifts the monitor should flag.
+
+The paper motivates the monitor as a *data distribution shift* indicator
+(§I).  These transforms emulate deployment-time degradations on image
+batches (``(N, C, H, W)``) at an adjustable severity, so experiments can
+measure how the out-of-pattern rate responds to increasing shift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+from scipy import ndimage
+
+
+def gaussian_noise(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive white noise with std ``0.04 * severity``."""
+    return np.clip(images + rng.normal(0.0, 0.04 * severity, size=images.shape), 0.0, 1.0)
+
+
+def blur(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian blur with sigma ``0.5 * severity`` on the spatial axes."""
+    sigma = 0.5 * severity
+    return ndimage.gaussian_filter(images, sigma=(0, 0, sigma, sigma))
+
+def occlusion(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Black out a random square patch covering about ``8% * severity`` of area."""
+    out = images.copy()
+    n, _c, h, w = images.shape
+    side = max(2, int(np.sqrt(0.08 * severity) * min(h, w)))
+    tops = rng.integers(0, h - side, size=n)
+    lefts = rng.integers(0, w - side, size=n)
+    for i in range(n):
+        out[i, :, tops[i] : tops[i] + side, lefts[i] : lefts[i] + side] = 0.0
+    return out
+
+
+def contrast(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Compress contrast towards the per-image mean by factor ``1/(1+0.5s)``."""
+    mean = images.mean(axis=(2, 3), keepdims=True)
+    factor = 1.0 / (1.0 + 0.5 * severity)
+    return np.clip(mean + (images - mean) * factor, 0.0, 1.0)
+
+
+def brightness(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Darken by ``0.12 * severity`` (deployment at dusk)."""
+    return np.clip(images - 0.12 * severity, 0.0, 1.0)
+
+
+def pixelate(images: np.ndarray, severity: float, rng: np.random.Generator) -> np.ndarray:
+    """Downsample by ``1 + severity//1`` then upsample back (cheap sensor)."""
+    factor = int(1 + severity)
+    if factor <= 1:
+        return images
+    small = images[:, :, ::factor, ::factor]
+    return np.repeat(np.repeat(small, factor, axis=2), factor, axis=3)[
+        :, :, : images.shape[2], : images.shape[3]
+    ]
+
+
+CORRUPTIONS: Dict[str, Callable[[np.ndarray, float, np.random.Generator], np.ndarray]] = {
+    "gaussian_noise": gaussian_noise,
+    "blur": blur,
+    "occlusion": occlusion,
+    "contrast": contrast,
+    "brightness": brightness,
+    "pixelate": pixelate,
+}
+
+
+def corrupt(
+    images: np.ndarray, kind: str, severity: float = 1.0, seed: int = 0
+) -> np.ndarray:
+    """Apply the named corruption at the given severity.
+
+    ``images`` must be a ``(N, C, H, W)`` float batch in [0, 1]; returns a
+    new array of the same shape.
+    """
+    if kind not in CORRUPTIONS:
+        raise KeyError(f"unknown corruption {kind!r}; available: {sorted(CORRUPTIONS)}")
+    if severity < 0:
+        raise ValueError(f"severity must be non-negative, got {severity}")
+    if images.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) batch, got shape {images.shape}")
+    rng = np.random.default_rng(seed)
+    return CORRUPTIONS[kind](images, severity, rng)
+
+
+def feature_noise(features: np.ndarray, severity: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Additive noise for non-image (feature-vector) datasets like front-car."""
+    if features.ndim != 2:
+        raise ValueError(f"expected (N, D) features, got shape {features.shape}")
+    rng = np.random.default_rng(seed)
+    scale = 0.02 * severity * features.std(axis=0, keepdims=True)
+    return features + rng.normal(0.0, 1.0, size=features.shape) * scale

@@ -1,0 +1,154 @@
+"""Synthetic front-car selection scenes (the paper's §III case study, Fig. 3).
+
+The paper's vision subsystem feeds *lane information* and *vehicle bounding
+boxes* into a neural-network classifier that outputs either the index of the
+bounding box containing the front car, or a special class "]" meaning no
+forward vehicle is the front car.  The original system and its data are
+proprietary (DENSO), so we synthesise highway scenes with the same
+input/output contract:
+
+* the ego lane is a quadratic lateral curve ``x(d) = offset + curvature*d^2``
+  with a fixed lane width;
+* up to ``max_vehicles`` detected vehicles, each a bounding box
+  ``(present, x_center, distance, width, height)`` in normalised units;
+* the ground-truth front car is the *nearest present vehicle laterally
+  inside the ego lane at its distance*; if none, the label is the
+  "no front car" class (index ``max_vehicles``).
+
+Measurement noise on box centres and lane parameters makes near-boundary
+scenes genuinely ambiguous, so a trained classifier has a realistic
+misclassification rate for the monitor to work against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+
+
+@dataclass(frozen=True)
+class FrontCarConfig:
+    """Scene-generator parameters (normalised units)."""
+
+    max_vehicles: int = 4
+    lane_width: float = 0.22
+    curvature_max: float = 0.25
+    offset_max: float = 0.15
+    vehicle_prob: float = 0.7
+    measurement_noise: float = 0.015
+    lane_noise: float = 0.01
+
+    @property
+    def num_classes(self) -> int:
+        """Vehicle indices plus the "no front car" class."""
+        return self.max_vehicles + 1
+
+    @property
+    def feature_dim(self) -> int:
+        """Lane offset + curvature + width, then 5 features per vehicle."""
+        return 3 + 5 * self.max_vehicles
+
+
+NO_FRONT_CAR = "]"  # the paper's special class symbol
+
+
+def _lane_center(offset: float, curvature: float, distance: float) -> float:
+    """Lateral position of the ego-lane centre at a given distance."""
+    return offset + curvature * distance * distance
+
+
+def _generate_scene(
+    rng: np.random.Generator, config: FrontCarConfig
+) -> Tuple[np.ndarray, int]:
+    """Sample one scene; returns (feature_vector, label)."""
+    offset = rng.uniform(-config.offset_max, config.offset_max)
+    curvature = rng.uniform(-config.curvature_max, config.curvature_max)
+
+    true_boxes = []
+    for _ in range(config.max_vehicles):
+        if rng.random() < config.vehicle_prob:
+            distance = rng.uniform(0.15, 1.0)
+            # Mix of in-lane and out-of-lane vehicles.
+            if rng.random() < 0.5:
+                lateral = _lane_center(offset, curvature, distance) + rng.uniform(
+                    -0.4 * config.lane_width, 0.4 * config.lane_width
+                )
+            else:
+                side = rng.choice([-1.0, 1.0])
+                lateral = _lane_center(offset, curvature, distance) + side * rng.uniform(
+                    0.6 * config.lane_width, 3.0 * config.lane_width
+                )
+            width = rng.uniform(0.06, 0.12) * (1.2 - 0.5 * distance)
+            height = width * rng.uniform(0.7, 0.9)
+            true_boxes.append((1.0, lateral, distance, width, height))
+        else:
+            true_boxes.append((0.0, 0.0, 0.0, 0.0, 0.0))
+
+    # Ground truth from noiseless geometry.
+    label = config.max_vehicles  # "no front car" by default
+    best_distance = np.inf
+    for index, (present, lateral, distance, _w, _h) in enumerate(true_boxes):
+        if not present:
+            continue
+        center = _lane_center(offset, curvature, distance)
+        if abs(lateral - center) <= config.lane_width / 2 and distance < best_distance:
+            best_distance = distance
+            label = index
+
+    # Observed features carry measurement noise.
+    features = [
+        offset + rng.normal(0.0, config.lane_noise),
+        curvature + rng.normal(0.0, config.lane_noise),
+        config.lane_width,
+    ]
+    for present, lateral, distance, width, height in true_boxes:
+        if present:
+            features.extend(
+                [
+                    1.0,
+                    lateral + rng.normal(0.0, config.measurement_noise),
+                    distance + rng.normal(0.0, config.measurement_noise),
+                    width,
+                    height,
+                ]
+            )
+        else:
+            features.extend([0.0, 0.0, 0.0, 0.0, 0.0])
+    return np.array(features), label
+
+
+def generate_frontcar(
+    num_samples: int,
+    seed: int = 0,
+    config: Optional[FrontCarConfig] = None,
+) -> ArrayDataset:
+    """Generate a front-car selection dataset of feature vectors."""
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    config = config if config is not None else FrontCarConfig()
+    rng = np.random.default_rng(seed)
+    features = np.empty((num_samples, config.feature_dim))
+    labels = np.empty(num_samples, dtype=np.int64)
+    for i in range(num_samples):
+        features[i], labels[i] = _generate_scene(rng, config)
+    return ArrayDataset(features, labels)
+
+
+def shifted_config(severity: float = 2.0) -> FrontCarConfig:
+    """Operation-time shift: tighter curves, more clutter, noisier sensors."""
+    if severity < 1.0:
+        raise ValueError(f"severity must be >= 1, got {severity}")
+    base = FrontCarConfig()
+    return FrontCarConfig(
+        max_vehicles=base.max_vehicles,
+        lane_width=base.lane_width,
+        curvature_max=min(0.6, base.curvature_max * severity),
+        offset_max=min(0.4, base.offset_max * severity),
+        vehicle_prob=base.vehicle_prob,
+        measurement_noise=base.measurement_noise * severity,
+        lane_noise=base.lane_noise * severity,
+    )

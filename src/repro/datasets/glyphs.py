@@ -1,0 +1,70 @@
+"""5x7 bitmap glyphs: digits and traffic-sign pictograms.
+
+These skeletons seed both synthetic datasets: the MNIST substitute warps
+digit glyphs into handwritten-looking strokes, and the GTSRB substitute
+stamps digit/symbol glyphs into sign faces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+_RAW_GLYPHS: Dict[str, str] = {
+    "0": "01110 10001 10011 10101 11001 10001 01110",
+    "1": "00100 01100 00100 00100 00100 00100 01110",
+    "2": "01110 10001 00001 00010 00100 01000 11111",
+    "3": "11111 00010 00100 00010 00001 10001 01110",
+    "4": "00010 00110 01010 10010 11111 00010 00010",
+    "5": "11111 10000 11110 00001 00001 10001 01110",
+    "6": "00110 01000 10000 11110 10001 10001 01110",
+    "7": "11111 00001 00010 00100 01000 01000 01000",
+    "8": "01110 10001 10001 01110 10001 10001 01110",
+    "9": "01110 10001 10001 01111 00001 00010 01100",
+    # Sign pictograms.
+    "bar": "00000 00000 11111 11111 11111 00000 00000",
+    "exclaim": "00100 00100 00100 00100 00100 00000 00100",
+    "arrow_up": "00100 01110 10101 00100 00100 00100 00100",
+    "arrow_left": "00100 01000 11111 01000 00100 00000 00000",
+    "arrow_right": "00100 00010 11111 00010 00100 00000 00000",
+    "curve_left": "00011 00100 01000 01000 01000 00100 00011",
+    "curve_right": "11000 00100 00010 00010 00010 00100 11000",
+    "zigzag": "00001 00010 00100 01000 00100 00010 00001",
+    "car": "00000 01110 11111 10101 11111 01010 00000",
+    "truck": "11100 11111 11111 10101 11111 01010 00000",
+    "person": "00100 00100 01110 10101 00100 01010 10001",
+    "cross": "10001 01010 00100 01010 10001 00000 00000",
+    "snow": "10101 01110 11111 01110 10101 00000 00000",
+    "deer": "10001 01010 00100 01110 00100 01010 00100",
+    "blank": "00000 00000 00000 00000 00000 00000 00000",
+}
+
+
+def glyph(name: str) -> np.ndarray:
+    """Return the named glyph as a ``(7, 5)`` float array of 0/1."""
+    if name not in _RAW_GLYPHS:
+        raise KeyError(f"unknown glyph {name!r}; available: {sorted(_RAW_GLYPHS)}")
+    rows = _RAW_GLYPHS[name].split()
+    return np.array([[float(ch) for ch in row] for row in rows])
+
+
+def glyph_names() -> list:
+    """All available glyph names."""
+    return sorted(_RAW_GLYPHS)
+
+
+def render_text(text: str) -> np.ndarray:
+    """Render a multi-character string as horizontally packed glyphs.
+
+    Each character contributes a 7x5 block with one blank column between
+    characters; used for two-digit speed-limit pictograms.
+    """
+    if not text:
+        raise ValueError("text must be non-empty")
+    blocks = []
+    for i, ch in enumerate(text):
+        if i:
+            blocks.append(np.zeros((7, 1)))
+        blocks.append(glyph(ch))
+    return np.concatenate(blocks, axis=1)

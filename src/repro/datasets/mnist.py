@@ -1,0 +1,129 @@
+"""Synthetic MNIST: a handwritten-digit lookalike generated offline.
+
+The real MNIST files are not available in this environment, so we synthesise
+a 10-class 28x28 grayscale digit problem with genuine intra-class nuisance
+variation — per-sample affine warps (rotation, shear, scale, translation),
+stroke thickness, stroke wobble, blur and pixel noise.  The resulting task
+sits in the same qualitative regime the paper reports for MNIST (Table I:
+~99% train accuracy, slightly lower validation accuracy, misclassification
+rate of a percent or so), which is what the monitor experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.datasets.glyphs import glyph
+from repro.nn.data import ArrayDataset
+
+IMAGE_SIZE = 28
+NUM_CLASSES = 10
+
+
+@dataclass(frozen=True)
+class MnistConfig:
+    """Nuisance parameters of the digit generator.
+
+    Severities are multipliers on the default nuisance strengths; raising
+    them widens the intra-class distribution (useful for shift experiments).
+    """
+
+    rotation_deg: float = 12.0
+    shear: float = 0.15
+    scale_low: float = 0.8
+    scale_high: float = 1.15
+    translate_px: float = 2.5
+    wobble: float = 0.8
+    thickness_prob: float = 0.45
+    blur_sigma: float = 0.6
+    noise_std: float = 0.06
+
+
+def _render_digit(digit: int, rng: np.random.Generator, config: MnistConfig) -> np.ndarray:
+    """Render one digit instance as a ``(28, 28)`` float image in [0, 1]."""
+    base = glyph(str(digit))
+    # Upscale the 7x5 skeleton to a 21x15 stroke image.
+    canvas = np.kron(base, np.ones((3, 3)))
+    # Random stroke thickening keeps line widths varied like handwriting.
+    if rng.random() < config.thickness_prob:
+        canvas = ndimage.binary_dilation(canvas > 0.5).astype(float)
+    # Pad into the 28x28 frame, centred.
+    frame = np.zeros((IMAGE_SIZE, IMAGE_SIZE))
+    top = (IMAGE_SIZE - canvas.shape[0]) // 2
+    left = (IMAGE_SIZE - canvas.shape[1]) // 2
+    frame[top : top + canvas.shape[0], left : left + canvas.shape[1]] = canvas
+
+    # Random affine warp around the image centre.
+    angle = np.deg2rad(rng.uniform(-config.rotation_deg, config.rotation_deg))
+    shear = rng.uniform(-config.shear, config.shear)
+    scale = rng.uniform(config.scale_low, config.scale_high)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    matrix = np.array([[cos_a, -sin_a + shear], [sin_a, cos_a]]) / scale
+    centre = np.array([IMAGE_SIZE / 2, IMAGE_SIZE / 2])
+    offset = centre - matrix @ centre + rng.uniform(
+        -config.translate_px, config.translate_px, size=2
+    )
+    warped = ndimage.affine_transform(frame, matrix, offset=offset, order=1)
+
+    # Stroke wobble: displace rows/columns by a smooth random field.
+    if config.wobble > 0:
+        shift_rows = ndimage.gaussian_filter(
+            rng.normal(0.0, config.wobble, size=IMAGE_SIZE), sigma=3
+        )
+        wobbled = np.empty_like(warped)
+        for i in range(IMAGE_SIZE):
+            wobbled[i] = np.roll(warped[i], int(round(shift_rows[i])))
+        warped = wobbled
+
+    blurred = ndimage.gaussian_filter(warped, sigma=config.blur_sigma)
+    intensity = rng.uniform(0.85, 1.0)
+    noisy = intensity * blurred + rng.normal(0.0, config.noise_std, size=blurred.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def generate_mnist(
+    num_samples: int,
+    seed: int = 0,
+    config: Optional[MnistConfig] = None,
+) -> ArrayDataset:
+    """Generate a balanced synthetic digit dataset.
+
+    Returns an :class:`~repro.nn.data.ArrayDataset` of
+    ``(num_samples, 1, 28, 28)`` float images and integer labels.
+    """
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    config = config if config is not None else MnistConfig()
+    rng = np.random.default_rng(seed)
+    labels = np.arange(num_samples) % NUM_CLASSES
+    rng.shuffle(labels)
+    images = np.empty((num_samples, 1, IMAGE_SIZE, IMAGE_SIZE))
+    for i, label in enumerate(labels):
+        images[i, 0] = _render_digit(int(label), rng, config)
+    return ArrayDataset(images, labels.astype(np.int64))
+
+
+def shifted_config(severity: float = 2.0) -> MnistConfig:
+    """A distribution-shifted generator config (heavier nuisances).
+
+    Used to emulate operation-time drift: same classes, wider nuisance
+    distribution, which should raise the monitor's out-of-pattern rate.
+    """
+    if severity < 1.0:
+        raise ValueError(f"severity must be >= 1, got {severity}")
+    base = MnistConfig()
+    return MnistConfig(
+        rotation_deg=base.rotation_deg * severity,
+        shear=base.shear * severity,
+        scale_low=max(0.55, base.scale_low / severity),
+        scale_high=min(1.5, base.scale_high * (1 + 0.15 * (severity - 1))),
+        translate_px=base.translate_px * severity,
+        wobble=base.wobble * severity,
+        thickness_prob=min(1.0, base.thickness_prob * severity),
+        blur_sigma=base.blur_sigma * severity,
+        noise_std=base.noise_std * severity,
+    )

@@ -1,0 +1,19 @@
+"""The paper's network architectures (Table I) and the case-study model."""
+
+from repro.models.registry import ModelSpec, available_models, build_model, register_model
+from repro.models.mnist_net import build_mnist_net
+from repro.models.gtsrb_net import build_gtsrb_net
+from repro.models.frontcar_net import build_frontcar_net
+from repro.models.grid_detector import GridDetector, build_grid_detector
+
+__all__ = [
+    "GridDetector",
+    "build_grid_detector",
+    "ModelSpec",
+    "build_model",
+    "register_model",
+    "available_models",
+    "build_mnist_net",
+    "build_gtsrb_net",
+    "build_frontcar_net",
+]

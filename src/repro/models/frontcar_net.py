@@ -1,0 +1,41 @@
+"""Front-car selection classifier (the paper's §III case study).
+
+The paper describes the selector as a neural-network classifier taking lane
+information plus vehicle bounding boxes and emitting a bounding-box index or
+the special "no front car" class "]".  We use a compact ReLU MLP over the
+scene feature vector; the monitored layer is the last hidden ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.frontcar import FrontCarConfig
+from repro.models.registry import ModelSpec, register_model
+from repro.nn.layers import Linear, ReLU, Sequential
+
+MONITORED_WIDTH = 32
+
+
+@register_model("frontcar")
+def build_frontcar_net(
+    rng: np.random.Generator, config: FrontCarConfig = FrontCarConfig()
+) -> ModelSpec:
+    """Build the front-car selector MLP for the given scene configuration."""
+    monitored_relu = ReLU()
+    output_layer = Linear(MONITORED_WIDTH, config.num_classes, rng=rng)
+    model = Sequential(
+        Linear(config.feature_dim, 64, rng=rng),
+        ReLU(),
+        Linear(64, MONITORED_WIDTH, rng=rng),
+        monitored_relu,
+        output_layer,
+    )
+    return ModelSpec(
+        model=model,
+        monitored_module=monitored_relu,
+        monitored_width=MONITORED_WIDTH,
+        num_classes=config.num_classes,
+        name="frontcar",
+        output_layer=output_layer,
+    )

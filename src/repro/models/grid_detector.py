@@ -1,0 +1,89 @@
+"""YOLO-style grid detector (paper §V, extension 1).
+
+A small convolutional backbone followed by a per-cell classification head:
+the 64x64 input maps to a 2x2 grid, and each cell predicts one of
+``num_classes`` (sign classes + background).  The monitored layer is the
+shared fully-connected ReLU layer feeding all cell heads, so one monitor
+covers every proposal — mirroring how the paper suggests treating each grid
+cell as offering object proposals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.multiobject import GRID, MultiObjectConfig
+from repro.models.registry import ModelSpec, register_model
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+MONITORED_WIDTH = 64
+
+
+class GridDetector(Module):
+    """Backbone + shared ReLU trunk + one linear head per grid cell."""
+
+    def __init__(self, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_classes = num_classes
+        self.monitored_relu = ReLU()
+        self.backbone = Sequential(
+            Conv2d(3, 16, kernel_size=5, rng=rng),     # 64 -> 60
+            ReLU(),
+            MaxPool2d(2),                              # 60 -> 30
+            Conv2d(16, 24, kernel_size=5, rng=rng),    # 30 -> 26
+            ReLU(),
+            MaxPool2d(2),                              # 26 -> 13
+            Flatten(),
+            Linear(24 * 13 * 13, MONITORED_WIDTH, rng=rng),
+        )
+        self.heads = [
+            Linear(MONITORED_WIDTH, num_classes, rng=rng) for _ in range(GRID * GRID)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return logits of shape ``(N, GRID*GRID, num_classes)``.
+
+        Implemented as a concatenation over cell heads applied to the shared
+        monitored trunk output.
+        """
+        trunk = self.monitored_relu(self.backbone(x))
+        per_cell = [head(trunk).reshape(x.shape[0], 1, self.num_classes)
+                    for head in self.heads]
+        out = per_cell[0]
+        for cell in per_cell[1:]:
+            # Concatenate along the cell axis via stacking on numpy level
+            # would detach autograd; instead accumulate with padding trick.
+            out = _concat_cells(out, cell)
+        return out
+
+
+def _concat_cells(a: Tensor, b: Tensor) -> Tensor:
+    """Autograd-preserving concatenation along axis 1 for (N, K, C) tensors."""
+    n, ka, c = a.shape
+    _, kb, _ = b.shape
+    out_data = np.concatenate([a.data, b.data], axis=1)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad[:, :ka])
+        if b.requires_grad:
+            b._accumulate(grad[:, ka:])
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+@register_model("grid_detector")
+def build_grid_detector(
+    rng: np.random.Generator, config: MultiObjectConfig = MultiObjectConfig()
+) -> ModelSpec:
+    """Build the grid detector for the multi-object scene configuration."""
+    model = GridDetector(config.num_classes, rng)
+    return ModelSpec(
+        model=model,
+        monitored_module=model.monitored_relu,
+        monitored_width=MONITORED_WIDTH,
+        num_classes=config.num_classes,
+        name="grid_detector",
+        output_layer=None,  # several heads share the monitored layer
+    )

@@ -1,0 +1,66 @@
+"""Network 2 of Table I: the GTSRB classifier.
+
+Architecture (kernel 5x5, stride 1, 2x2 max pooling, batch norm):
+
+    ReLU(BN(Conv(40))), MaxPool, ReLU(BN(Conv(20))), MaxPool,
+    ReLU(fc(240)), **ReLU(fc(84))**, fc(43)
+
+The monitored layer is the ReLU after ``fc(84)``; the paper monitors only
+25% of its 84 neurons, chosen by gradient-based sensitivity, and builds the
+monitor for the stop-sign class (c = 14) only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.registry import ModelSpec, register_model
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+MONITORED_WIDTH = 84
+NUM_CLASSES = 43
+
+
+@register_model("gtsrb")
+def build_gtsrb_net(rng: np.random.Generator, num_classes: int = NUM_CLASSES) -> ModelSpec:
+    """Build network 2 exactly as Table I specifies.
+
+    Input is ``(N, 3, 32, 32)``: conv(5x5) -> 28, pool -> 14, conv(5x5) -> 10,
+    pool -> 5, flatten -> 20*5*5 = 500 features into the fc stack.
+    ``num_classes`` may be lowered alongside the dataset's class subset for
+    fast tests.
+    """
+    monitored_relu = ReLU()
+    output_layer = Linear(MONITORED_WIDTH, num_classes, rng=rng)
+    model = Sequential(
+        Conv2d(3, 40, kernel_size=5, rng=rng),
+        BatchNorm2d(40),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(40, 20, kernel_size=5, rng=rng),
+        BatchNorm2d(20),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(500, 240, rng=rng),
+        ReLU(),
+        Linear(240, MONITORED_WIDTH, rng=rng),
+        monitored_relu,
+        output_layer,
+    )
+    return ModelSpec(
+        model=model,
+        monitored_module=monitored_relu,
+        monitored_width=MONITORED_WIDTH,
+        num_classes=num_classes,
+        name="gtsrb",
+        output_layer=output_layer,
+    )

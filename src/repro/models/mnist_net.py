@@ -1,0 +1,57 @@
+"""Network 1 of Table I: the MNIST classifier.
+
+Architecture (kernel 5x5, stride 1, 2x2 max pooling):
+
+    ReLU(Conv(40)), MaxPool, ReLU(Conv(20)), MaxPool,
+    ReLU(fc(320)), ReLU(fc(160)), ReLU(fc(80)), **ReLU(fc(40))**, fc(10)
+
+The monitored layer (bold in the paper) is the ReLU after ``fc(40)`` —
+40 neurons, comfortably within BDD limits, so all of them are monitored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.registry import ModelSpec, register_model
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+
+MONITORED_WIDTH = 40
+NUM_CLASSES = 10
+
+
+@register_model("mnist")
+def build_mnist_net(rng: np.random.Generator) -> ModelSpec:
+    """Build network 1 exactly as Table I specifies.
+
+    Input is ``(N, 1, 28, 28)``: conv(5x5) -> 24, pool -> 12, conv(5x5) -> 8,
+    pool -> 4, flatten -> 20*4*4 = 320 features into the fc stack.
+    """
+    monitored_relu = ReLU()
+    output_layer = Linear(MONITORED_WIDTH, NUM_CLASSES, rng=rng)
+    model = Sequential(
+        Conv2d(1, 40, kernel_size=5, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(40, 20, kernel_size=5, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(320, 320, rng=rng),
+        ReLU(),
+        Linear(320, 160, rng=rng),
+        ReLU(),
+        Linear(160, 80, rng=rng),
+        ReLU(),
+        Linear(80, MONITORED_WIDTH, rng=rng),
+        monitored_relu,
+        output_layer,
+    )
+    return ModelSpec(
+        model=model,
+        monitored_module=monitored_relu,
+        monitored_width=MONITORED_WIDTH,
+        num_classes=NUM_CLASSES,
+        name="mnist",
+        output_layer=output_layer,
+    )

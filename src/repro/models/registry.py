@@ -1,0 +1,73 @@
+"""Model registry: the paper's architectures plus the case-study classifier.
+
+Each builder returns a :class:`ModelSpec` bundling the network, the *module
+whose output is monitored* (always a ReLU layer, per Definition 1) and the
+width of that layer, so monitor code never hard-codes indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+@dataclass
+class ModelSpec:
+    """A network plus its monitoring metadata.
+
+    Attributes
+    ----------
+    model:
+        The classifier, mapping inputs to logits.
+    monitored_module:
+        The ReLU module whose on/off output pattern the monitor records
+        (bold layer in the paper's Table I).
+    monitored_width:
+        Number of neurons in the monitored layer.
+    num_classes:
+        Output dimensionality.
+    name:
+        Registry name, used in reports.
+    output_layer:
+        The final Linear layer; its weights provide the closed-form
+        gradient sensitivity when the monitored layer is penultimate
+        (paper §II, last paragraph).
+    """
+
+    model: Module
+    monitored_module: Module
+    monitored_width: int
+    num_classes: int
+    name: str
+    output_layer: Optional[Module] = None
+
+
+_BUILDERS: Dict[str, Callable[..., ModelSpec]] = {}
+
+
+def register_model(name: str) -> Callable:
+    """Decorator registering a ModelSpec builder under ``name``."""
+
+    def decorator(builder: Callable[..., ModelSpec]) -> Callable[..., ModelSpec]:
+        if name in _BUILDERS:
+            raise ValueError(f"model {name!r} already registered")
+        _BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def build_model(name: str, seed: int = 0, **kwargs) -> ModelSpec:
+    """Instantiate a registered model with a seeded RNG."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(_BUILDERS)}")
+    return _BUILDERS[name](rng=np.random.default_rng(seed), **kwargs)
+
+
+def available_models() -> list:
+    """Names of all registered architectures."""
+    return sorted(_BUILDERS)

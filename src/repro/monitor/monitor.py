@@ -1,0 +1,286 @@
+"""The neuron activation pattern monitor (Definition 3, Algorithm 1).
+
+A monitor is the tuple of per-class comfort zones built from the training
+set after the standard training process.  :meth:`NeuronActivationMonitor.build`
+implements Algorithm 1 end-to-end: it feeds the training data through the
+network once, records the activation pattern of every *correctly predicted*
+image in the zone of its ground-truth class, then applies γ Hamming
+enlargement steps.
+
+Monitors can be restricted to a subset of classes (the paper's GTSRB
+experiment only monitors the stop-sign class) and to a subset of neurons
+(gradient-based selection for wide layers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.bdd import BDDManager
+from repro.monitor.patterns import extract_patterns, pack_patterns, unpack_patterns
+from repro.monitor.zone import ComfortZone
+from repro.nn.data import Dataset, stack_dataset
+from repro.nn.layers import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+class NeuronActivationMonitor:
+    """Per-class comfort zones over (a subset of) one ReLU layer's neurons.
+
+    Parameters
+    ----------
+    layer_width:
+        Total number of neurons in the monitored layer.
+    classes:
+        The class indices to monitor (all classes of the task by default).
+    gamma:
+        Hamming enlargement radius shared by every zone.
+    monitored_neurons:
+        Indices of the neurons to monitor (all by default).  Patterns are
+        projected onto these indices before zone insertion and queries, so
+        unmonitored neurons are don't-cares in the abstraction.
+    """
+
+    def __init__(
+        self,
+        layer_width: int,
+        classes: Iterable[int],
+        gamma: int = 0,
+        monitored_neurons: Optional[Sequence[int]] = None,
+    ):
+        if layer_width <= 0:
+            raise ValueError(f"layer_width must be positive, got {layer_width}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.layer_width = layer_width
+        self.classes = sorted(set(int(c) for c in classes))
+        if not self.classes:
+            raise ValueError("monitor needs at least one class")
+        if monitored_neurons is None:
+            self.monitored_neurons = np.arange(layer_width)
+        else:
+            self.monitored_neurons = np.asarray(sorted(set(monitored_neurons)), dtype=np.int64)
+            if len(self.monitored_neurons) == 0:
+                raise ValueError("monitored_neurons must be non-empty")
+            if self.monitored_neurons[0] < 0 or self.monitored_neurons[-1] >= layer_width:
+                raise ValueError(
+                    f"monitored neuron indices must lie in [0, {layer_width})"
+                )
+        self.gamma = gamma
+        # All zones share one manager: same variables, shared node table.
+        self._manager = BDDManager(len(self.monitored_neurons))
+        self.zones: Dict[int, ComfortZone] = {
+            c: ComfortZone(len(self.monitored_neurons), gamma, manager=self._manager)
+            for c in self.classes
+        }
+
+    # ------------------------------------------------------------------
+    # construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def project(self, patterns: np.ndarray) -> np.ndarray:
+        """Restrict full-layer patterns to the monitored neuron subset."""
+        patterns = np.atleast_2d(patterns)
+        if patterns.shape[1] != self.layer_width:
+            raise ValueError(
+                f"patterns have width {patterns.shape[1]}, expected {self.layer_width}"
+            )
+        return patterns[:, self.monitored_neurons]
+
+    def record(self, patterns: np.ndarray, labels: np.ndarray, predictions: np.ndarray) -> int:
+        """Insert patterns of correctly-predicted examples into their zones.
+
+        Implements Algorithm 1 lines 4-8: a pattern is added to ``Z^0_c``
+        only when the ground truth is ``c`` *and* the network predicted
+        ``c``.  Returns the number of patterns recorded.
+        """
+        labels = np.asarray(labels)
+        predictions = np.asarray(predictions)
+        if not (len(patterns) == len(labels) == len(predictions)):
+            raise ValueError(
+                f"length mismatch: {len(patterns)} patterns, {len(labels)} labels, "
+                f"{len(predictions)} predictions"
+            )
+        projected = self.project(patterns)
+        recorded = 0
+        for c in self.classes:
+            mask = (labels == c) & (predictions == c)
+            if not mask.any():
+                continue
+            self.zones[c].add_patterns(projected[mask])
+            recorded += int(mask.sum())
+        return recorded
+
+    @classmethod
+    def build(
+        cls,
+        model: Module,
+        monitored_module: Module,
+        train_dataset: Dataset,
+        gamma: int = 0,
+        classes: Optional[Iterable[int]] = None,
+        monitored_neurons: Optional[Sequence[int]] = None,
+        batch_size: int = 256,
+    ) -> "NeuronActivationMonitor":
+        """Run Algorithm 1: one sweep over the training set, then enlarge.
+
+        ``classes`` defaults to every label present in the training set.
+        """
+        inputs, labels = stack_dataset(train_dataset)
+        patterns, logits = extract_patterns(model, monitored_module, inputs, batch_size)
+        predictions = logits.argmax(axis=1)
+        if classes is None:
+            classes = np.unique(labels).tolist()
+        monitor = cls(
+            layer_width=patterns.shape[1],
+            classes=classes,
+            gamma=gamma,
+            monitored_neurons=monitored_neurons,
+        )
+        monitor.record(patterns, labels, predictions)
+        return monitor
+
+    # ------------------------------------------------------------------
+    # runtime queries
+    # ------------------------------------------------------------------
+    def is_known(self, pattern: np.ndarray, predicted_class: int) -> bool:
+        """Is this full-layer pattern inside the predicted class's zone?
+
+        Patterns from classes the monitor does not cover raise ``KeyError``
+        — callers decide whether uncovered classes mean "always trusted"
+        (see :class:`~repro.monitor.runtime.MonitoredClassifier`).
+        """
+        if predicted_class not in self.zones:
+            raise KeyError(f"class {predicted_class} is not monitored")
+        projected = self.project(pattern)[0]
+        return self.zones[predicted_class].contains(projected)
+
+    def check(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_known`; unmonitored classes return True.
+
+        Returns a boolean array: ``True`` = pattern supported by training
+        (inside the zone), ``False`` = out-of-pattern warning.
+        """
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        projected = self.project(patterns)
+        supported = np.ones(len(patterns), dtype=bool)
+        for c, zone in self.zones.items():
+            mask = predicted_classes == c
+            if mask.any():
+                supported[mask] = zone.contains_batch(projected[mask])
+        return supported
+
+    def monitors_class(self, class_index: int) -> bool:
+        """Whether the monitor has a zone for this class."""
+        return class_index in self.zones
+
+    def set_gamma(self, gamma: int) -> None:
+        """Change γ on every zone (lazily recomputed on next query)."""
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.gamma = gamma
+        for zone in self.zones.values():
+            zone.set_gamma(gamma)
+
+    def statistics(self) -> Dict[int, Dict[str, float]]:
+        """Per-class zone statistics."""
+        return {c: zone.statistics() for c, zone in self.zones.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"NeuronActivationMonitor(classes={self.classes}, gamma={self.gamma}, "
+            f"monitored={len(self.monitored_neurons)}/{self.layer_width})"
+        )
+
+    @classmethod
+    def merge(cls, monitors: Sequence["NeuronActivationMonitor"]) -> "NeuronActivationMonitor":
+        """Union several monitors built over the same monitored neurons.
+
+        Useful when training data is processed in shards (e.g. a fleet of
+        vehicles each contributes patterns): the merged monitor's zones are
+        the set union of the inputs' visited sets, with γ taken from the
+        first monitor.  All inputs must agree on ``layer_width`` and
+        ``monitored_neurons``.
+        """
+        from repro.bdd.analysis import enumerate_models
+
+        if not monitors:
+            raise ValueError("merge needs at least one monitor")
+        first = monitors[0]
+        for other in monitors[1:]:
+            if other.layer_width != first.layer_width:
+                raise ValueError(
+                    f"layer width mismatch: {other.layer_width} vs {first.layer_width}"
+                )
+            if not np.array_equal(other.monitored_neurons, first.monitored_neurons):
+                raise ValueError("monitored neuron sets differ; cannot merge")
+        classes = sorted({c for m in monitors for c in m.classes})
+        merged = cls(
+            layer_width=first.layer_width,
+            classes=classes,
+            gamma=first.gamma,
+            monitored_neurons=first.monitored_neurons,
+        )
+        for monitor in monitors:
+            for c, zone in monitor.zones.items():
+                visited = list(enumerate_models(monitor._manager, zone.visited_ref))
+                if visited:
+                    merged.zones[c].add_patterns(visited)
+        return merged
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Serialise to ``.npz``: visited patterns (packed bits) + metadata.
+
+        Zones are rebuilt from visited patterns on load; storing ``Z^0``
+        rather than ``Z^γ`` keeps files small and lets γ be changed after
+        reload.
+        """
+        from repro.bdd.analysis import enumerate_models
+
+        arrays = {}
+        meta = {
+            "layer_width": self.layer_width,
+            "gamma": self.gamma,
+            "classes": self.classes,
+            "pattern_width": int(len(self.monitored_neurons)),
+        }
+        arrays["monitored_neurons"] = self.monitored_neurons
+        for c, zone in self.zones.items():
+            visited = np.array(
+                list(enumerate_models(self._manager, zone.visited_ref)), dtype=np.uint8
+            )
+            if visited.size == 0:
+                visited = np.zeros((0, len(self.monitored_neurons)), dtype=np.uint8)
+            arrays[f"class_{c}"] = pack_patterns(visited)
+            arrays[f"count_{c}"] = np.array([visited.shape[0]])
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "NeuronActivationMonitor":
+        """Restore a monitor saved by :meth:`save`."""
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            monitored = archive["monitored_neurons"]
+            monitor = cls(
+                layer_width=int(meta["layer_width"]),
+                classes=meta["classes"],
+                gamma=int(meta["gamma"]),
+                monitored_neurons=monitored,
+            )
+            width = int(meta["pattern_width"])
+            for c in meta["classes"]:
+                count = int(archive[f"count_{c}"][0])
+                packed = archive[f"class_{c}"]
+                if count:
+                    patterns = unpack_patterns(packed, width)[:count]
+                    monitor.zones[c].add_patterns(patterns)
+        return monitor

@@ -1,0 +1,82 @@
+"""Neuron activation patterns (Definition 1 of the paper).
+
+A pattern is the elementwise binarisation of a ReLU layer's output:
+``prelu(x) = 1 if x > 0 else 0``.  These helpers extract patterns for whole
+datasets in one batched forward sweep through the network, using a forward
+hook on the monitored module.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.hooks import ActivationTap
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+def binarize(activations: np.ndarray) -> np.ndarray:
+    """Apply ``prelu`` elementwise: strictly positive becomes 1, else 0.
+
+    Accepts any shape; trailing dimensions are flattened so convolutional
+    feature maps become flat patterns (the paper treats convolutional layers
+    as fully-connected ones with zero weights for missing connections).
+    """
+    flat = activations.reshape(activations.shape[0], -1)
+    return (flat > 0).astype(np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamming distance between pattern arrays (broadcasting rows).
+
+    ``a`` may be ``(N, d)`` and ``b`` ``(d,)`` or ``(N, d)``; returns the
+    per-row distance.
+    """
+    return np.asarray(a != b).sum(axis=-1)
+
+
+def extract_patterns(
+    model: Module,
+    monitored_module: Module,
+    inputs: np.ndarray,
+    batch_size: int = 256,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run ``inputs`` through ``model`` and collect patterns plus logits.
+
+    Returns
+    -------
+    patterns:
+        ``(N, d)`` uint8 binarised activations of the monitored module.
+    logits:
+        ``(N, C)`` raw network outputs, for deciding ``dec(in)``.
+    """
+    model.eval()
+    logits_chunks = []
+    with ActivationTap(monitored_module) as tap:
+        for start in range(0, len(inputs), batch_size):
+            batch = Tensor(inputs[start : start + batch_size])
+            logits_chunks.append(model(batch).data)
+    activations = tap.concatenated()
+    logits = np.concatenate(logits_chunks, axis=0) if logits_chunks else np.empty((0, 0))
+    return binarize(activations), logits
+
+
+def pack_patterns(patterns: np.ndarray) -> np.ndarray:
+    """Pack a ``(N, d)`` 0/1 array into bytes for compact storage."""
+    if patterns.ndim != 2:
+        raise ValueError(f"expected (N, d) patterns, got shape {patterns.shape}")
+    return np.packbits(patterns.astype(np.uint8), axis=1)
+
+
+def unpack_patterns(packed: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_patterns` given the original pattern width."""
+    if packed.ndim != 2:
+        raise ValueError(f"expected (N, B) packed array, got shape {packed.shape}")
+    unpacked = np.unpackbits(packed, axis=1)
+    if unpacked.shape[1] < width:
+        raise ValueError(
+            f"packed rows hold only {unpacked.shape[1]} bits, need {width}"
+        )
+    return unpacked[:, :width]

@@ -1,0 +1,99 @@
+"""Deployment-time wrapper: classification plus monitor verdict (Fig. 1-b).
+
+:class:`MonitoredClassifier` bundles a trained network with its activation
+monitor.  Every classification returns a :class:`Verdict` carrying the
+predicted class, the softmax confidence and the monitor's judgement —
+``supported=False`` reproduces the paper's "problematic decision!" warning:
+the decision is not backed by any similar training-time activation pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.monitor.monitor import NeuronActivationMonitor
+from repro.monitor.patterns import extract_patterns
+from repro.nn import functional as F
+from repro.nn.layers import Module
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one monitored classification."""
+
+    predicted_class: int
+    confidence: float
+    supported: bool
+    monitored: bool
+
+    @property
+    def warning(self) -> bool:
+        """True when the monitor flags the decision as out-of-pattern."""
+        return self.monitored and not self.supported
+
+
+class MonitoredClassifier:
+    """A classifier whose decisions are supervised by an activation monitor.
+
+    Parameters
+    ----------
+    model, monitored_module:
+        The trained network and its monitored ReLU layer.
+    monitor:
+        A built :class:`~repro.monitor.monitor.NeuronActivationMonitor`.
+    unmonitored_ok:
+        Verdicts for classes outside the monitor's coverage report
+        ``supported=True`` and ``monitored=False`` (the monitor simply has
+        no opinion, as with non-stop-sign classes in the paper's GTSRB
+        experiment).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        monitored_module: Module,
+        monitor: NeuronActivationMonitor,
+    ):
+        self.model = model
+        self.monitored_module = monitored_module
+        self.monitor = monitor
+
+    def classify(self, inputs: np.ndarray, batch_size: int = 256) -> List[Verdict]:
+        """Classify a batch and attach a monitor verdict to each decision."""
+        inputs = np.asarray(inputs)
+        if len(inputs) == 0:
+            return []
+        patterns, logits = extract_patterns(
+            self.model, self.monitored_module, inputs, batch_size
+        )
+        predictions = logits.argmax(axis=1)
+        confidences = F.softmax(logits, axis=1).max(axis=1)
+        monitored_mask = np.isin(predictions, self.monitor.classes)
+        supported = np.ones(len(inputs), dtype=bool)
+        if monitored_mask.any():
+            supported[monitored_mask] = self.monitor.check(
+                patterns[monitored_mask], predictions[monitored_mask]
+            )
+        return [
+            Verdict(
+                predicted_class=int(predictions[i]),
+                confidence=float(confidences[i]),
+                supported=bool(supported[i]),
+                monitored=bool(monitored_mask[i]),
+            )
+            for i in range(len(inputs))
+        ]
+
+    def classify_one(self, single_input: np.ndarray) -> Verdict:
+        """Convenience wrapper for a single example (no batch axis)."""
+        return self.classify(np.asarray(single_input)[None])[0]
+
+    def warning_rate(self, inputs: np.ndarray, batch_size: int = 256) -> float:
+        """Fraction of decisions flagged out-of-pattern on a batch."""
+        verdicts = self.classify(inputs, batch_size)
+        if not verdicts:
+            return 0.0
+        return sum(v.warning for v in verdicts) / len(verdicts)

@@ -1,0 +1,106 @@
+"""Distribution-shift detection from the stream of monitor verdicts.
+
+The paper (§I) observes that "the frequent appearance of unseen patterns
+provides an indicator of data distribution shift to the development team".
+:class:`DistributionShiftDetector` operationalises that: it maintains a
+sliding window over the binary out-of-pattern stream and raises an alarm
+when the windowed rate significantly exceeds the rate calibrated on
+validation data (a one-sided binomial z-test), with an optional CUSUM
+accumulator for slowly drifting shifts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ShiftState:
+    """Snapshot of the detector after one update."""
+
+    samples_seen: int
+    window_rate: float
+    z_score: float
+    cusum: float
+    alarm: bool
+
+
+class DistributionShiftDetector:
+    """Windowed out-of-pattern-rate alarm.
+
+    Parameters
+    ----------
+    baseline_rate:
+        Expected out-of-pattern rate without shift (from the γ calibration
+        on validation data, e.g. 0.6% for MNIST at γ=2).
+    window:
+        Sliding window length (number of recent decisions considered).
+    z_threshold:
+        One-sided z-score above which the windowed rate is declared
+        significantly higher than baseline.
+    cusum_slack, cusum_threshold:
+        The CUSUM accumulates ``(x - baseline - slack)`` per observation and
+        alarms when it exceeds the threshold; catches slow drifts that never
+        spike a single window.
+    """
+
+    def __init__(
+        self,
+        baseline_rate: float,
+        window: int = 200,
+        z_threshold: float = 3.0,
+        cusum_slack: float = 0.02,
+        cusum_threshold: float = 8.0,
+    ):
+        if not 0.0 <= baseline_rate < 1.0:
+            raise ValueError(f"baseline_rate must be in [0, 1), got {baseline_rate}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.baseline_rate = baseline_rate
+        self.window = window
+        self.z_threshold = z_threshold
+        self.cusum_slack = cusum_slack
+        self.cusum_threshold = cusum_threshold
+        self._buffer: Deque[bool] = deque(maxlen=window)
+        self._cusum = 0.0
+        self._seen = 0
+
+    def update(self, out_of_pattern: bool) -> ShiftState:
+        """Feed one monitor verdict; returns the current detector state."""
+        self._buffer.append(bool(out_of_pattern))
+        self._seen += 1
+        self._cusum = max(
+            0.0,
+            self._cusum + (float(out_of_pattern) - self.baseline_rate - self.cusum_slack),
+        )
+        n = len(self._buffer)
+        rate = sum(self._buffer) / n
+        # One-sided z-test of the windowed rate against the baseline.
+        std = np.sqrt(max(self.baseline_rate * (1.0 - self.baseline_rate), 1e-12) / n)
+        z = (rate - self.baseline_rate) / std
+        # The z-test waits for a full window: partial-window estimates are
+        # too noisy and would fire spuriously during warm-up.
+        alarm = (n >= self.window and z >= self.z_threshold) or (
+            self._cusum >= self.cusum_threshold
+        )
+        return ShiftState(
+            samples_seen=self._seen,
+            window_rate=rate,
+            z_score=float(z),
+            cusum=self._cusum,
+            alarm=bool(alarm),
+        )
+
+    def update_many(self, flags: Iterable[bool]) -> List[ShiftState]:
+        """Feed a sequence of verdicts; returns the state after each."""
+        return [self.update(flag) for flag in flags]
+
+    def reset(self) -> None:
+        """Clear the window and the CUSUM accumulator."""
+        self._buffer.clear()
+        self._cusum = 0.0
+        self._seen = 0

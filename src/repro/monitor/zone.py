@@ -1,0 +1,141 @@
+"""γ-comfort zones (Definition 2), stored as BDDs.
+
+``Z^0_c`` is the set of activation patterns of all correctly-classified
+training images of class ``c``; ``Z^γ_c`` adds every pattern within Hamming
+distance γ, computed with the existential-quantification trick of
+Algorithm 1 (lines 9-14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.bdd import BDDManager, zone_statistics
+from repro.bdd.analysis import sat_count
+
+
+class ComfortZone:
+    """The comfort zone of one class over the monitored neurons.
+
+    Construction follows Algorithm 1: visited patterns are encoded as BDD
+    cubes and OR-ed into ``Z^0``; γ expansion steps enlarge the zone by
+    Hamming distance 1 each, via per-variable existential quantification.
+
+    Parameters
+    ----------
+    num_neurons:
+        Width of the monitored pattern (BDD variable count).
+    gamma:
+        Hamming-distance enlargement radius.
+    manager:
+        Optionally share one :class:`BDDManager` across zones (the
+        per-class monitors of one network share variables).
+    """
+
+    def __init__(
+        self,
+        num_neurons: int,
+        gamma: int = 0,
+        manager: Optional[BDDManager] = None,
+    ):
+        if num_neurons <= 0:
+            raise ValueError(f"num_neurons must be positive, got {num_neurons}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        if manager is not None and manager.num_vars != num_neurons:
+            raise ValueError(
+                f"shared manager has {manager.num_vars} variables, need {num_neurons}"
+            )
+        self.num_neurons = num_neurons
+        self.gamma = gamma
+        self.manager = manager if manager is not None else BDDManager(num_neurons)
+        self._visited = self.manager.empty_set()   # Z^0
+        self._zone = self.manager.empty_set()      # Z^gamma
+        self._dirty = False
+        self.num_visited_patterns = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_pattern(self, pattern: Sequence[int]) -> None:
+        """Record one visited activation pattern (Algorithm 1, line 6)."""
+        cube = self.manager.from_pattern(pattern)
+        self._visited = self.manager.apply_or(self._visited, cube)
+        self.num_visited_patterns += 1
+        self._dirty = True
+
+    def add_patterns(self, patterns: Iterable[Sequence[int]]) -> None:
+        """Record many visited patterns."""
+        for pattern in patterns:
+            self.add_pattern(pattern)
+
+    def _rebuild(self) -> None:
+        self._zone = self.manager.hamming_ball(self._visited, self.gamma)
+        self._dirty = False
+
+    def set_gamma(self, gamma: int) -> None:
+        """Change the enlargement radius (zone is lazily recomputed)."""
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        if gamma != self.gamma:
+            self.gamma = gamma
+            self._dirty = True
+
+    def enlarge(self) -> None:
+        """Increase γ by one (used by the calibration loop)."""
+        self.set_gamma(self.gamma + 1)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def zone_ref(self) -> int:
+        """BDD ref of ``Z^γ`` (rebuilt on demand)."""
+        if self._dirty:
+            self._rebuild()
+        return self._zone
+
+    @property
+    def visited_ref(self) -> int:
+        """BDD ref of ``Z^0`` (the raw visited set)."""
+        return self._visited
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """Membership in ``Z^γ`` — the runtime monitor query.
+
+        Linear in the number of monitored neurons, per the BDD guarantee
+        the paper highlights.
+        """
+        return self.manager.contains(self.zone_ref, pattern)
+
+    def contains_batch(self, patterns: np.ndarray) -> np.ndarray:
+        """Vectorised membership for a ``(N, d)`` pattern array."""
+        ref = self.zone_ref
+        return np.fromiter(
+            (self.manager.contains(ref, row) for row in patterns),
+            dtype=bool,
+            count=len(patterns),
+        )
+
+    def is_empty(self) -> bool:
+        """True when no pattern was ever added."""
+        return self._visited == self.manager.empty_set()
+
+    def size(self) -> int:
+        """Exact number of patterns in ``Z^γ``."""
+        return sat_count(self.manager, self.zone_ref)
+
+    def statistics(self) -> Dict[str, float]:
+        """Zone statistics (pattern count, node count, density, support)."""
+        stats = zone_statistics(self.manager, self.zone_ref)
+        stats["gamma"] = self.gamma
+        stats["visited_patterns"] = sat_count(self.manager, self._visited)
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"ComfortZone(neurons={self.num_neurons}, gamma={self.gamma}, "
+            f"visited={self.num_visited_patterns})"
+        )

@@ -1,0 +1,144 @@
+"""Dataset and batching utilities (the PyTorch ``torch.utils.data`` analogue).
+
+Everything takes an explicit seed/generator: the paper's evaluation protocol
+(train split -> monitor construction; validation split -> gamma calibration
+and Table II metrics) must be reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract indexed dataset of ``(input, label)`` pairs."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over parallel input/label arrays."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) differ in length"
+            )
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.inputs[index], int(self.labels[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full underlying ``(inputs, labels)`` arrays."""
+        return self.inputs, self.labels
+
+
+class Subset(Dataset):
+    """A view of a dataset restricted to a list of indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[self.indices[index]]
+
+
+def random_split(
+    dataset: Dataset, fractions: Sequence[float], seed: int = 0
+) -> List[Subset]:
+    """Split a dataset into disjoint random subsets by fraction.
+
+    Fractions must sum to 1 (within rounding); the last split absorbs the
+    remainder so every example is assigned exactly once.
+    """
+    if any(f < 0 for f in fractions):
+        raise ValueError(f"fractions must be non-negative, got {fractions}")
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(len(dataset))
+    splits: List[Subset] = []
+    start = 0
+    for i, fraction in enumerate(fractions):
+        if i == len(fractions) - 1:
+            end = len(dataset)
+        else:
+            end = start + int(round(fraction * len(dataset)))
+        splits.append(Subset(dataset, permutation[start:end].tolist()))
+        start = end
+    return splits
+
+
+def stack_dataset(dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialise any dataset into dense ``(inputs, labels)`` arrays."""
+    if isinstance(dataset, ArrayDataset):
+        return dataset.arrays()
+    inputs, labels = [], []
+    for i in range(len(dataset)):
+        x, y = dataset[i]
+        inputs.append(x)
+        labels.append(y)
+    return np.stack(inputs), np.asarray(labels, dtype=np.int64)
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Yields ``(inputs, labels)`` numpy batch pairs; re-iterable, reshuffling
+    with a fresh stream each epoch (deterministically derived from ``seed``).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if self.shuffle:
+            rng = np.random.default_rng((self._seed, self._epoch))
+            order = rng.permutation(n)
+            self._epoch += 1
+        else:
+            order = np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            xs, ys = zip(*(self.dataset[int(i)] for i in indices))
+            yield np.stack(xs), np.asarray(ys, dtype=np.int64)

@@ -1,0 +1,123 @@
+"""Additional layers beyond the paper's Table I needs.
+
+A production framework must cover common architectures: dropout for
+regularisation, average pooling, and the usual activation modules.  Note
+the monitor's Definition 1 specifically binarises ReLU outputs; leaky and
+smooth activations are provided for the substrate's completeness, and the
+monitor can still be attached to any ReLU layer in a mixed network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class Dropout(Module):
+    """Inverted dropout: active in train mode, identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"drop probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class AvgPool2d(Module):
+    """Average pooling over square windows (stride defaults to kernel)."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        sn, sc, sh, sw = x.data.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x.data,
+            shape=(n, c, out_h, out_w, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        )
+        out = windows.mean(axis=(4, 5))
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            grad_x = np.zeros_like(x.data)
+            share = grad / (k * k)
+            for i in range(k):
+                for j in range(k):
+                    grad_x[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += share
+            x._accumulate(grad_x)
+
+        return Tensor._make(out, (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class LeakyReLU(Module):
+    """Leaky rectifier: ``x if x > 0 else slope * x``."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        if negative_slope < 0:
+            raise ValueError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        slope = self.negative_slope
+        mask = x.data > 0
+        factor = mask + (~mask) * slope
+        out = x.data * factor
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(grad * factor)
+
+        return Tensor._make(out, (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(slope={self.negative_slope})"
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"

@@ -1,0 +1,67 @@
+"""Activation taps: capture a layer's output during forward passes.
+
+The monitor never modifies the network — it observes the monitored ReLU
+layer through a forward hook, exactly as one would with PyTorch hooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class ActivationTap:
+    """Record the outputs of one module across forward passes.
+
+    Use as a context manager so the hook is always removed::
+
+        with ActivationTap(model[5]) as tap:
+            model(Tensor(batch))
+        activations = tap.concatenated()
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.outputs: List[np.ndarray] = []
+        self._remove = None
+
+    def __enter__(self) -> "ActivationTap":
+        self.attach()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
+
+    def attach(self) -> None:
+        """Start recording (no-op if already attached)."""
+        if self._remove is not None:
+            return
+
+        def hook(_module: Module, _inp: Tensor, out: Tensor) -> None:
+            self.outputs.append(out.data.copy())
+
+        self._remove = self.module.register_forward_hook(hook)
+
+    def detach(self) -> None:
+        """Stop recording and remove the hook."""
+        if self._remove is not None:
+            self._remove()
+            self._remove = None
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.outputs.clear()
+
+    def last(self) -> Optional[np.ndarray]:
+        """The most recent captured output, or None."""
+        return self.outputs[-1] if self.outputs else None
+
+    def concatenated(self) -> np.ndarray:
+        """All captured outputs stacked along the batch axis."""
+        if not self.outputs:
+            raise RuntimeError("no activations captured; run a forward pass first")
+        return np.concatenate(self.outputs, axis=0)

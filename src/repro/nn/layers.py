@@ -1,0 +1,300 @@
+"""Neural-network modules: the layer types Table I of the paper uses.
+
+The :class:`Module` base class provides parameter discovery, train/eval mode
+switching, and *forward hooks* — the mechanism the monitor uses to tap the
+activations of the monitored layer without modifying the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+ForwardHook = Callable[["Module", Tensor, Tensor], None]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+        self._hooks: List[ForwardHook] = []
+
+    # -- forward ---------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = self.forward(x)
+        for hook in self._hooks:
+            hook(self, x, out)
+        return out
+
+    def register_forward_hook(self, hook: ForwardHook) -> Callable[[], None]:
+        """Attach ``hook(module, input, output)``; returns a remover."""
+        self._hooks.append(hook)
+
+        def remove() -> None:
+            if hook in self._hooks:
+                self._hooks.remove(hook)
+
+        return remove
+
+    # -- parameter / module discovery -------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor in this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(dotted_name, tensor)`` pairs for all trainable tensors."""
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield f"{prefix}{name}", value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{prefix}{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{prefix}{name}.{i}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        for _, module in self.named_modules():
+            yield module
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs for self and descendants."""
+        yield prefix.rstrip("."), self
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{prefix}{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{prefix}{name}.{i}.")
+
+    # -- state -------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy all trainable parameters and buffers into a flat dict."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers().items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                state[key] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers previously produced by state_dict."""
+        params = dict(self.named_parameters())
+        consumed = set()
+        for name, param in params.items():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if state[name].shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{state[name].shape} vs {param.data.shape}"
+                )
+            param.data[...] = state[name]
+            consumed.add(name)
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers().items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                if key in state:
+                    buf[...] = state[key]
+                    consumed.add(key)
+        extra = set(state) - consumed
+        if extra:
+            raise KeyError(f"unexpected keys in state dict: {sorted(extra)}")
+
+    def _buffers(self) -> Dict[str, np.ndarray]:
+        """Non-trainable persistent arrays (overridden by BatchNorm)."""
+        return {}
+
+    # -- modes --------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch self and all children to training mode."""
+        for _, module in self.named_modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch self and all children to inference mode."""
+        for _, module in self.named_modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b`` (the paper's ``fc(n)``)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.kaiming_uniform((out_features, in_features), in_features, rng),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = Tensor(
+            init.uniform_bias((out_features,), in_features, rng),
+            requires_grad=True,
+            name="bias",
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight.transpose() + self.bias
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution (``Conv(n)`` in Table I: kernel 5x5, stride 1)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 5,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = Tensor(init.uniform_bias((out_channels,), fan_in, rng), requires_grad=True, name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=(self.stride, self.stride), padding=self.padding
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling (``MaxPool`` in Table I: 2x2, stride 2)."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class ReLU(Module):
+    """Rectified linear unit — the layer whose on/off pattern is monitored."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over channels (``BN`` in Table I's GTSRB net)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Tensor(np.ones((1, num_features, 1, 1)), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros((1, num_features, 1, 1)), requires_grad=True, name="beta")
+        self.running_mean = np.zeros((1, num_features, 1, 1))
+        self.running_var = np.ones((1, num_features, 1, 1))
+
+    def _buffers(self) -> Dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean.data
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var.data
+            x_hat = centered * (var + self.eps) ** -0.5
+        else:
+            x_hat = (x - Tensor(self.running_mean)) * Tensor(
+                (self.running_var + self.eps) ** -0.5
+            )
+        return x_hat * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class Sequential(Module):
+    """Run submodules in order; supports indexing and named access."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"

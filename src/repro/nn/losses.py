@@ -1,0 +1,50 @@
+"""Loss functions with analytic gradients.
+
+``CrossEntropyLoss`` operates on raw logits (combined log-softmax + NLL, like
+PyTorch) and is implemented as an autograd primitive: the softmax-minus-onehot
+gradient is both faster and more numerically stable than composing
+elementary ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy between logits and integer class labels."""
+
+    def __call__(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got shape {logits.shape}")
+        n, c = logits.shape
+        if labels.shape != (n,):
+            raise ValueError(f"labels must be ({n},), got {labels.shape}")
+        log_probs = F.log_softmax(logits.data, axis=1)
+        loss_value = -log_probs[np.arange(n), labels].mean()
+
+        def backward(grad: np.ndarray) -> None:
+            if not logits.requires_grad:
+                return
+            probs = np.exp(log_probs)
+            probs[np.arange(n), labels] -= 1.0
+            logits._accumulate(grad * probs / n)
+
+        return Tensor._make(np.asarray(loss_value), (logits,), backward)
+
+
+class MSELoss:
+    """Mean squared error between a tensor and a target array."""
+
+    def __call__(self, prediction: Tensor, target: np.ndarray) -> Tensor:
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+            )
+        diff = prediction - Tensor(target)
+        return (diff * diff).mean()

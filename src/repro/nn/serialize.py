@@ -1,0 +1,29 @@
+"""Model checkpointing as ``.npz`` archives (no pickle, no framework lock-in)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_model(model: Module, path: PathLike) -> None:
+    """Write every parameter and buffer of ``model`` to an ``.npz`` file."""
+    state = model.state_dict()
+    np.savez(path, **state)
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load a checkpoint produced by :func:`save_model` into ``model``.
+
+    The architecture must match: missing/extra/mis-shaped entries raise.
+    """
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

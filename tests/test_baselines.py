@@ -1,0 +1,134 @@
+"""Tests for statistical baselines and the Hamming-set reference monitor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HammingSetMonitor, LogitMarginDetector, MaxSoftmaxDetector
+from repro.monitor import NeuronActivationMonitor, extract_patterns
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+RNG = np.random.default_rng(0)
+
+
+class TestMaxSoftmax:
+    def test_scores_are_max_probabilities(self):
+        logits = np.array([[2.0, 0.0], [0.0, 5.0]])
+        scores = MaxSoftmaxDetector().scores(logits)
+        assert (scores > 0.5).all() and (scores <= 1.0).all()
+
+    def test_fit_threshold_matches_rate(self):
+        logits = RNG.normal(size=(1000, 5))
+        detector = MaxSoftmaxDetector()
+        detector.fit_threshold(logits, target_warning_rate=0.1)
+        rate = detector.warnings(logits).mean()
+        assert abs(rate - 0.1) < 0.02
+
+    def test_fit_threshold_validates(self):
+        with pytest.raises(ValueError):
+            MaxSoftmaxDetector().fit_threshold(np.zeros((2, 2)), 1.5)
+
+    def test_evaluate_counts(self):
+        logits = np.array([[5.0, 0.0], [0.1, 0.0], [0.0, 5.0]])
+        labels = np.array([0, 1, 1])  # middle misclassified (pred 0)
+        detector = MaxSoftmaxDetector(threshold=0.9)
+        ev = detector.evaluate(logits, labels)
+        assert ev.total == 3
+        assert ev.misclassified == 1
+        assert ev.out_of_pattern == 1          # only the low-confidence row
+        assert ev.out_of_pattern_misclassified == 1
+        assert ev.gamma == -1
+
+
+class TestLogitMargin:
+    def test_margin_computation(self):
+        logits = np.array([[3.0, 1.0, 0.0]])
+        np.testing.assert_allclose(LogitMarginDetector().scores(logits), [2.0])
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            LogitMarginDetector().scores(np.zeros((2, 1)))
+
+    def test_fit_threshold_matches_rate(self):
+        logits = RNG.normal(size=(1000, 4))
+        detector = LogitMarginDetector()
+        detector.fit_threshold(logits, 0.2)
+        assert abs(detector.warnings(logits).mean() - 0.2) < 0.03
+
+    def test_fit_threshold_validates(self):
+        with pytest.raises(ValueError):
+            LogitMarginDetector().fit_threshold(np.zeros((2, 2)), -0.1)
+
+    def test_evaluate_runs(self):
+        logits = RNG.normal(size=(50, 3))
+        labels = RNG.integers(0, 3, size=50)
+        ev = LogitMarginDetector(threshold=0.5).evaluate(logits, labels)
+        assert ev.total == 50
+
+
+class TestHammingSetMonitor:
+    @pytest.fixture
+    def system(self):
+        rng = np.random.default_rng(1)
+        monitored = ReLU()
+        model = Sequential(Linear(3, 8, rng=rng), monitored, Linear(8, 2, rng=rng))
+        x = rng.normal(size=(150, 3))
+        y = (x.sum(axis=1) > 0).astype(np.int64)
+        train = ArrayDataset(x[:100], y[:100])
+        val_inputs = x[100:]
+        val_labels = y[100:]
+        return model, monitored, train, val_inputs, val_labels
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            HammingSetMonitor(0, [0])
+        with pytest.raises(ValueError):
+            HammingSetMonitor(4, [0], gamma=-1)
+        m = HammingSetMonitor(4, [0])
+        with pytest.raises(ValueError):
+            m.set_gamma(-1)
+
+    @pytest.mark.parametrize("gamma", [0, 1, 2, 3])
+    def test_agrees_with_bdd_monitor(self, system, gamma):
+        """The critical cross-check: BDD zones == exact Hamming semantics."""
+        model, monitored, train, val_inputs, val_labels = system
+        bdd_monitor = NeuronActivationMonitor.build(model, monitored, train, gamma=gamma)
+        set_monitor = HammingSetMonitor.build(model, monitored, train, gamma=gamma)
+        patterns, logits = extract_patterns(model, monitored, val_inputs)
+        predictions = logits.argmax(axis=1)
+        np.testing.assert_array_equal(
+            bdd_monitor.check(patterns, predictions),
+            set_monitor.check(patterns, predictions),
+        )
+
+    def test_agrees_with_neuron_subset(self, system):
+        model, monitored, train, val_inputs, _ = system
+        subset = [0, 2, 5, 7]
+        bdd_monitor = NeuronActivationMonitor.build(
+            model, monitored, train, gamma=1, monitored_neurons=subset
+        )
+        set_monitor = HammingSetMonitor.build(
+            model, monitored, train, gamma=1, monitored_neurons=subset
+        )
+        patterns, logits = extract_patterns(model, monitored, val_inputs)
+        predictions = logits.argmax(axis=1)
+        np.testing.assert_array_equal(
+            bdd_monitor.check(patterns, predictions),
+            set_monitor.check(patterns, predictions),
+        )
+
+    def test_min_distance(self):
+        monitor = HammingSetMonitor(3, [0])
+        monitor._patterns[0] = np.array([[1, 0, 0], [0, 1, 1]], dtype=np.uint8)
+        assert monitor.min_distance(np.array([1, 0, 0]), 0) == 0
+        assert monitor.min_distance(np.array([1, 1, 0]), 0) == 1
+
+    def test_empty_class_never_matches(self):
+        monitor = HammingSetMonitor(3, [0], gamma=3)
+        result = monitor.check(np.zeros((2, 3), dtype=np.uint8), np.array([0, 0]))
+        assert not result.any()
+
+    def test_num_visited(self, system):
+        model, monitored, train, _, _ = system
+        monitor = HammingSetMonitor.build(model, monitored, train)
+        assert monitor.num_visited(0) > 0
+        assert monitor.num_visited(1) > 0

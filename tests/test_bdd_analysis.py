@@ -1,0 +1,107 @@
+"""Tests for BDD model counting, enumeration, support and DOT export."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager, enumerate_models, node_count, sat_count, to_dot, zone_statistics
+from repro.bdd.analysis import support
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager(4)
+
+
+class TestSatCount:
+    def test_terminals(self, mgr):
+        assert sat_count(mgr, mgr.FALSE) == 0
+        assert sat_count(mgr, mgr.TRUE) == 16
+
+    def test_single_variable(self, mgr):
+        assert sat_count(mgr, mgr.var(0)) == 8
+        assert sat_count(mgr, mgr.var(3)) == 8
+
+    def test_cube_counts_one(self, mgr):
+        assert sat_count(mgr, mgr.from_pattern([0, 1, 1, 0])) == 1
+
+    def test_union_of_distinct_patterns(self, mgr):
+        patterns = [(0, 0, 0, 0), (1, 0, 0, 1), (1, 1, 1, 1)]
+        assert sat_count(mgr, mgr.from_patterns(patterns)) == 3
+
+    def test_inclusion_exclusion(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        union = sat_count(mgr, mgr.apply_or(a, b))
+        inter = sat_count(mgr, mgr.apply_and(a, b))
+        assert union + inter == sat_count(mgr, a) + sat_count(mgr, b)
+
+    def test_big_width_uses_exact_ints(self):
+        mgr = BDDManager(130)
+        assert sat_count(mgr, mgr.TRUE) == 2 ** 130
+        assert sat_count(mgr, mgr.var(0)) == 2 ** 129
+
+
+class TestEnumeration:
+    def test_enumeration_matches_membership(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(2))
+        models = set(enumerate_models(mgr, f))
+        for bits in itertools.product([0, 1], repeat=4):
+            assert (bits in models) == mgr.contains(f, bits)
+
+    def test_enumeration_count_matches_sat_count(self, mgr):
+        f = mgr.apply_or(mgr.var(1), mgr.apply_and(mgr.var(0), mgr.var(3)))
+        assert len(list(enumerate_models(mgr, f))) == sat_count(mgr, f)
+
+    def test_false_enumerates_nothing(self, mgr):
+        assert list(enumerate_models(mgr, mgr.FALSE)) == []
+
+    def test_true_enumerates_everything(self, mgr):
+        assert len(set(enumerate_models(mgr, mgr.TRUE))) == 16
+
+
+class TestStructure:
+    def test_node_count_terminal_is_zero(self, mgr):
+        assert node_count(mgr, mgr.TRUE) == 0
+
+    def test_node_count_var_is_one(self, mgr):
+        assert node_count(mgr, mgr.var(2)) == 1
+
+    def test_support_of_cube_is_all_vars(self, mgr):
+        f = mgr.from_pattern([1, 0, 1, 0])
+        assert support(mgr, f) == [0, 1, 2, 3]
+
+    def test_support_excludes_dont_care(self, mgr):
+        f = mgr.exists(mgr.from_pattern([1, 0, 1, 0]), 1)
+        assert support(mgr, f) == [0, 2, 3]
+
+    def test_zone_statistics_fields(self, mgr):
+        f = mgr.from_patterns([(1, 0, 1, 0), (1, 0, 1, 1)])
+        stats = zone_statistics(mgr, f)
+        assert stats["patterns"] == 2
+        assert stats["density"] == 2 / 16
+        assert stats["support_size"] <= 4
+        assert stats["nodes"] >= 1
+
+    def test_zone_statistics_universal(self, mgr):
+        stats = zone_statistics(mgr, mgr.TRUE)
+        assert stats["density"] == 1.0
+        assert stats["nodes"] == 0
+
+
+class TestDot:
+    def test_dot_contains_terminals_and_edges(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        text = to_dot(mgr, f)
+        assert text.startswith("digraph")
+        assert 'label="0"' in text and 'label="1"' in text
+        assert "style=dashed" in text and "style=solid" in text
+        assert "x0" in text and "x1" in text
+
+    def test_dot_of_terminal(self, mgr):
+        text = to_dot(mgr, mgr.TRUE)
+        assert "root" in text
+
+    def test_dot_uses_custom_names(self):
+        mgr = BDDManager(2, var_names=["neuron_a", "neuron_b"])
+        text = to_dot(mgr, mgr.apply_or(mgr.var(0), mgr.var(1)))
+        assert "neuron_a" in text and "neuron_b" in text

@@ -1,0 +1,185 @@
+"""Unit tests for the ROBDD manager core: nodes, ite, connectives."""
+
+import pytest
+
+from repro.bdd import BDDManager
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager(4)
+
+
+class TestConstruction:
+    def test_terminals_exist(self, mgr):
+        assert mgr.FALSE == 0
+        assert mgr.TRUE == 1
+        assert mgr.is_terminal(mgr.FALSE)
+        assert mgr.is_terminal(mgr.TRUE)
+
+    def test_initial_node_count_is_two_terminals(self, mgr):
+        assert len(mgr) == 2
+
+    def test_var_creates_internal_node(self, mgr):
+        x = mgr.var(0)
+        assert not mgr.is_terminal(x)
+        assert mgr.level_of(x) == 0
+        assert mgr.low_of(x) == mgr.FALSE
+        assert mgr.high_of(x) == mgr.TRUE
+
+    def test_var_is_hash_consed(self, mgr):
+        assert mgr.var(2) == mgr.var(2)
+
+    def test_nvar_is_negation_of_var(self, mgr):
+        assert mgr.nvar(1) == mgr.apply_not(mgr.var(1))
+
+    def test_var_out_of_range_raises(self, mgr):
+        with pytest.raises(IndexError):
+            mgr.var(4)
+        with pytest.raises(IndexError):
+            mgr.var(-1)
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(ValueError):
+            BDDManager(-1)
+
+    def test_var_names_length_checked(self):
+        with pytest.raises(ValueError):
+            BDDManager(3, var_names=["a", "b"])
+
+    def test_custom_var_names_kept(self):
+        mgr = BDDManager(2, var_names=["n7", "n9"])
+        assert mgr.var_names == ["n7", "n9"]
+
+    def test_zero_variable_manager(self):
+        mgr = BDDManager(0)
+        assert mgr.contains(mgr.TRUE, [])
+        assert not mgr.contains(mgr.FALSE, [])
+
+
+class TestIte:
+    def test_ite_true_guard(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.ite(mgr.TRUE, x, y) == x
+
+    def test_ite_false_guard(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.ite(mgr.FALSE, x, y) == y
+
+    def test_ite_same_branches(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.ite(x, y, y) == y
+
+    def test_ite_identity(self, mgr):
+        x = mgr.var(2)
+        assert mgr.ite(x, mgr.TRUE, mgr.FALSE) == x
+
+    def test_canonicity_two_routes_same_function(self, mgr):
+        # x0 OR x1 built two different ways must be the same node.
+        x0, x1 = mgr.var(0), mgr.var(1)
+        a = mgr.apply_or(x0, x1)
+        b = mgr.apply_not(mgr.apply_and(mgr.apply_not(x0), mgr.apply_not(x1)))
+        assert a == b
+
+
+class TestConnectives:
+    @pytest.mark.parametrize("bits", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_truth_tables(self, mgr, bits):
+        a, b = bits
+        x0, x1 = mgr.var(0), mgr.var(1)
+        pattern = [a, b, 0, 0]
+        assert mgr.contains(mgr.apply_and(x0, x1), pattern) == (a and b)
+        assert mgr.contains(mgr.apply_or(x0, x1), pattern) == (a or b)
+        assert mgr.contains(mgr.apply_xor(x0, x1), pattern) == (a ^ b)
+        assert mgr.contains(mgr.apply_implies(x0, x1), pattern) == ((not a) or b)
+        assert mgr.contains(mgr.apply_iff(x0, x1), pattern) == (a == b)
+
+    def test_double_negation(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.nvar(3))
+        assert mgr.apply_not(mgr.apply_not(f)) == f
+
+    def test_excluded_middle(self, mgr):
+        x = mgr.var(1)
+        assert mgr.apply_or(x, mgr.apply_not(x)) == mgr.TRUE
+        assert mgr.apply_and(x, mgr.apply_not(x)) == mgr.FALSE
+
+
+class TestRestrictAndQuantify:
+    def test_restrict_var_itself(self, mgr):
+        x = mgr.var(0)
+        assert mgr.restrict(x, 0, True) == mgr.TRUE
+        assert mgr.restrict(x, 0, False) == mgr.FALSE
+
+    def test_restrict_independent_var(self, mgr):
+        x = mgr.var(0)
+        assert mgr.restrict(x, 3, True) == x
+
+    def test_exists_is_or_of_cofactors(self, mgr):
+        f = mgr.apply_or(
+            mgr.apply_and(mgr.var(0), mgr.var(1)),
+            mgr.apply_and(mgr.nvar(0), mgr.var(2)),
+        )
+        expected = mgr.apply_or(mgr.restrict(f, 1, False), mgr.restrict(f, 1, True))
+        assert mgr.exists(f, 1) == expected
+
+    def test_forall_dual(self, mgr):
+        f = mgr.apply_or(mgr.var(0), mgr.var(1))
+        expected = mgr.apply_and(mgr.restrict(f, 0, False), mgr.restrict(f, 0, True))
+        assert mgr.forall(f, 0) == expected
+
+    def test_exists_many_order_independent(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(2)))
+        assert mgr.exists_many(f, [0, 2]) == mgr.exists(mgr.exists(f, 0), 2)
+        assert mgr.exists_many(f, [2, 0]) == mgr.exists_many(f, [0, 2])
+
+    def test_exists_on_independent_var_is_identity(self, mgr):
+        f = mgr.var(1)
+        assert mgr.exists(f, 3) == f
+
+
+class TestFunctionWrapper:
+    def test_operators_match_manager_calls(self, mgr):
+        a, b = mgr.variable(0), mgr.variable(1)
+        assert (a & b).ref == mgr.apply_and(a.ref, b.ref)
+        assert (a | b).ref == mgr.apply_or(a.ref, b.ref)
+        assert (a ^ b).ref == mgr.apply_xor(a.ref, b.ref)
+        assert (~a).ref == mgr.apply_not(a.ref)
+        assert a.implies(b).ref == mgr.apply_implies(a.ref, b.ref)
+        assert a.iff(b).ref == mgr.apply_iff(a.ref, b.ref)
+
+    def test_equality_is_canonical(self, mgr):
+        a, b = mgr.variable(0), mgr.variable(1)
+        assert (a | b) == (b | a)
+        assert hash(a | b) == hash(b | a)
+
+    def test_true_false_helpers(self, mgr):
+        assert mgr.true().is_true()
+        assert mgr.false().is_false()
+        assert (mgr.variable(0) | ~mgr.variable(0)).is_true()
+
+    def test_cross_manager_rejected(self, mgr):
+        other = BDDManager(4)
+        with pytest.raises(ValueError):
+            mgr.variable(0) & other.variable(0)
+
+    def test_non_function_operand_rejected(self, mgr):
+        with pytest.raises(TypeError):
+            mgr.variable(0) & 1  # type: ignore[operator]
+
+    def test_contains_and_restrict_delegate(self, mgr):
+        f = mgr.variable(0) & mgr.variable(1)
+        assert f.contains([1, 1, 0, 0])
+        assert not f.contains([1, 0, 0, 0])
+        assert f.restrict(0, True) == mgr.variable(1)
+        assert f.exists(0) == mgr.variable(1)
+
+    def test_repr_mentions_ref(self, mgr):
+        assert "ref=" in repr(mgr.variable(0))
+
+
+class TestCaches:
+    def test_clear_caches_preserves_semantics(self, mgr):
+        f = mgr.apply_or(mgr.var(0), mgr.var(1))
+        mgr.clear_caches()
+        g = mgr.apply_or(mgr.var(0), mgr.var(1))
+        assert f == g  # unique table survives, canonicity holds

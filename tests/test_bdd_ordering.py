@@ -1,0 +1,105 @@
+"""Tests for BDD variable-ordering heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.bdd.ordering import (
+    activation_frequencies,
+    balance_order,
+    correlation_order,
+    evaluate_ordering,
+    random_order,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def correlated_patterns(n=200, width=12, seed=1):
+    """Patterns where adjacent column pairs are strongly correlated."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, width // 2)) < 0.5
+    noisy = base ^ (rng.random((n, width // 2)) < 0.05)
+    interleaved = np.empty((n, width), dtype=np.uint8)
+    interleaved[:, 0::2] = base
+    interleaved[:, 1::2] = noisy
+    return interleaved
+
+
+class TestFrequencies:
+    def test_values(self):
+        patterns = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        np.testing.assert_allclose(activation_frequencies(patterns), [1.0, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            activation_frequencies(np.zeros((0, 3)))
+
+
+class TestOrders:
+    def test_balance_order_puts_balanced_first(self):
+        patterns = np.array(
+            [[1, 0, 1], [1, 1, 0], [1, 0, 1], [1, 1, 0]], dtype=np.uint8
+        )  # col0 always 1 (imbalanced); col1, col2 balanced
+        order = balance_order(patterns)
+        assert order[-1] == 0
+
+    def test_balance_order_reversed(self):
+        patterns = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        first = balance_order(patterns, balanced_first=True)
+        last = balance_order(patterns, balanced_first=False)
+        np.testing.assert_array_equal(first, last[::-1])
+
+    def test_correlation_order_is_permutation(self):
+        patterns = correlated_patterns()
+        order = correlation_order(patterns)
+        assert sorted(order.tolist()) == list(range(patterns.shape[1]))
+
+    def test_correlation_order_chains_pairs(self):
+        # Strongly correlated columns (2k, 2k+1) should often be adjacent.
+        patterns = correlated_patterns()
+        order = correlation_order(patterns).tolist()
+        adjacent_pairs = 0
+        for k in range(patterns.shape[1] // 2):
+            a, b = order.index(2 * k), order.index(2 * k + 1)
+            if abs(a - b) == 1:
+                adjacent_pairs += 1
+        assert adjacent_pairs >= patterns.shape[1] // 4
+
+    def test_correlation_order_single_column(self):
+        np.testing.assert_array_equal(
+            correlation_order(np.array([[1], [0]], dtype=np.uint8)), [0]
+        )
+
+    def test_random_order_determinism(self):
+        np.testing.assert_array_equal(random_order(8, seed=3), random_order(8, seed=3))
+        with pytest.raises(ValueError):
+            random_order(0)
+
+
+class TestEvaluateOrdering:
+    def test_identity_order_matches_direct_build(self):
+        patterns = (RNG.random((50, 10)) < 0.5).astype(np.uint8)
+        result = evaluate_ordering(patterns, np.arange(10))
+        from repro.bdd import BDDManager, node_count
+
+        mgr = BDDManager(10)
+        zone = mgr.from_patterns(patterns)
+        assert result["nodes"] == node_count(mgr, zone)
+
+    def test_rejects_non_permutation(self):
+        patterns = np.zeros((2, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            evaluate_ordering(patterns, [0, 0, 1])
+
+    def test_correlation_order_beats_worst_case_on_structured_data(self):
+        # On strongly pair-correlated data, the correlation chain should
+        # produce a BDD no bigger than an adversarial interleaving.
+        patterns = correlated_patterns(width=16)
+        good = evaluate_ordering(patterns, correlation_order(patterns))["nodes"]
+        # Adversarial: all 'base' columns first, all 'copy' columns last —
+        # correlated partners maximally far apart.
+        adversarial = np.concatenate(
+            [np.arange(0, 16, 2), np.arange(1, 16, 2)]
+        )
+        bad = evaluate_ordering(patterns, adversarial)["nodes"]
+        assert good <= bad

@@ -1,0 +1,141 @@
+"""Tests for the set-of-patterns interface: cube encoding, membership,
+Hamming expansion — the primitives Algorithm 1 of the paper is built from."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager, sat_count
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager(5)
+
+
+class TestPatternEncoding:
+    def test_single_pattern_membership(self, mgr):
+        pattern = [1, 0, 1, 1, 0]
+        f = mgr.from_pattern(pattern)
+        assert mgr.contains(f, pattern)
+
+    def test_single_pattern_excludes_everything_else(self, mgr):
+        pattern = (1, 0, 1, 1, 0)
+        f = mgr.from_pattern(pattern)
+        for other in itertools.product([0, 1], repeat=5):
+            assert mgr.contains(f, other) == (other == pattern)
+
+    def test_from_patterns_union(self, mgr):
+        patterns = [(0, 0, 0, 0, 0), (1, 1, 1, 1, 1), (1, 0, 1, 0, 1)]
+        f = mgr.from_patterns(patterns)
+        for other in itertools.product([0, 1], repeat=5):
+            assert mgr.contains(f, other) == (other in patterns)
+
+    def test_from_patterns_empty_is_false(self, mgr):
+        assert mgr.from_patterns([]) == mgr.empty_set()
+
+    def test_duplicate_patterns_idempotent(self, mgr):
+        p = [1, 1, 0, 0, 1]
+        once = mgr.from_patterns([p])
+        twice = mgr.from_patterns([p, p])
+        assert once == twice
+
+    def test_wrong_length_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.from_pattern([1, 0])
+        with pytest.raises(ValueError):
+            mgr.contains(mgr.TRUE, [1, 0])
+
+    def test_non_binary_bit_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.from_pattern([1, 0, 2, 0, 0])
+
+    def test_bool_bits_accepted(self, mgr):
+        f = mgr.from_pattern([True, False, True, False, True])
+        assert mgr.contains(f, [1, 0, 1, 0, 1])
+
+    def test_universal_set_contains_all(self, mgr):
+        u = mgr.universal_set()
+        for other in itertools.product([0, 1], repeat=5):
+            assert mgr.contains(u, other)
+
+
+class TestHammingExpansion:
+    def test_paper_example_exists_creates_distance_one(self):
+        # Paper §II: Z0 = {001}; exists over j=1,2,3 gives {-01},{0-1},{00-};
+        # the union is all patterns at Hamming distance <= 1 from 001.
+        mgr = BDDManager(3)
+        z0 = mgr.from_pattern([0, 0, 1])
+        z1 = mgr.hamming_expand(z0)
+        expected = {(0, 0, 1), (1, 0, 1), (0, 1, 1), (0, 0, 0)}
+        for other in itertools.product([0, 1], repeat=3):
+            assert mgr.contains(z1, other) == (other in expected)
+
+    def test_expand_is_monotone(self, mgr):
+        f = mgr.from_patterns([(1, 0, 1, 0, 1), (0, 0, 0, 0, 0)])
+        g = mgr.hamming_expand(f)
+        # f implies g: every pattern of f is in g.
+        assert mgr.apply_implies(f, g) == mgr.TRUE
+
+    def test_ball_radius_zero_is_identity(self, mgr):
+        f = mgr.from_pattern([1, 1, 0, 0, 0])
+        assert mgr.hamming_ball(f, 0) == f
+
+    def test_ball_counts_follow_binomials(self, mgr):
+        # Ball of radius r around a single 5-bit pattern has C(5,0)+...+C(5,r)
+        # patterns.
+        f = mgr.from_pattern([0, 1, 0, 1, 1])
+        sizes = [sat_count(mgr, mgr.hamming_ball(f, r)) for r in range(6)]
+        assert sizes == [1, 6, 16, 26, 31, 32]
+
+    def test_ball_saturates_at_universal_set(self, mgr):
+        f = mgr.from_pattern([0, 0, 0, 0, 0])
+        assert mgr.hamming_ball(f, 5) == mgr.universal_set()
+        assert mgr.hamming_ball(f, 50) == mgr.universal_set()
+
+    def test_negative_radius_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.hamming_ball(mgr.TRUE, -1)
+
+    def test_expand_respects_monitored_subset(self, mgr):
+        # Only bits 0 and 1 are monitored: bit 4 must stay constrained.
+        f = mgr.from_pattern([0, 0, 0, 0, 0])
+        g = mgr.hamming_expand(f, monitored=[0, 1])
+        assert mgr.contains(g, [1, 0, 0, 0, 0])
+        assert mgr.contains(g, [0, 1, 0, 0, 0])
+        assert not mgr.contains(g, [0, 0, 0, 0, 1])
+
+    def test_expand_with_empty_monitored_is_identity(self, mgr):
+        f = mgr.from_pattern([1, 0, 0, 1, 0])
+        assert mgr.hamming_expand(f, monitored=[]) == f
+
+    def test_expand_empty_set_stays_empty(self, mgr):
+        assert mgr.hamming_expand(mgr.empty_set()) == mgr.empty_set()
+
+    def test_ball_of_two_seeds_is_union_of_balls(self, mgr):
+        a = mgr.from_pattern([0, 0, 0, 0, 0])
+        b = mgr.from_pattern([1, 1, 1, 1, 1])
+        both = mgr.apply_or(a, b)
+        ball_union = mgr.apply_or(mgr.hamming_ball(a, 1), mgr.hamming_ball(b, 1))
+        assert mgr.hamming_ball(both, 1) == ball_union
+
+
+class TestMembershipComplexity:
+    def test_contains_walks_at_most_num_vars_nodes(self):
+        # Membership must be linear in the number of variables (paper §I):
+        # we check it touches no more than num_vars internal nodes by
+        # instrumenting level progression (levels strictly increase).
+        mgr = BDDManager(8)
+        patterns = [tuple(int(b) for b in format(i, "08b")) for i in range(0, 256, 7)]
+        f = mgr.from_patterns(patterns)
+        ref = f
+        steps = 0
+        probe = patterns[3]
+        last_level = -1
+        while not mgr.is_terminal(ref):
+            level = mgr.level_of(ref)
+            assert level > last_level  # ordered: each var inspected once
+            last_level = level
+            ref = mgr.high_of(ref) if probe[level] else mgr.low_of(ref)
+            steps += 1
+        assert steps <= mgr.num_vars

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the ROBDD engine.
+
+The key invariant: the BDD pattern-set operations agree with a naive
+Python-set model of the same operations.  This is the cross-check that makes
+the monitor's "sound over-approximation" claim trustworthy.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager, enumerate_models, sat_count
+
+NUM_VARS = 5
+
+patterns_strategy = st.lists(
+    st.tuples(*([st.integers(min_value=0, max_value=1)] * NUM_VARS)),
+    min_size=0,
+    max_size=12,
+)
+
+
+def naive_hamming_expand(patterns, monitored=None):
+    indices = range(NUM_VARS) if monitored is None else monitored
+    out = set(patterns)
+    for p in patterns:
+        for j in indices:
+            flipped = list(p)
+            flipped[j] ^= 1
+            out.add(tuple(flipped))
+    return out
+
+
+@given(patterns_strategy)
+@settings(max_examples=60, deadline=None)
+def test_from_patterns_matches_set_semantics(patterns):
+    mgr = BDDManager(NUM_VARS)
+    f = mgr.from_patterns(patterns)
+    expected = set(patterns)
+    assert sat_count(mgr, f) == len(expected)
+    for probe in itertools.product([0, 1], repeat=NUM_VARS):
+        assert mgr.contains(f, probe) == (probe in expected)
+
+
+@given(patterns_strategy, patterns_strategy)
+@settings(max_examples=60, deadline=None)
+def test_boolean_ops_match_set_ops(patterns_a, patterns_b):
+    mgr = BDDManager(NUM_VARS)
+    fa, fb = mgr.from_patterns(patterns_a), mgr.from_patterns(patterns_b)
+    set_a, set_b = set(patterns_a), set(patterns_b)
+    assert set(enumerate_models(mgr, mgr.apply_or(fa, fb))) == set_a | set_b
+    assert set(enumerate_models(mgr, mgr.apply_and(fa, fb))) == set_a & set_b
+    assert set(enumerate_models(mgr, mgr.apply_and(fa, mgr.apply_not(fb)))) == set_a - set_b
+
+
+@given(patterns_strategy)
+@settings(max_examples=40, deadline=None)
+def test_hamming_expand_matches_naive_model(patterns):
+    mgr = BDDManager(NUM_VARS)
+    f = mgr.from_patterns(patterns)
+    expanded = mgr.hamming_expand(f)
+    assert set(enumerate_models(mgr, expanded)) == naive_hamming_expand(patterns)
+
+
+@given(patterns_strategy, st.sets(st.integers(min_value=0, max_value=NUM_VARS - 1)))
+@settings(max_examples=40, deadline=None)
+def test_hamming_expand_monitored_subset_matches_naive(patterns, monitored):
+    mgr = BDDManager(NUM_VARS)
+    f = mgr.from_patterns(patterns)
+    expanded = mgr.hamming_expand(f, monitored=sorted(monitored))
+    assert set(enumerate_models(mgr, expanded)) == naive_hamming_expand(
+        patterns, sorted(monitored)
+    )
+
+
+@given(patterns_strategy, st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_hamming_ball_is_distance_closure(patterns, radius):
+    mgr = BDDManager(NUM_VARS)
+    ball = mgr.hamming_ball(mgr.from_patterns(patterns), radius)
+    seeds = set(patterns)
+    for probe in itertools.product([0, 1], repeat=NUM_VARS):
+        in_ball = any(
+            sum(x != y for x, y in zip(probe, seed)) <= radius for seed in seeds
+        )
+        assert mgr.contains(ball, probe) == in_ball
+
+
+@given(patterns_strategy, st.integers(min_value=0, max_value=NUM_VARS - 1))
+@settings(max_examples=60, deadline=None)
+def test_exists_semantics(patterns, index):
+    mgr = BDDManager(NUM_VARS)
+    f = mgr.from_patterns(patterns)
+    g = mgr.exists(f, index)
+    expected = set()
+    for p in patterns:
+        for bit in (0, 1):
+            q = list(p)
+            q[index] = bit
+            expected.add(tuple(q))
+    assert set(enumerate_models(mgr, g)) == expected
+
+
+@given(patterns_strategy, patterns_strategy)
+@settings(max_examples=40, deadline=None)
+def test_canonicity_equal_sets_equal_refs(patterns_a, patterns_b):
+    mgr = BDDManager(NUM_VARS)
+    fa = mgr.from_patterns(patterns_a)
+    fb = mgr.from_patterns(patterns_b)
+    assert (fa == fb) == (set(patterns_a) == set(patterns_b))

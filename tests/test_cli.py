@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (fast paths only).
+
+``train``/``evaluate``/``sweep`` against the standard systems are exercised
+through the benchmark suite; here we verify parsing, ``info``, and the
+end-to-end path on a cached tiny system by monkeypatching the config table.
+"""
+
+import pytest
+
+from repro import cli
+from repro.analysis import ExperimentConfig
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_train_requires_system(self):
+        with pytest.raises(SystemExit):
+            cli.main(["train"])
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["train", "--system", "cifar"])
+
+
+class TestInfo:
+    def test_info_lists_models(self, capsys):
+        assert cli.main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist" in out and "gtsrb" in out and "frontcar" in out
+        assert "repro" in out
+
+
+@pytest.fixture
+def tiny_systems(monkeypatch, tmp_path):
+    """Swap the standard configs for tiny ones and isolate the cache."""
+    tiny = {
+        "mnist": ExperimentConfig(
+            name="mnist", train_size=100, val_size=60, epochs=1, seed=0
+        ),
+    }
+    monkeypatch.setattr(cli, "STANDARD_CONFIGS", tiny)
+    import repro.analysis.experiments as exp
+
+    monkeypatch.setattr(exp, "DEFAULT_CACHE_DIR", str(tmp_path))
+    return tiny
+
+
+class TestCommands:
+    def test_train_prints_accuracies(self, tiny_systems, capsys):
+        assert cli.main(["train", "--system", "mnist"]) == 0
+        out = capsys.readouterr().out
+        assert "train accuracy" in out and "%" in out
+
+    def test_evaluate_prints_table2_row(self, tiny_systems, capsys):
+        assert cli.main(["evaluate", "--system", "mnist", "--gamma", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "#oop/#total" in out
+
+    def test_sweep_reports_chosen_gamma(self, tiny_systems, capsys):
+        assert cli.main(
+            ["sweep", "--system", "mnist", "--max-gamma", "1",
+             "--max-warning-rate", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chosen gamma: 0" in out
+
+    def test_evaluate_with_neuron_fraction(self, tiny_systems, capsys):
+        assert cli.main(
+            ["evaluate", "--system", "mnist", "--gamma", "0",
+             "--neuron-fraction", "0.25", "--classes", "0", "1"]
+        ) == 0
+        assert "#oop/#total" in capsys.readouterr().out

@@ -1,0 +1,245 @@
+"""Tests for the synthetic dataset generators and corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CLASS_SPECS,
+    CORRUPTIONS,
+    FrontCarConfig,
+    GTSRB_NUM_CLASSES,
+    STOP_SIGN_CLASS,
+    corrupt,
+    feature_noise,
+    frontcar_shifted_config,
+    generate_frontcar,
+    generate_gtsrb,
+    generate_mnist,
+    glyph,
+    glyph_names,
+    gtsrb_shifted_config,
+    mnist_shifted_config,
+    render_text,
+)
+from repro.datasets.frontcar import _lane_center
+
+
+class TestGlyphs:
+    def test_glyph_shape(self):
+        assert glyph("5").shape == (7, 5)
+
+    def test_all_glyphs_render(self):
+        for name in glyph_names():
+            g = glyph(name)
+            assert g.shape == (7, 5)
+            assert set(np.unique(g)) <= {0.0, 1.0}
+
+    def test_unknown_glyph_raises(self):
+        with pytest.raises(KeyError):
+            glyph("Z")
+
+    def test_digits_distinct(self):
+        digits = [glyph(str(d)) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(digits[i], digits[j])
+
+    def test_render_text_packs_glyphs(self):
+        out = render_text("50")
+        assert out.shape == (7, 11)  # 5 + 1 + 5
+
+    def test_render_text_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_text("")
+
+
+class TestMnist:
+    def test_shapes_and_range(self):
+        ds = generate_mnist(40, seed=0)
+        assert ds.inputs.shape == (40, 1, 28, 28)
+        assert ds.labels.shape == (40,)
+        assert ds.inputs.min() >= 0.0 and ds.inputs.max() <= 1.0
+
+    def test_balanced_classes(self):
+        ds = generate_mnist(100, seed=1)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic_for_seed(self):
+        a = generate_mnist(10, seed=3)
+        b = generate_mnist(10, seed=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_mnist(10, seed=3)
+        b = generate_mnist(10, seed=4)
+        assert not np.array_equal(a.inputs, b.inputs)
+
+    def test_images_have_content(self):
+        ds = generate_mnist(20, seed=0)
+        # Every image should have some ink (nonzero pixels above noise).
+        assert (ds.inputs.reshape(20, -1).max(axis=1) > 0.5).all()
+
+    def test_intra_class_variation(self):
+        ds = generate_mnist(200, seed=0)
+        sevens = ds.inputs[ds.labels == 7]
+        assert len(sevens) >= 2
+        assert not np.array_equal(sevens[0], sevens[1])
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_mnist(0)
+
+    def test_shifted_config_widens_nuisances(self):
+        base, shifted = generate_mnist(1).inputs, None  # touch default path
+        cfg = mnist_shifted_config(2.0)
+        assert cfg.noise_std > 0.06
+        with pytest.raises(ValueError):
+            mnist_shifted_config(0.5)
+
+
+class TestGtsrb:
+    def test_specs_cover_43_unique_classes(self):
+        assert len(CLASS_SPECS) == GTSRB_NUM_CLASSES == 43
+        assert len(set(CLASS_SPECS)) == 43
+
+    def test_stop_sign_is_red_octagon(self):
+        shape, palette, _ = CLASS_SPECS[STOP_SIGN_CLASS]
+        assert shape == "octagon"
+        assert palette == "red_face"
+
+    def test_shapes_and_range(self):
+        ds = generate_gtsrb(20, seed=0, num_classes=5)
+        assert ds.inputs.shape == (20, 3, 32, 32)
+        assert ds.inputs.min() >= 0.0 and ds.inputs.max() <= 1.0
+
+    def test_balanced_subset_classes(self):
+        ds = generate_gtsrb(30, seed=0, num_classes=3)
+        counts = np.bincount(ds.labels, minlength=3)
+        assert counts.min() == counts.max() == 10
+
+    def test_full_43_classes_render(self):
+        ds = generate_gtsrb(43, seed=0)
+        assert sorted(set(ds.labels.tolist())) == list(range(43))
+
+    def test_deterministic_for_seed(self):
+        a = generate_gtsrb(6, seed=2, num_classes=3)
+        b = generate_gtsrb(6, seed=2, num_classes=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_classes_visually_distinct(self):
+        # Mean image per class should differ between a stop sign and a
+        # blue arrow sign.
+        ds = generate_gtsrb(80, seed=0, num_classes=43)
+        stop = ds.inputs[ds.labels == 14].mean(axis=0)
+        blue = ds.inputs[ds.labels == 35].mean(axis=0)
+        assert np.abs(stop - blue).mean() > 0.02
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_gtsrb(0)
+        with pytest.raises(ValueError):
+            generate_gtsrb(5, num_classes=0)
+        with pytest.raises(ValueError):
+            generate_gtsrb(5, num_classes=44)
+
+    def test_shifted_config(self):
+        cfg = gtsrb_shifted_config(2.0)
+        assert cfg.occlusion_prob > 0.25
+        with pytest.raises(ValueError):
+            gtsrb_shifted_config(0.9)
+
+
+class TestFrontCar:
+    def test_shapes(self):
+        cfg = FrontCarConfig()
+        ds = generate_frontcar(50, seed=0, config=cfg)
+        assert ds.inputs.shape == (50, cfg.feature_dim)
+        assert ds.labels.max() <= cfg.max_vehicles
+
+    def test_feature_dim_formula(self):
+        cfg = FrontCarConfig(max_vehicles=6)
+        assert cfg.feature_dim == 3 + 30
+        assert cfg.num_classes == 7
+
+    def test_no_front_car_class_occurs(self):
+        ds = generate_frontcar(500, seed=1)
+        assert (ds.labels == FrontCarConfig().max_vehicles).any()
+
+    def test_vehicle_classes_occur(self):
+        ds = generate_frontcar(500, seed=1)
+        assert (ds.labels < FrontCarConfig().max_vehicles).any()
+
+    def test_label_geometry_consistent(self):
+        # For scenes with tiny noise, a vehicle labelled as front car must
+        # be present (presence flag set).
+        cfg = FrontCarConfig(measurement_noise=0.0, lane_noise=0.0)
+        ds = generate_frontcar(300, seed=2, config=cfg)
+        for features, label in zip(ds.inputs, ds.labels):
+            if label < cfg.max_vehicles:
+                present = features[3 + 5 * label]
+                assert present == 1.0
+
+    def test_lane_center_quadratic(self):
+        assert _lane_center(0.1, 0.2, 0.0) == pytest.approx(0.1)
+        assert _lane_center(0.1, 0.2, 1.0) == pytest.approx(0.3)
+
+    def test_deterministic(self):
+        a = generate_frontcar(20, seed=5)
+        b = generate_frontcar(20, seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_shifted_config(self):
+        cfg = frontcar_shifted_config(2.0)
+        assert cfg.measurement_noise > FrontCarConfig().measurement_noise
+        with pytest.raises(ValueError):
+            frontcar_shifted_config(0.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_frontcar(-1)
+
+
+class TestCorruptions:
+    @pytest.fixture
+    def batch(self):
+        return generate_mnist(8, seed=0).inputs
+
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_all_corruptions_preserve_shape_and_range(self, batch, kind):
+        out = corrupt(batch, kind, severity=2.0, seed=0)
+        assert out.shape == batch.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0 + 1e-9
+
+    def test_corruption_changes_pixels(self, batch):
+        out = corrupt(batch, "gaussian_noise", severity=1.0, seed=0)
+        assert not np.array_equal(out, batch)
+
+    def test_severity_zero_noise_is_identity(self, batch):
+        out = corrupt(batch, "gaussian_noise", severity=0.0, seed=0)
+        np.testing.assert_allclose(out, batch)
+
+    def test_occlusion_zeroes_patch(self, batch):
+        out = corrupt(batch, "occlusion", severity=2.0, seed=0)
+        assert (out == 0.0).sum() > (batch == 0.0).sum()
+
+    def test_unknown_kind_raises(self, batch):
+        with pytest.raises(KeyError):
+            corrupt(batch, "fog")
+
+    def test_negative_severity_raises(self, batch):
+        with pytest.raises(ValueError):
+            corrupt(batch, "blur", severity=-1.0)
+
+    def test_non_batch_raises(self):
+        with pytest.raises(ValueError):
+            corrupt(np.zeros((28, 28)), "blur")
+
+    def test_feature_noise(self):
+        features = generate_frontcar(30, seed=0).inputs
+        out = feature_noise(features, severity=1.0, seed=0)
+        assert out.shape == features.shape
+        assert not np.array_equal(out, features)
+        with pytest.raises(ValueError):
+            feature_noise(np.zeros((2, 2, 2)))

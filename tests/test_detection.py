@@ -1,0 +1,177 @@
+"""Tests for the YOLO-style detection extension (paper §V, extension 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GRID, MultiObjectConfig, generate_multiobject
+from repro.models import build_model
+from repro.monitor import DetectionMonitor, NeuronActivationMonitor
+from repro.nn import Adam, CrossEntropyLoss, Tensor
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MultiObjectConfig()
+
+
+@pytest.fixture(scope="module")
+def trained_detector(config):
+    """A briefly-trained grid detector (enough for monitor plumbing)."""
+    data = generate_multiobject(120, seed=0, config=config)
+    spec = build_model("grid_detector", seed=0, config=config)
+    optimizer = Adam(spec.model.parameters(), lr=2e-3)
+    loss_fn = CrossEntropyLoss()
+    flat_labels = data.cell_labels.reshape(len(data), -1)
+    for _ in range(3):
+        for start in range(0, len(data), 32):
+            batch = Tensor(data.inputs[start : start + 32])
+            labels = flat_labels[start : start + 32]
+            logits = spec.model(batch)
+            n, k, c = logits.shape
+            loss = loss_fn(logits.reshape(n * k, c), labels.reshape(-1))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return spec, data
+
+
+class TestMultiObjectDataset:
+    def test_shapes(self, config):
+        data = generate_multiobject(6, seed=1, config=config)
+        assert data.inputs.shape == (6, 3, 64, 64)
+        assert data.cell_labels.shape == (6, GRID, GRID)
+
+    def test_labels_within_range(self, config):
+        data = generate_multiobject(20, seed=2, config=config)
+        assert data.cell_labels.max() <= config.background_class
+        assert data.cell_labels.min() >= 0
+
+    def test_background_and_objects_both_occur(self, config):
+        data = generate_multiobject(40, seed=3, config=config)
+        labels = data.cell_labels
+        assert (labels == config.background_class).any()
+        assert (labels != config.background_class).any()
+
+    def test_deterministic(self, config):
+        a = generate_multiobject(4, seed=5, config=config)
+        b = generate_multiobject(4, seed=5, config=config)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.cell_labels, b.cell_labels)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_multiobject(0)
+
+    def test_num_classes_property(self, config):
+        assert config.num_classes == len(config.sign_classes) + 1
+
+
+class TestGridDetector:
+    def test_output_shape(self, config):
+        spec = build_model("grid_detector", seed=0, config=config)
+        x = Tensor(np.zeros((2, 3, 64, 64)))
+        assert spec.model(x).shape == (2, GRID * GRID, config.num_classes)
+
+    def test_gradients_reach_all_heads(self, config):
+        spec = build_model("grid_detector", seed=0, config=config)
+        x = Tensor(np.random.default_rng(0).random((2, 3, 64, 64)))
+        spec.model(x).sum().backward()
+        for head in spec.model.heads:
+            assert head.weight.grad is not None
+
+    def test_parameters_include_heads(self, config):
+        spec = build_model("grid_detector", seed=0, config=config)
+        names = dict(spec.model.named_parameters())
+        assert any("heads.0." in n for n in names)
+        assert any("heads.3." in n for n in names)
+
+    def test_training_reduces_loss(self, trained_detector, config):
+        spec, data = trained_detector
+        logits = spec.model(Tensor(data.inputs[:32]))
+        n, k, c = logits.shape
+        loss = CrossEntropyLoss()(
+            logits.reshape(n * k, c), data.cell_labels[:32].reshape(-1)
+        )
+        # Untrained baseline is ~log(num_classes) = log(7) ~ 1.95.
+        assert loss.item() < 1.9
+
+
+class TestDetectionMonitor:
+    def test_build_covers_all_cells(self, trained_detector):
+        spec, data = trained_detector
+        monitor = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels, gamma=0
+        )
+        assert monitor.num_cells == GRID * GRID
+        assert all(
+            isinstance(m, NeuronActivationMonitor) for m in monitor.monitors.values()
+        )
+
+    def test_scene_verdicts_shape(self, trained_detector):
+        spec, data = trained_detector
+        monitor = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels, gamma=1
+        )
+        verdicts = monitor.check_scene(
+            spec.model, spec.monitored_module, data.inputs[:5]
+        )
+        assert len(verdicts) == 5
+        assert all(len(scene) == GRID * GRID for scene in verdicts)
+        assert all(isinstance(v.warning, bool) for scene in verdicts for v in scene)
+
+    def test_evaluate_metrics_ranges(self, trained_detector):
+        spec, data = trained_detector
+        monitor = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels, gamma=0
+        )
+        fresh = generate_multiobject(30, seed=99)
+        metrics = monitor.evaluate(
+            spec.model, spec.monitored_module, fresh.inputs, fresh.cell_labels
+        )
+        assert metrics["total_cells"] == 30 * GRID * GRID
+        for key in ("out_of_pattern_rate", "misclassification_rate",
+                    "misclassified_within_oop"):
+            assert 0.0 <= metrics[key] <= 1.0
+
+    def test_gamma_reduces_warnings(self, trained_detector):
+        spec, data = trained_detector
+        monitor = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels, gamma=0
+        )
+        fresh = generate_multiobject(30, seed=7)
+        rate0 = monitor.evaluate(
+            spec.model, spec.monitored_module, fresh.inputs, fresh.cell_labels
+        )["out_of_pattern_rate"]
+        monitor.set_gamma(2)
+        rate2 = monitor.evaluate(
+            spec.model, spec.monitored_module, fresh.inputs, fresh.cell_labels
+        )["out_of_pattern_rate"]
+        assert rate2 <= rate0 + 1e-12
+
+    def test_training_scenes_supported_at_gamma0(self, trained_detector):
+        # Soundness extends cell-wise: correctly predicted training cells
+        # are always in-zone.
+        spec, data = trained_detector
+        monitor = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels, gamma=0
+        )
+        from repro.monitor.detection import _extract_detection
+
+        patterns, logits = _extract_detection(
+            spec.model, spec.monitored_module, data.inputs, 64
+        )
+        predictions = logits.argmax(axis=2)
+        flat_labels = data.cell_labels.reshape(len(data), -1)
+        for cell in range(monitor.num_cells):
+            correct = predictions[:, cell] == flat_labels[:, cell]
+            if correct.any():
+                supported = monitor.monitors[cell].check(
+                    patterns[correct], predictions[correct, cell]
+                )
+                assert supported.all()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DetectionMonitor(0, {})
+        with pytest.raises(ValueError):
+            DetectionMonitor(2, {0: None})  # missing cell 1

@@ -1,0 +1,102 @@
+"""End-to-end integration: the full Fig. 1 workflow on a small digit system.
+
+Covers train -> monitor build -> calibration -> persistence -> deployment
+-> shift detection across module boundaries, plus the BDD-vs-explicit-set
+semantic cross-check on a real (small) network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HammingSetMonitor
+from repro.datasets import corrupt, generate_mnist
+from repro.models import build_model
+from repro.monitor import (
+    DistributionShiftDetector,
+    GammaCalibrator,
+    MonitoredClassifier,
+    NeuronActivationMonitor,
+    evaluate_monitor,
+    extract_patterns,
+)
+from repro.nn import Adam, DataLoader, Trainer
+from repro.nn.data import stack_dataset
+
+
+@pytest.fixture(scope="module")
+def system():
+    train_ds = generate_mnist(600, seed=0)
+    val_ds = generate_mnist(300, seed=10_000)
+    spec = build_model("mnist", seed=0)
+    trainer = Trainer(spec.model, Adam(spec.model.parameters(), lr=1e-3))
+    trainer.fit(DataLoader(train_ds, batch_size=64, shuffle=True, seed=0), epochs=2)
+    return spec, train_ds, val_ds, trainer
+
+
+class TestEndToEnd:
+    def test_training_reaches_usable_accuracy(self, system):
+        spec, train_ds, _, trainer = system
+        assert trainer.evaluate(train_ds) > 0.7
+
+    def test_full_workflow(self, system, tmp_path):
+        spec, train_ds, val_ds, trainer = system
+
+        # (a) build + calibrate.
+        monitor = NeuronActivationMonitor.build(
+            spec.model, spec.monitored_module, train_ds, gamma=0
+        )
+        result = GammaCalibrator(max_gamma=2, max_out_of_pattern_rate=0.3).calibrate(
+            monitor, spec.model, spec.monitored_module, val_ds
+        )
+        assert 0 <= result.chosen_gamma <= 2
+        assert monitor.gamma == result.chosen_gamma
+
+        # persistence survives with identical semantics.
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        ev_orig = evaluate_monitor(monitor, spec.model, spec.monitored_module, val_ds)
+        ev_rest = evaluate_monitor(restored, spec.model, spec.monitored_module, val_ds)
+        assert ev_orig.out_of_pattern == ev_rest.out_of_pattern
+
+        # (b) deployment: warnings rise under corruption.
+        guarded = MonitoredClassifier(spec.model, spec.monitored_module, restored)
+        clean = val_ds.inputs[:150]
+        clean_rate = guarded.warning_rate(clean)
+        heavy = corrupt(clean, "occlusion", severity=5.0, seed=0)
+        heavy_rate = guarded.warning_rate(heavy)
+        assert heavy_rate >= clean_rate
+
+        # shift detector trips on the corrupted stream if warnings spiked.
+        detector = DistributionShiftDetector(
+            baseline_rate=max(clean_rate, 1e-3), window=100
+        )
+        states = [detector.update(v.warning) for v in guarded.classify(heavy)]
+        if heavy_rate > clean_rate + 0.3:
+            assert any(s.alarm for s in states)
+
+    def test_bdd_matches_reference_on_real_network(self, system):
+        spec, train_ds, val_ds, _ = system
+        for gamma in (0, 1, 2):
+            bdd = NeuronActivationMonitor.build(
+                spec.model, spec.monitored_module, train_ds, gamma=gamma
+            )
+            ref = HammingSetMonitor.build(
+                spec.model, spec.monitored_module, train_ds, gamma=gamma
+            )
+            inputs, _ = stack_dataset(val_ds)
+            patterns, logits = extract_patterns(
+                spec.model, spec.monitored_module, inputs
+            )
+            predictions = logits.argmax(axis=1)
+            np.testing.assert_array_equal(
+                bdd.check(patterns, predictions), ref.check(patterns, predictions)
+            )
+
+    def test_gamma_zero_training_soundness(self, system):
+        spec, train_ds, _, _ = system
+        monitor = NeuronActivationMonitor.build(
+            spec.model, spec.monitored_module, train_ds, gamma=0
+        )
+        ev = evaluate_monitor(monitor, spec.model, spec.monitored_module, train_ds)
+        assert ev.false_positive_rate == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the model registry and the Table I architectures."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.frontcar import FrontCarConfig
+from repro.models import ModelSpec, available_models, build_model
+from repro.models.registry import register_model
+from repro.nn import ReLU, Tensor
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert {"mnist", "gtsrb", "frontcar"} <= set(available_models())
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @register_model("mnist")
+            def clash(rng):  # pragma: no cover
+                raise AssertionError
+
+    def test_seeded_builds_are_reproducible(self):
+        a = build_model("mnist", seed=5)
+        b = build_model("mnist", seed=5)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 28, 28)))
+        np.testing.assert_allclose(a.model(x).data, b.model(x).data)
+
+    def test_different_seeds_differ(self):
+        a = build_model("frontcar", seed=1)
+        b = build_model("frontcar", seed=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, FrontCarConfig().feature_dim)))
+        assert not np.allclose(a.model(x).data, b.model(x).data)
+
+
+class TestMnistNet:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return build_model("mnist", seed=0)
+
+    def test_spec_fields(self, spec):
+        assert isinstance(spec, ModelSpec)
+        assert spec.monitored_width == 40
+        assert spec.num_classes == 10
+        assert isinstance(spec.monitored_module, ReLU)
+        assert spec.output_layer is not None
+
+    def test_forward_shape(self, spec):
+        x = Tensor(np.random.default_rng(0).random((3, 1, 28, 28)))
+        assert spec.model(x).shape == (3, 10)
+
+    def test_monitored_module_is_penultimate(self, spec):
+        # The monitored ReLU output feeds the output layer directly and
+        # has exactly `monitored_width` neurons.
+        captured = []
+        spec.monitored_module.register_forward_hook(
+            lambda m, i, o: captured.append(o.shape)
+        )
+        spec.model(Tensor(np.zeros((2, 1, 28, 28))))
+        assert captured == [(2, 40)]
+
+    def test_layer_count_matches_table1(self, spec):
+        # 2x(conv+relu+pool) + flatten + 4x(linear+relu) + output linear
+        # = 16 modules in the sequential stack.
+        assert len(spec.model) == 16
+
+
+class TestGtsrbNet:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return build_model("gtsrb", seed=0)
+
+    def test_spec_fields(self, spec):
+        assert spec.monitored_width == 84
+        assert spec.num_classes == 43
+
+    def test_forward_shape(self, spec):
+        x = Tensor(np.random.default_rng(0).random((2, 3, 32, 32)))
+        assert spec.model(x).shape == (2, 43)
+
+    def test_has_batchnorm(self, spec):
+        from repro.nn import BatchNorm2d
+
+        assert any(isinstance(m, BatchNorm2d) for m in spec.model.modules())
+
+    def test_monitored_width_84(self, spec):
+        captured = []
+        spec.monitored_module.register_forward_hook(
+            lambda m, i, o: captured.append(o.shape)
+        )
+        spec.model.eval()
+        spec.model(Tensor(np.zeros((1, 3, 32, 32))))
+        assert captured == [(1, 84)]
+
+    def test_reduced_class_count(self):
+        spec = build_model("gtsrb", seed=0, num_classes=5)
+        x = Tensor(np.zeros((1, 3, 32, 32)))
+        spec.model.eval()
+        assert spec.model(x).shape == (1, 5)
+
+
+class TestFrontCarNet:
+    def test_matches_scene_config(self):
+        config = FrontCarConfig(max_vehicles=6)
+        spec = build_model("frontcar", seed=0, config=config)
+        x = Tensor(np.zeros((2, config.feature_dim)))
+        assert spec.model(x).shape == (2, config.num_classes)
+
+    def test_default_dims(self):
+        spec = build_model("frontcar", seed=0)
+        assert spec.monitored_width == 32
+        assert spec.num_classes == FrontCarConfig().num_classes

@@ -1,0 +1,98 @@
+"""Tests for the box-abstraction monitor (paper §V extension)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import BoxMonitor, BoxZone
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+class TestBoxZone:
+    def test_fit_and_contains(self):
+        zone = BoxZone(2).fit(np.array([[0.0, 1.0], [2.0, 3.0]]))
+        assert zone.contains(np.array([1.0, 2.0]))
+        assert not zone.contains(np.array([3.0, 2.0]))
+
+    def test_boundary_inclusive(self):
+        zone = BoxZone(1).fit(np.array([[1.0], [2.0]]))
+        assert zone.contains(np.array([1.0]))
+        assert zone.contains(np.array([2.0]))
+
+    def test_margin_widens(self):
+        acts = np.array([[0.0], [1.0], [2.0]])
+        tight = BoxZone(1, margin=0.0).fit(acts)
+        wide = BoxZone(1, margin=1.0).fit(acts)
+        probe = np.array([2.5])
+        assert not tight.contains(probe)
+        assert wide.contains(probe)  # std ~0.816, margin widens past 2.5
+
+    def test_empty_zone_rejects_all(self):
+        zone = BoxZone(2)
+        assert zone.is_empty()
+        assert not zone.contains_batch(np.zeros((3, 2))).any()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BoxZone(0)
+        with pytest.raises(ValueError):
+            BoxZone(2, margin=-1.0)
+        with pytest.raises(ValueError):
+            BoxZone(2).fit(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            BoxZone(2).fit(np.zeros((3, 5)))
+
+
+class TestBoxMonitor:
+    @pytest.fixture
+    def system(self):
+        rng = np.random.default_rng(0)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 5, rng=rng), monitored, Linear(5, 2, rng=rng))
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        return model, monitored, ArrayDataset(x, y)
+
+    def test_build_covers_classes(self, system):
+        model, monitored, train = system
+        monitor = BoxMonitor.build(model, monitored, train)
+        assert set(monitor.zones) <= {0, 1}
+        assert monitor.classes == [0, 1]
+
+    def test_training_correct_inside_hull(self, system):
+        model, monitored, train = system
+        from repro.monitor.boxes import _extract_activations
+
+        monitor = BoxMonitor.build(model, monitored, train)
+        acts, logits = _extract_activations(model, monitored, train.inputs, 256)
+        preds = logits.argmax(axis=1)
+        correct = preds == train.labels
+        assert monitor.check(acts[correct], preds[correct]).all()
+
+    def test_far_point_outside_hull(self, system):
+        model, monitored, train = system
+        monitor = BoxMonitor.build(model, monitored, train)
+        huge = np.full((1, 5), 1e6)
+        assert not monitor.check(huge, np.array([0]))[0]
+
+    def test_margin_reduces_warnings(self, system):
+        model, monitored, train = system
+        from repro.monitor.boxes import _extract_activations
+
+        rng = np.random.default_rng(5)
+        probe_inputs = rng.normal(size=(100, 2)) * 1.5
+        acts, logits = _extract_activations(model, monitored, probe_inputs, 256)
+        preds = logits.argmax(axis=1)
+        tight = BoxMonitor.build(model, monitored, train, margin=0.0)
+        wide = BoxMonitor.build(model, monitored, train, margin=2.0)
+        assert wide.check(acts, preds).sum() >= tight.check(acts, preds).sum()
+
+    def test_unseen_class_rejected(self, system):
+        model, monitored, train = system
+        monitor = BoxMonitor.build(model, monitored, train, classes=[0, 1, 5])
+        # Class 5 never appears -> zone missing -> always warned.
+        result = monitor.check(np.zeros((2, 5)), np.array([5, 5]))
+        assert not result.any()
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            BoxMonitor(4, [])

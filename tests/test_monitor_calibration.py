@@ -1,0 +1,102 @@
+"""Tests for γ calibration ("infer when to stop enlarging")."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import GammaCalibrator, NeuronActivationMonitor
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+def make_monitor_with_data(seed=0, width=6):
+    rng = np.random.default_rng(seed)
+    monitored = ReLU()
+    model = Sequential(Linear(3, width, rng=rng), monitored, Linear(width, 2, rng=rng))
+    x = rng.normal(size=(200, 3))
+    y = (x[:, 0] + 0.3 * rng.normal(size=200) > 0).astype(np.int64)
+    train = ArrayDataset(x[:150], y[:150])
+    val = ArrayDataset(x[150:], y[150:])
+    monitor = NeuronActivationMonitor.build(model, monitored, train, gamma=0)
+    return monitor, model, monitored, val
+
+
+class TestSweep:
+    def test_sweep_covers_all_gammas(self):
+        monitor, model, monitored, val = make_monitor_with_data()
+        result = GammaCalibrator(max_gamma=3).calibrate(monitor, model, monitored, val)
+        assert [row.gamma for row in result.sweep] == [0, 1, 2, 3]
+
+    def test_oop_rate_monotone_nonincreasing_in_gamma(self):
+        # Enlarging the zone can only remove warnings.
+        monitor, model, monitored, val = make_monitor_with_data(seed=1)
+        result = GammaCalibrator(max_gamma=4).calibrate(monitor, model, monitored, val)
+        rates = [row.out_of_pattern_rate for row in result.sweep]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_monitor_left_at_chosen_gamma(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=2)
+        result = GammaCalibrator(max_gamma=3).calibrate(monitor, model, monitored, val)
+        assert monitor.gamma == result.chosen_gamma
+
+    def test_chosen_property_returns_row(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=3)
+        result = GammaCalibrator(max_gamma=2).calibrate(monitor, model, monitored, val)
+        assert result.chosen.gamma == result.chosen_gamma
+
+
+class TestChoice:
+    def test_picks_smallest_gamma_meeting_silence_target(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=4)
+        calibrator = GammaCalibrator(max_gamma=4, max_out_of_pattern_rate=1.0)
+        result = calibrator.calibrate(monitor, model, monitored, val)
+        # With a 100% budget every gamma qualifies; smallest is 0.
+        assert result.chosen_gamma == 0
+
+    def test_strict_target_chooses_larger_gamma(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=5)
+        loose = GammaCalibrator(max_gamma=4, max_out_of_pattern_rate=1.0)
+        strict = GammaCalibrator(max_gamma=4, max_out_of_pattern_rate=0.0)
+        g_loose = loose.calibrate(monitor, model, monitored, val).chosen_gamma
+        monitor.set_gamma(0)
+        g_strict = strict.calibrate(monitor, model, monitored, val).chosen_gamma
+        assert g_strict >= g_loose
+
+    def test_unreachable_target_falls_back_to_max(self):
+        monitor = NeuronActivationMonitor(4, [0], gamma=0)
+        monitor.record(
+            np.array([[0, 0, 0, 0]], dtype=np.uint8), np.array([0]), np.array([0])
+        )
+        # Validation patterns all far away: nothing silences the monitor.
+        patterns = np.ones((10, 4), dtype=np.uint8)
+        predictions = np.zeros(10, dtype=np.int64)
+        labels = np.zeros(10, dtype=np.int64)
+        calibrator = GammaCalibrator(max_gamma=2, max_out_of_pattern_rate=0.0)
+        result = calibrator.calibrate_patterns(monitor, patterns, predictions, labels)
+        assert result.chosen_gamma == 2
+
+    def test_min_precision_filters(self):
+        monitor = NeuronActivationMonitor(4, [0], gamma=0)
+        monitor.record(
+            np.array([[0, 0, 0, 0]], dtype=np.uint8), np.array([0]), np.array([0])
+        )
+        # All validation examples correctly classified, some out-of-pattern:
+        # warnings are pure false alarms, so precision is 0 at every gamma.
+        patterns = np.array([[1, 1, 0, 0]] * 5 + [[0, 0, 0, 0]] * 5, dtype=np.uint8)
+        predictions = np.zeros(10, dtype=np.int64)
+        labels = np.zeros(10, dtype=np.int64)
+        calibrator = GammaCalibrator(
+            max_gamma=2, max_out_of_pattern_rate=1.0, min_precision=0.5
+        )
+        result = calibrator.calibrate_patterns(monitor, patterns, predictions, labels)
+        # No gamma has precision >= 0.5 -> fallback to max_gamma.
+        assert result.chosen_gamma == 2
+
+    def test_invalid_max_gamma(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=6)
+        with pytest.raises(ValueError):
+            GammaCalibrator(max_gamma=-1).calibrate(monitor, model, monitored, val)
+
+    def test_chosen_lookup_error(self):
+        from repro.monitor import CalibrationResult
+
+        with pytest.raises(LookupError):
+            CalibrationResult(chosen_gamma=1, sweep=[]).chosen

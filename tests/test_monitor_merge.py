@@ -1,0 +1,85 @@
+"""Tests for merging monitors built over data shards."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import NeuronActivationMonitor
+
+WIDTH = 5
+
+
+def monitor_with(patterns, classes=(0,), gamma=0, monitored=None):
+    m = NeuronActivationMonitor(WIDTH, classes, gamma=gamma, monitored_neurons=monitored)
+    arr = np.asarray(patterns, dtype=np.uint8)
+    labels = np.full(len(arr), list(classes)[0], dtype=np.int64)
+    m.record(arr, labels, labels)
+    return m
+
+
+class TestMerge:
+    def test_union_semantics(self):
+        a = monitor_with([[1, 0, 0, 0, 0]])
+        b = monitor_with([[0, 1, 0, 0, 0]])
+        merged = NeuronActivationMonitor.merge([a, b])
+        preds = np.zeros(3, dtype=np.int64)
+        probes = np.array(
+            [[1, 0, 0, 0, 0], [0, 1, 0, 0, 0], [0, 0, 1, 0, 0]], dtype=np.uint8
+        )
+        np.testing.assert_array_equal(
+            merged.check(probes, preds), [True, True, False]
+        )
+
+    def test_class_union(self):
+        a = monitor_with([[1, 1, 1, 1, 1]], classes=(0,))
+        b = monitor_with([[0, 0, 0, 0, 0]], classes=(2,))
+        merged = NeuronActivationMonitor.merge([a, b])
+        assert merged.classes == [0, 2]
+        assert merged.check(
+            np.array([[0, 0, 0, 0, 0]], dtype=np.uint8), np.array([2])
+        )[0]
+
+    def test_gamma_taken_from_first(self):
+        a = monitor_with([[0, 0, 0, 0, 0]], gamma=1)
+        b = monitor_with([[1, 1, 1, 1, 1]], gamma=0)
+        merged = NeuronActivationMonitor.merge([a, b])
+        assert merged.gamma == 1
+        # gamma=1 ball around 00000 includes 10000.
+        assert merged.check(
+            np.array([[1, 0, 0, 0, 0]], dtype=np.uint8), np.array([0])
+        )[0]
+
+    def test_merge_single_is_equivalent(self):
+        a = monitor_with([[1, 0, 1, 0, 1]], gamma=2)
+        merged = NeuronActivationMonitor.merge([a])
+        rng = np.random.default_rng(0)
+        probes = (rng.random((30, WIDTH)) > 0.5).astype(np.uint8)
+        preds = np.zeros(30, dtype=np.int64)
+        np.testing.assert_array_equal(
+            merged.check(probes, preds), a.check(probes, preds)
+        )
+
+    def test_merge_respects_monitored_subset(self):
+        a = monitor_with([[1, 0, 1, 0, 1]], monitored=[0, 2])
+        b = monitor_with([[0, 0, 0, 0, 0]], monitored=[0, 2])
+        merged = NeuronActivationMonitor.merge([a, b])
+        np.testing.assert_array_equal(merged.monitored_neurons, [0, 2])
+        # Bit 1/3/4 are don't-cares.
+        assert merged.check(
+            np.array([[1, 1, 1, 1, 0]], dtype=np.uint8), np.array([0])
+        )[0]
+
+    def test_mismatched_width_rejected(self):
+        a = monitor_with([[1, 0, 1, 0, 1]])
+        b = NeuronActivationMonitor(4, [0])
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor.merge([a, b])
+
+    def test_mismatched_neurons_rejected(self):
+        a = monitor_with([[1, 0, 1, 0, 1]], monitored=[0, 1])
+        b = monitor_with([[1, 0, 1, 0, 1]], monitored=[0, 2])
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor.merge([a, b])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor.merge([])

@@ -1,0 +1,108 @@
+"""Tests for Table II metrics and monitor evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import (
+    MonitorEvaluation,
+    NeuronActivationMonitor,
+    evaluate_monitor,
+    evaluate_patterns,
+)
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+class TestMonitorEvaluation:
+    def test_table2_columns(self):
+        ev = MonitorEvaluation(
+            gamma=2, total=1000, misclassified=12, out_of_pattern=6,
+            out_of_pattern_misclassified=2,
+        )
+        assert ev.out_of_pattern_rate == pytest.approx(0.006)
+        assert ev.misclassified_within_oop == pytest.approx(2 / 6)
+        assert ev.misclassification_rate == pytest.approx(0.012)
+        assert ev.silence_rate == pytest.approx(0.994)
+
+    def test_detection_metrics(self):
+        ev = MonitorEvaluation(
+            gamma=0, total=100, misclassified=10, out_of_pattern=20,
+            out_of_pattern_misclassified=8,
+        )
+        assert ev.warning_recall == pytest.approx(0.8)
+        assert ev.false_positive_rate == pytest.approx(12 / 90)
+        assert ev.warning_precision == ev.misclassified_within_oop
+
+    def test_zero_divisions_are_safe(self):
+        ev = MonitorEvaluation(gamma=0, total=0, misclassified=0, out_of_pattern=0,
+                               out_of_pattern_misclassified=0)
+        assert ev.out_of_pattern_rate == 0.0
+        assert ev.misclassified_within_oop == 0.0
+        assert ev.warning_recall == 0.0
+        assert ev.false_positive_rate == 0.0
+
+    def test_as_dict_keys(self):
+        ev = MonitorEvaluation(1, 10, 1, 1, 1)
+        d = ev.as_dict()
+        assert {"gamma", "out_of_pattern_rate", "misclassified_within_oop"} <= set(d)
+
+
+class TestEvaluatePatterns:
+    @pytest.fixture
+    def monitor(self):
+        monitor = NeuronActivationMonitor(3, [0, 1], gamma=0)
+        monitor.record(
+            np.array([[1, 0, 0], [0, 1, 0]], dtype=np.uint8),
+            np.array([0, 1]),
+            np.array([0, 1]),
+        )
+        return monitor
+
+    def test_counts(self, monitor):
+        patterns = np.array(
+            [[1, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1]], dtype=np.uint8
+        )
+        predictions = np.array([0, 1, 0, 1])
+        labels = np.array([0, 1, 1, 1])  # third is misclassified
+        ev = evaluate_patterns(monitor, patterns, predictions, labels)
+        assert ev.total == 4
+        assert ev.misclassified == 1
+        assert ev.out_of_pattern == 2       # [1,1,1] and [0,0,1] unseen
+        assert ev.out_of_pattern_misclassified == 1
+
+    def test_restriction_to_monitored_classes(self, monitor):
+        patterns = np.zeros((3, 3), dtype=np.uint8)
+        predictions = np.array([0, 7, 7])  # class 7 not monitored
+        labels = np.array([0, 7, 0])
+        ev = evaluate_patterns(monitor, patterns, predictions, labels)
+        assert ev.total == 1
+        ev_all = evaluate_patterns(
+            monitor, patterns, predictions, labels, restrict_to_monitored=False
+        )
+        assert ev_all.total == 3
+
+    def test_empty_selection(self, monitor):
+        ev = evaluate_patterns(
+            monitor,
+            np.zeros((2, 3), dtype=np.uint8),
+            np.array([9, 9]),
+            np.array([9, 9]),
+        )
+        assert ev.total == 0
+
+
+class TestEvaluateMonitor:
+    def test_end_to_end_consistency(self):
+        rng = np.random.default_rng(0)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 6, rng=rng), monitored, Linear(6, 2, rng=rng))
+        x = rng.normal(size=(80, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        train = ArrayDataset(x[:60], y[:60])
+        val = ArrayDataset(x[60:], y[60:])
+        monitor = NeuronActivationMonitor.build(model, monitored, train, gamma=0)
+        ev = evaluate_monitor(monitor, model, monitored, val)
+        assert 0 <= ev.out_of_pattern_rate <= 1
+        assert ev.total > 0
+        # On *training* data the monitor must accept all correct decisions:
+        ev_train = evaluate_monitor(monitor, model, monitored, train)
+        assert ev_train.false_positive_rate == 0.0

@@ -1,0 +1,202 @@
+"""Tests for the per-class activation monitor (Definition 3, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import NeuronActivationMonitor
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+@pytest.fixture
+def trained_toy():
+    """A tiny 'trained' network: 2 inputs -> 4 hidden ReLU -> 2 classes.
+
+    Weights are fixed so predictions and patterns are deterministic.
+    """
+    rng = np.random.default_rng(0)
+    monitored = ReLU()
+    model = Sequential(Linear(2, 4, rng=rng), monitored, Linear(4, 2, rng=rng))
+    # Make the network linearly separate x[0] sign: class 1 iff x0 > 0.
+    model[0].weight.data[:] = np.array([[2.0, 0.0], [-2.0, 0.0], [0.0, 2.0], [0.0, -2.0]])
+    model[0].bias.data[:] = 0.1
+    model[2].weight.data[:] = np.array([[0.0, 1.0, 0.0, 0.0], [1.0, 0.0, 0.0, 0.0]])
+    model[2].bias.data[:] = 0.0
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(60, 2)) * 2.0
+    y = (x[:, 0] > 0).astype(np.int64)
+    return model, monitored, ArrayDataset(x, y)
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor(0, [0])
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor(4, [])
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor(4, [0], gamma=-1)
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor(4, [0], monitored_neurons=[5])
+        with pytest.raises(ValueError):
+            NeuronActivationMonitor(4, [0], monitored_neurons=[])
+
+    def test_default_monitors_all_neurons(self):
+        monitor = NeuronActivationMonitor(6, [0, 1])
+        np.testing.assert_array_equal(monitor.monitored_neurons, np.arange(6))
+
+    def test_classes_deduplicated_sorted(self):
+        monitor = NeuronActivationMonitor(4, [2, 0, 2])
+        assert monitor.classes == [0, 2]
+
+    def test_build_from_dataset(self, trained_toy):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=0)
+        assert monitor.layer_width == 4
+        assert monitor.classes == [0, 1]
+        assert all(not z.is_empty() for z in monitor.zones.values())
+
+    def test_build_with_class_subset(self, trained_toy):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, classes=[1])
+        assert monitor.classes == [1]
+        assert monitor.monitors_class(1)
+        assert not monitor.monitors_class(0)
+
+
+class TestRecord:
+    def test_only_correct_predictions_recorded(self):
+        monitor = NeuronActivationMonitor(3, [0, 1])
+        patterns = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        labels = np.array([0, 0, 1])
+        predictions = np.array([0, 1, 1])  # middle one is wrong
+        recorded = monitor.record(patterns, labels, predictions)
+        assert recorded == 2
+        assert monitor.zones[0].contains([1, 0, 0])
+        assert not monitor.zones[0].contains([0, 1, 0])  # misclassified: excluded
+        assert monitor.zones[1].contains([0, 0, 1])
+
+    def test_length_mismatch_raises(self):
+        monitor = NeuronActivationMonitor(3, [0])
+        with pytest.raises(ValueError):
+            monitor.record(np.zeros((2, 3), dtype=np.uint8), np.zeros(3), np.zeros(2))
+
+    def test_wrong_width_raises(self):
+        monitor = NeuronActivationMonitor(3, [0])
+        with pytest.raises(ValueError):
+            monitor.record(np.zeros((2, 4), dtype=np.uint8), np.zeros(2), np.zeros(2))
+
+
+class TestQueries:
+    def test_is_known_and_check_agree(self, trained_toy):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=0)
+        from repro.monitor import extract_patterns
+
+        patterns, logits = extract_patterns(model, monitored, dataset.inputs)
+        predictions = logits.argmax(axis=1)
+        batch_result = monitor.check(patterns, predictions)
+        single_result = np.array(
+            [monitor.is_known(patterns[i], int(predictions[i])) for i in range(len(patterns))]
+        )
+        np.testing.assert_array_equal(batch_result, single_result)
+
+    def test_training_patterns_always_in_zone(self, trained_toy):
+        # Soundness: every correctly-predicted training pattern must be
+        # inside the zone at any gamma.
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=0)
+        from repro.monitor import extract_patterns
+
+        patterns, logits = extract_patterns(model, monitored, dataset.inputs)
+        predictions = logits.argmax(axis=1)
+        correct = predictions == dataset.labels
+        assert monitor.check(patterns[correct], predictions[correct]).all()
+
+    def test_unknown_class_raises_in_is_known(self):
+        monitor = NeuronActivationMonitor(3, [0])
+        with pytest.raises(KeyError):
+            monitor.is_known(np.zeros(3, dtype=np.uint8), 7)
+
+    def test_check_unmonitored_class_defaults_supported(self):
+        monitor = NeuronActivationMonitor(3, [0])
+        patterns = np.zeros((2, 3), dtype=np.uint8)
+        result = monitor.check(patterns, np.array([5, 5]))
+        assert result.all()
+
+    def test_gamma_increases_coverage(self, trained_toy):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=0)
+        probe = np.array([[1, 1, 1, 1]], dtype=np.uint8)
+        in_zone_at = {}
+        for gamma in range(5):
+            monitor.set_gamma(gamma)
+            in_zone_at[gamma] = bool(monitor.check(probe, np.array([0]))[0])
+        # Monotone: once inside, stays inside.
+        for gamma in range(4):
+            assert not in_zone_at[gamma] or in_zone_at[gamma + 1]
+        assert in_zone_at[4]  # distance <= 4 always within a 4-bit layer
+
+    def test_neuron_subset_projection(self):
+        monitor = NeuronActivationMonitor(4, [0], monitored_neurons=[1, 3])
+        patterns = np.array([[0, 1, 0, 0]], dtype=np.uint8)
+        monitor.record(patterns, np.array([0]), np.array([0]))
+        # Unmonitored bits 0 and 2 are don't-cares.
+        assert monitor.check(np.array([[1, 1, 1, 0]], dtype=np.uint8), np.array([0]))[0]
+        assert not monitor.check(np.array([[0, 0, 0, 1]], dtype=np.uint8), np.array([0]))[0]
+
+    def test_statistics_per_class(self, trained_toy):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=1)
+        stats = monitor.statistics()
+        assert set(stats) == {0, 1}
+        assert all(s["patterns"] >= s["visited_patterns"] for s in stats.values())
+
+    def test_repr(self):
+        monitor = NeuronActivationMonitor(8, [0, 1], gamma=2, monitored_neurons=[0, 1, 2])
+        text = repr(monitor)
+        assert "gamma=2" in text and "3/8" in text
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained_toy, tmp_path):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=1)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        assert restored.classes == monitor.classes
+        assert restored.gamma == monitor.gamma
+        np.testing.assert_array_equal(restored.monitored_neurons, monitor.monitored_neurons)
+        # Zone semantics must survive the roundtrip.
+        rng = np.random.default_rng(9)
+        probes = (rng.random((40, 4)) > 0.5).astype(np.uint8)
+        for c in monitor.classes:
+            preds = np.full(len(probes), c)
+            np.testing.assert_array_equal(
+                monitor.check(probes, preds), restored.check(probes, preds)
+            )
+
+    def test_saved_monitor_allows_gamma_change(self, trained_toy, tmp_path):
+        model, monitored, dataset = trained_toy
+        monitor = NeuronActivationMonitor.build(model, monitored, dataset, gamma=0)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        restored.set_gamma(2)
+        monitor.set_gamma(2)
+        probes = (np.random.default_rng(2).random((20, 4)) > 0.5).astype(np.uint8)
+        preds = np.zeros(len(probes), dtype=np.int64)
+        np.testing.assert_array_equal(
+            monitor.check(probes, preds), restored.check(probes, preds)
+        )
+
+    def test_empty_class_roundtrip(self, tmp_path):
+        monitor = NeuronActivationMonitor(3, [0, 1])
+        monitor.record(
+            np.array([[1, 0, 0]], dtype=np.uint8), np.array([0]), np.array([0])
+        )
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        assert restored.zones[1].is_empty()
+        assert restored.zones[0].contains([1, 0, 0])

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for monitor invariants.
+
+The invariants the paper's argument rests on:
+
+* soundness — every recorded pattern is accepted at every γ;
+* monotonicity — Z^γ ⊆ Z^{γ+1};
+* projection — unmonitored neurons are true don't-cares;
+* agreement — BDD zones equal exact minimum-Hamming-distance semantics.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import HammingSetMonitor
+from repro.monitor import NeuronActivationMonitor, hamming_distance
+
+WIDTH = 7
+
+pattern_strategy = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=WIDTH, max_size=WIDTH
+)
+patterns_strategy = st.lists(pattern_strategy, min_size=1, max_size=15)
+
+
+def build_monitors(patterns, gamma, monitored=None):
+    arr = np.asarray(patterns, dtype=np.uint8)
+    labels = np.zeros(len(arr), dtype=np.int64)
+    bdd = NeuronActivationMonitor(WIDTH, [0], gamma=gamma, monitored_neurons=monitored)
+    bdd.record(arr, labels, labels)
+    ref = HammingSetMonitor(WIDTH, [0], gamma=gamma, monitored_neurons=monitored)
+    ref._patterns[0] = (
+        np.unique(arr[:, ref.monitored_neurons], axis=0).astype(np.uint8)
+    )
+    return bdd, ref
+
+
+@given(patterns_strategy, st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_soundness_recorded_patterns_always_accepted(patterns, gamma):
+    bdd, _ = build_monitors(patterns, gamma)
+    arr = np.asarray(patterns, dtype=np.uint8)
+    preds = np.zeros(len(arr), dtype=np.int64)
+    assert bdd.check(arr, preds).all()
+
+
+@given(patterns_strategy, pattern_strategy, st.integers(min_value=0, max_value=2))
+@settings(max_examples=50, deadline=None)
+def test_gamma_monotonicity(patterns, probe, gamma):
+    bdd, _ = build_monitors(patterns, gamma)
+    probe_arr = np.asarray([probe], dtype=np.uint8)
+    preds = np.zeros(1, dtype=np.int64)
+    inside_small = bdd.check(probe_arr, preds)[0]
+    bdd.set_gamma(gamma + 1)
+    inside_large = bdd.check(probe_arr, preds)[0]
+    assert not inside_small or inside_large
+
+
+@given(patterns_strategy, pattern_strategy, st.integers(min_value=0, max_value=2))
+@settings(max_examples=50, deadline=None)
+def test_bdd_agrees_with_min_distance_semantics(patterns, probe, gamma):
+    bdd, ref = build_monitors(patterns, gamma)
+    probe_arr = np.asarray([probe], dtype=np.uint8)
+    preds = np.zeros(1, dtype=np.int64)
+    in_bdd = bdd.check(probe_arr, preds)[0]
+    min_dist = min(
+        hamming_distance(np.asarray(p, dtype=np.uint8), probe_arr[0])
+        for p in patterns
+    )
+    assert in_bdd == (min_dist <= gamma)
+    assert in_bdd == ref.check(probe_arr, preds)[0]
+
+
+@given(
+    patterns_strategy,
+    pattern_strategy,
+    st.sets(st.integers(min_value=0, max_value=WIDTH - 1), min_size=1),
+    st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=50, deadline=None)
+def test_unmonitored_bits_are_dont_cares(patterns, probe, monitored, gamma):
+    monitored = sorted(monitored)
+    bdd, _ = build_monitors(patterns, gamma, monitored=monitored)
+    probe_arr = np.asarray([probe], dtype=np.uint8)
+    preds = np.zeros(1, dtype=np.int64)
+    base = bdd.check(probe_arr, preds)[0]
+    for j in range(WIDTH):
+        if j in monitored:
+            continue
+        flipped = probe_arr.copy()
+        flipped[0, j] ^= 1
+        assert bdd.check(flipped, preds)[0] == base
+
+
+@given(pattern_strategy, pattern_strategy)
+@settings(max_examples=50, deadline=None)
+def test_hamming_distance_is_a_metric(a, b):
+    a_arr = np.asarray(a, dtype=np.uint8)
+    b_arr = np.asarray(b, dtype=np.uint8)
+    assert hamming_distance(a_arr, b_arr) == hamming_distance(b_arr, a_arr)
+    assert hamming_distance(a_arr, a_arr) == 0
+    assert 0 <= hamming_distance(a_arr, b_arr) <= WIDTH
+
+
+@given(pattern_strategy, pattern_strategy, pattern_strategy)
+@settings(max_examples=50, deadline=None)
+def test_hamming_triangle_inequality(a, b, c):
+    a, b, c = (np.asarray(x, dtype=np.uint8) for x in (a, b, c))
+    assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)

@@ -1,0 +1,139 @@
+"""Tests for the deployment wrapper and the distribution-shift detector."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import (
+    DistributionShiftDetector,
+    MonitoredClassifier,
+    NeuronActivationMonitor,
+    Verdict,
+)
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+@pytest.fixture
+def guarded():
+    rng = np.random.default_rng(0)
+    monitored = ReLU()
+    model = Sequential(Linear(2, 6, rng=rng), monitored, Linear(6, 2, rng=rng))
+    x = rng.normal(size=(120, 2))
+    y = (x[:, 0] > 0).astype(np.int64)
+    train = ArrayDataset(x, y)
+    monitor = NeuronActivationMonitor.build(model, monitored, train, gamma=1)
+    return MonitoredClassifier(model, monitored, monitor), train
+
+
+class TestMonitoredClassifier:
+    def test_verdicts_for_batch(self, guarded):
+        clf, train = guarded
+        verdicts = clf.classify(train.inputs[:10])
+        assert len(verdicts) == 10
+        assert all(isinstance(v, Verdict) for v in verdicts)
+        assert all(0.0 <= v.confidence <= 1.0 for v in verdicts)
+
+    def test_training_inputs_mostly_supported(self, guarded):
+        clf, train = guarded
+        verdicts = clf.classify(train.inputs)
+        supported = sum(v.supported for v in verdicts)
+        # Correctly-classified training inputs are supported by construction;
+        # only misclassified training points can warn.
+        assert supported >= len(verdicts) * 0.9
+
+    def test_unseen_pattern_triggers_warning(self):
+        # Build a system wide enough that random probes hit unvisited
+        # patterns, then check the runtime wrapper reports the warning.
+        rng = np.random.default_rng(7)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 16, rng=rng), monitored, Linear(16, 2, rng=rng))
+        x = rng.normal(size=(120, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        monitor = NeuronActivationMonitor.build(
+            model, monitored, ArrayDataset(x, y), gamma=0
+        )
+        clf = MonitoredClassifier(model, monitored, monitor)
+        probes = rng.normal(size=(300, 2)) * 3.0
+        verdicts = clf.classify(probes)
+        warnings = [v for v in verdicts if v.warning]
+        assert warnings, "300 wide probes over 2^16 patterns must hit unseen ones"
+        # classify_one agrees with the batched path.
+        index = next(i for i, v in enumerate(verdicts) if v.warning)
+        assert clf.classify_one(probes[index]).warning
+
+    def test_empty_batch(self, guarded):
+        clf, _ = guarded
+        assert clf.classify(np.zeros((0, 2))) == []
+
+    def test_warning_rate_in_unit_interval(self, guarded):
+        clf, train = guarded
+        rate = clf.warning_rate(train.inputs)
+        assert 0.0 <= rate <= 1.0
+
+    def test_unmonitored_class_not_flagged(self):
+        rng = np.random.default_rng(1)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 4, rng=rng), monitored, Linear(4, 3, rng=rng))
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(np.int64)  # classes 0/1 only
+        monitor = NeuronActivationMonitor.build(
+            model, monitored, ArrayDataset(x, y), classes=[0]
+        )
+        clf = MonitoredClassifier(model, monitored, monitor)
+        for v in clf.classify(x[:20]):
+            if v.predicted_class != 0:
+                assert not v.monitored
+                assert not v.warning
+
+    def test_verdict_warning_semantics(self):
+        assert Verdict(0, 0.9, supported=False, monitored=True).warning
+        assert not Verdict(0, 0.9, supported=True, monitored=True).warning
+        assert not Verdict(0, 0.9, supported=False, monitored=False).warning
+
+
+class TestShiftDetector:
+    def test_no_alarm_at_baseline(self):
+        rng = np.random.default_rng(0)
+        detector = DistributionShiftDetector(baseline_rate=0.05, window=100)
+        flags = rng.random(500) < 0.05
+        states = detector.update_many(flags)
+        # z-test is gated on a full window, so warm-up is always quiet.
+        assert not any(s.alarm for s in states[:99])
+        assert sum(s.alarm for s in states) < len(states) * 0.05
+
+    def test_alarm_on_strong_shift(self):
+        rng = np.random.default_rng(1)
+        detector = DistributionShiftDetector(baseline_rate=0.05, window=100)
+        for flag in rng.random(200) < 0.05:
+            detector.update(bool(flag))
+        shifted_states = detector.update_many(rng.random(200) < 0.5)
+        assert any(s.alarm for s in shifted_states)
+
+    def test_cusum_catches_slow_drift(self):
+        rng = np.random.default_rng(2)
+        detector = DistributionShiftDetector(
+            baseline_rate=0.01, window=50, z_threshold=100.0,  # disable z path
+            cusum_slack=0.01, cusum_threshold=2.0,
+        )
+        states = detector.update_many(rng.random(2000) < 0.15)
+        assert any(s.alarm for s in states)
+
+    def test_reset(self):
+        detector = DistributionShiftDetector(baseline_rate=0.0, window=10)
+        detector.update_many([True] * 10)
+        detector.reset()
+        state = detector.update(False)
+        assert state.samples_seen == 1
+        assert state.cusum == 0.0
+
+    def test_state_fields(self):
+        detector = DistributionShiftDetector(baseline_rate=0.1)
+        state = detector.update(True)
+        assert state.samples_seen == 1
+        assert state.window_rate == 1.0
+        assert state.z_score > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DistributionShiftDetector(baseline_rate=1.0)
+        with pytest.raises(ValueError):
+            DistributionShiftDetector(baseline_rate=0.1, window=0)

@@ -1,0 +1,133 @@
+"""Tests for gradient-based neuron selection (paper §II)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import (
+    gradient_sensitivity,
+    select_random_neurons,
+    select_top_neurons,
+    weight_sensitivity,
+)
+from repro.nn import Linear, ReLU, Sequential
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    monitored = ReLU()
+    net = Sequential(Linear(3, 5, rng=rng), monitored, Linear(5, 4, rng=rng))
+    return net, monitored
+
+
+class TestWeightSensitivity:
+    def test_matches_output_weights(self, model):
+        net, _ = model
+        out_layer = net[2]
+        np.testing.assert_array_equal(
+            weight_sensitivity(out_layer, 2), np.abs(out_layer.weight.data[2])
+        )
+
+    def test_class_out_of_range(self, model):
+        net, _ = model
+        with pytest.raises(IndexError):
+            weight_sensitivity(net[2], 4)
+
+    def test_requires_linear(self):
+        with pytest.raises(TypeError):
+            weight_sensitivity(ReLU(), 0)
+
+
+class TestGradientSensitivity:
+    def test_matches_weight_sensitivity_when_all_neurons_active(self, model):
+        # With strictly positive pre-activations, the ReLU is identity and
+        # d logit_c / d relu_i == output weight, the paper's special case.
+        net, monitored = model
+        inputs = np.random.default_rng(1).normal(size=(20, 3))
+        net[0].bias.data[:] = 100.0  # force every hidden neuron active
+        sens = gradient_sensitivity(net, monitored, inputs, class_index=1)
+        np.testing.assert_allclose(sens, np.abs(net[2].weight.data[1]), atol=1e-12)
+
+    def test_disconnected_neuron_has_zero_sensitivity(self, model):
+        # A monitored neuron with zero outgoing weight to class c cannot
+        # influence logit c: its sensitivity must vanish.
+        net, monitored = model
+        net[2].weight.data[0, 2] = 0.0
+        inputs = np.random.default_rng(2).normal(size=(10, 3))
+        sens = gradient_sensitivity(net, monitored, inputs, class_index=0)
+        assert sens[2] == 0.0
+
+    def test_downstream_relu_masks_gradient(self):
+        # Monitoring an *early* layer: gradient flows through a later ReLU,
+        # so a dead downstream path zeroes the sensitivity.
+        rng = np.random.default_rng(7)
+        first_relu = ReLU()
+        net = Sequential(
+            Linear(3, 4, rng=rng), first_relu, Linear(4, 4, rng=rng), ReLU(),
+            Linear(4, 2, rng=rng),
+        )
+        net[2].bias.data[:] = -1000.0  # second hidden layer never fires
+        inputs = np.random.default_rng(8).normal(size=(6, 3))
+        sens = gradient_sensitivity(net, first_relu, inputs, class_index=0)
+        np.testing.assert_allclose(sens, np.zeros(4))
+
+    def test_batching_invariant(self, model):
+        net, monitored = model
+        inputs = np.random.default_rng(3).normal(size=(9, 3))
+        a = gradient_sensitivity(net, monitored, inputs, 0, batch_size=3)
+        b = gradient_sensitivity(net, monitored, inputs, 0, batch_size=9)
+        np.testing.assert_allclose(a, b)
+
+    def test_class_out_of_range(self, model):
+        net, monitored = model
+        with pytest.raises(IndexError):
+            gradient_sensitivity(net, monitored, np.zeros((2, 3)), 9)
+
+    def test_empty_inputs_raise(self, model):
+        net, monitored = model
+        with pytest.raises(ValueError):
+            gradient_sensitivity(net, monitored, np.zeros((0, 3)), 0)
+
+    def test_module_off_path_raises(self, model):
+        net, _ = model
+        stray = ReLU()
+        with pytest.raises(RuntimeError):
+            gradient_sensitivity(net, stray, np.zeros((2, 3)), 0)
+
+
+class TestSelection:
+    def test_top_fraction(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        np.testing.assert_array_equal(select_top_neurons(scores, 0.5), [1, 3])
+
+    def test_quarter_of_84_is_21(self):
+        # The paper's GTSRB setting: 25% of 84 neurons.
+        scores = np.random.default_rng(0).random(84)
+        assert len(select_top_neurons(scores, 0.25)) == 21
+
+    def test_full_fraction_selects_all(self):
+        scores = np.arange(5.0)
+        np.testing.assert_array_equal(select_top_neurons(scores, 1.0), np.arange(5))
+
+    def test_result_sorted(self):
+        scores = np.array([0.9, 0.1, 0.8, 0.2])
+        selected = select_top_neurons(scores, 0.5)
+        assert list(selected) == sorted(selected)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            select_top_neurons(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            select_top_neurons(np.ones(4), 1.5)
+
+    def test_random_selection_size_and_determinism(self):
+        a = select_random_neurons(84, 0.25, seed=3)
+        b = select_random_neurons(84, 0.25, seed=3)
+        assert len(a) == 21
+        np.testing.assert_array_equal(a, b)
+        c = select_random_neurons(84, 0.25, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_random_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            select_random_neurons(10, 0.0)

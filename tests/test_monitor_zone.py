@@ -1,0 +1,123 @@
+"""Tests for γ-comfort zones (Definition 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bdd import BDDManager
+from repro.monitor import ComfortZone
+
+
+class TestConstruction:
+    def test_empty_zone(self):
+        zone = ComfortZone(4)
+        assert zone.is_empty()
+        assert zone.size() == 0
+        assert not zone.contains([0, 0, 0, 0])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ComfortZone(0)
+        with pytest.raises(ValueError):
+            ComfortZone(3, gamma=-1)
+        with pytest.raises(ValueError):
+            ComfortZone(3, manager=BDDManager(4))
+
+    def test_add_pattern_membership(self):
+        zone = ComfortZone(3)
+        zone.add_pattern([1, 0, 1])
+        assert zone.contains([1, 0, 1])
+        assert not zone.contains([1, 1, 1])
+        assert zone.num_visited_patterns == 1
+
+    def test_shared_manager(self):
+        mgr = BDDManager(3)
+        a = ComfortZone(3, manager=mgr)
+        b = ComfortZone(3, manager=mgr)
+        a.add_pattern([0, 0, 0])
+        b.add_pattern([1, 1, 1])
+        assert a.contains([0, 0, 0]) and not a.contains([1, 1, 1])
+        assert b.contains([1, 1, 1]) and not b.contains([0, 0, 0])
+
+
+class TestGamma:
+    def test_gamma_zero_is_exact(self):
+        zone = ComfortZone(4, gamma=0)
+        zone.add_pattern([1, 1, 0, 0])
+        assert zone.size() == 1
+
+    def test_gamma_one_is_hamming_ball(self):
+        zone = ComfortZone(4, gamma=1)
+        zone.add_pattern([0, 0, 0, 0])
+        assert zone.size() == 5  # center + 4 flips
+        for flipped in ([1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]):
+            assert zone.contains(flipped)
+        assert not zone.contains([1, 1, 0, 0])
+
+    def test_definition2_recursive_structure(self):
+        # Z^g = Z^{g-1} union {p : H(p, p') = 1 for some p' in Z^{g-1}}.
+        zone_prev = ComfortZone(5, gamma=1)
+        zone_next = ComfortZone(5, gamma=2)
+        seeds = [[1, 0, 1, 0, 1], [0, 0, 0, 0, 0]]
+        zone_prev.add_patterns(seeds)
+        zone_next.add_patterns(seeds)
+        for probe in itertools.product([0, 1], repeat=5):
+            in_prev = zone_prev.contains(probe)
+            neighbour_in_prev = any(
+                zone_prev.contains(
+                    [b ^ (1 if i == j else 0) for j, b in enumerate(probe)]
+                )
+                for i in range(5)
+            )
+            assert zone_next.contains(probe) == (in_prev or neighbour_in_prev)
+
+    def test_set_gamma_lazy_rebuild(self):
+        zone = ComfortZone(4, gamma=0)
+        zone.add_pattern([0, 0, 0, 0])
+        assert zone.size() == 1
+        zone.set_gamma(2)
+        assert zone.size() == 1 + 4 + 6
+        zone.set_gamma(0)
+        assert zone.size() == 1
+
+    def test_enlarge_increments(self):
+        zone = ComfortZone(3)
+        zone.add_pattern([0, 0, 0])
+        zone.enlarge()
+        assert zone.gamma == 1
+        assert zone.size() == 4
+
+    def test_invalid_gamma(self):
+        zone = ComfortZone(3)
+        with pytest.raises(ValueError):
+            zone.set_gamma(-2)
+
+
+class TestQueries:
+    def test_contains_batch(self):
+        zone = ComfortZone(3, gamma=0)
+        zone.add_patterns([[1, 0, 0], [0, 1, 0]])
+        batch = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(zone.contains_batch(batch), [True, True, False])
+
+    def test_statistics(self):
+        zone = ComfortZone(4, gamma=1)
+        zone.add_pattern([1, 0, 0, 0])
+        stats = zone.statistics()
+        assert stats["gamma"] == 1
+        assert stats["visited_patterns"] == 1
+        assert stats["patterns"] == 5
+        assert 0 < stats["density"] < 1
+
+    def test_visited_ref_unchanged_by_gamma(self):
+        zone = ComfortZone(3, gamma=0)
+        zone.add_pattern([1, 1, 1])
+        before = zone.visited_ref
+        zone.set_gamma(2)
+        _ = zone.zone_ref
+        assert zone.visited_ref == before
+
+    def test_repr(self):
+        zone = ComfortZone(3, gamma=1)
+        assert "gamma=1" in repr(zone)

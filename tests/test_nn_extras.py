@@ -1,0 +1,125 @@
+"""Tests for the extra layers: Dropout, AvgPool2d, LeakyReLU, Tanh, Sigmoid."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2d, Dropout, LeakyReLU, Sigmoid, Tanh, Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(RNG.normal(size=(4, 8)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_some_units(self):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        x = Tensor(np.ones((10, 100)))
+        out = layer(x).data
+        zeros = (out == 0).mean()
+        assert 0.3 < zeros < 0.7
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.5, seed=1)
+        layer.train()
+        x = Tensor(np.ones((200, 200)))
+        assert abs(layer(x).data.mean() - 1.0) < 0.05
+
+    def test_zero_probability_is_identity_in_train(self):
+        layer = Dropout(0.0)
+        layer.train()
+        x = Tensor(RNG.normal(size=(3, 3)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_gradient_masked_like_forward(self):
+        layer = Dropout(0.5, seed=2)
+        layer.train()
+        x = Tensor(np.ones((5, 20)), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # Gradient is nonzero exactly where the output is nonzero.
+        np.testing.assert_array_equal(x.grad != 0, out.data != 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestAvgPool:
+    def test_forward_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradient_spreads_uniformly(self):
+        x = Tensor(np.zeros((1, 1, 2, 2)), requires_grad=True)
+        AvgPool2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 0.25))
+
+    def test_gradient_numerical(self):
+        x_data = RNG.normal(size=(2, 2, 6, 6))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        (AvgPool2d(3)(x) * 2.0).sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(x_data)
+        flat, num_flat = x_data.reshape(-1), numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = 2.0 * AvgPool2d(3)(Tensor(x_data)).data.sum()
+            flat[i] = orig - eps
+            minus = 2.0 * AvgPool2d(3)(Tensor(x_data)).data.sum()
+            flat[i] = orig
+            num_flat[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(0)
+
+
+class TestLeakyReLU:
+    def test_forward(self):
+        layer = LeakyReLU(0.1)
+        out = layer(Tensor(np.array([-2.0, 0.0, 3.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 0.0, 3.0])
+
+    def test_gradient(self):
+        layer = LeakyReLU(0.1)
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        layer(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_zero_slope_matches_relu(self):
+        x = RNG.normal(size=(10,))
+        leaky = LeakyReLU(0.0)(Tensor(x)).data
+        np.testing.assert_array_equal(leaky, np.maximum(x, 0.0))
+
+    def test_invalid_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.5)
+
+
+class TestSmoothActivations:
+    def test_tanh_module(self):
+        x = RNG.normal(size=(4,))
+        np.testing.assert_allclose(Tanh()(Tensor(x)).data, np.tanh(x))
+
+    def test_sigmoid_module(self):
+        x = RNG.normal(size=(4,))
+        np.testing.assert_allclose(
+            Sigmoid()(Tensor(x)).data, 1.0 / (1.0 + np.exp(-x))
+        )
+
+    def test_reprs(self):
+        assert "Dropout" in repr(Dropout(0.3))
+        assert "AvgPool2d" in repr(AvgPool2d(2))
+        assert "LeakyReLU" in repr(LeakyReLU())
+        assert repr(Tanh()) == "Tanh()"
+        assert repr(Sigmoid()) == "Sigmoid()"

@@ -1,0 +1,153 @@
+"""Tests for conv2d / max_pool2d primitives and classification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(11)
+
+
+def reference_conv2d(x, w, b, stride=(1, 1), padding=0):
+    """Direct 6-loop convolution used as ground truth."""
+    if padding:
+        x = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w_in - kw) // sw + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for img in range(n):
+        for oc in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = x[img, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                    out[img, oc, i, j] = (window * w[oc]).sum() + b[oc]
+    return out
+
+
+class TestIm2col:
+    def test_roundtrip_shapes(self):
+        x = RNG.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, (3, 3), (1, 1))
+        assert cols.shape == (2, 27, 36)
+
+    def test_col2im_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        # that makes the conv backward pass correct.
+        x = RNG.normal(size=(1, 2, 5, 5))
+        y = RNG.normal(size=(1, 2 * 3 * 3, 9))
+        lhs = (F.im2col(x, (3, 3), (1, 1)) * y).sum()
+        rhs = (x * F.col2im(y, x.shape, (3, 3), (1, 1))).sum()
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_stride_two(self):
+        x = RNG.normal(size=(1, 1, 6, 6))
+        cols = F.im2col(x, (2, 2), (2, 2))
+        assert cols.shape == (1, 4, 9)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_matches_reference(self, padding):
+        x = RNG.normal(size=(2, 3, 7, 7))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        b = RNG.normal(size=(4,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding=padding)
+        np.testing.assert_allclose(out.data, reference_conv2d(x, w, b, padding=padding), atol=1e-10)
+
+    def test_stride(self):
+        x = RNG.normal(size=(1, 2, 8, 8))
+        w = RNG.normal(size=(3, 2, 3, 3))
+        b = np.zeros(3)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=(2, 2))
+        np.testing.assert_allclose(out.data, reference_conv2d(x, w, b, stride=(2, 2)), atol=1e-10)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 5, 5))), Tensor(np.zeros((2, 4, 3, 3))), Tensor(np.zeros(2)))
+
+    def test_gradients_numerically(self):
+        x_data = RNG.normal(size=(2, 2, 5, 5))
+        w_data = RNG.normal(size=(3, 2, 3, 3))
+        b_data = RNG.normal(size=(3,))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        F.conv2d(x, w, b).sum().backward()
+
+        eps = 1e-6
+        for tensor, data in ((x, x_data), (w, w_data), (b, b_data)):
+            numeric = np.zeros_like(data)
+            flat, num_flat = data.reshape(-1), numeric.reshape(-1)
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = reference_conv2d(x_data, w_data, b_data).sum()
+                flat[i] = orig - eps
+                minus = reference_conv2d(x_data, w_data, b_data).sum()
+                flat[i] = orig
+                num_flat[i] = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(tensor.grad, numeric, atol=1e-4)
+
+
+class TestMaxPool:
+    def test_forward_2x2(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_odd_size_drops_trailing(self):
+        x = RNG.normal(size=(1, 1, 5, 5))
+        out = F.max_pool2d(Tensor(x), 2)
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad[0, 0], [[0.0, 0.0], [0.0, 1.0]])
+
+    def test_gradient_numerical(self):
+        x_data = RNG.normal(size=(2, 3, 6, 6))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        (F.max_pool2d(x, 2) * 2.0).sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(x_data)
+        flat, num_flat = x_data.reshape(-1), numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = 2.0 * F.max_pool2d(Tensor(x_data), 2).data.sum()
+            flat[i] = orig - eps
+            minus = 2.0 * F.max_pool2d(Tensor(x_data), 2).data.sum()
+            flat[i] = orig
+            num_flat[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-4)
+
+
+class TestHeads:
+    def test_softmax_rows_sum_to_one(self):
+        logits = RNG.normal(size=(5, 7)) * 10
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert (probs >= 0).all()
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = F.softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_consistent(self):
+        logits = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(np.exp(F.log_softmax(logits)), F.softmax(logits))
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)

@@ -1,0 +1,182 @@
+"""Tests for layer modules: shapes, modes, hooks, parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def small_net(rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return Sequential(
+        Conv2d(1, 4, kernel_size=3, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(4 * 3 * 3, 5, rng=rng),
+    )
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(3, 7, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(4, 3))))
+        assert out.shape == (4, 7)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2, rng=RNG)
+        x = RNG.normal(size=(5, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_parameters_discovered(self):
+        layer = Linear(3, 2, rng=RNG)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+
+class TestConvPoolStack:
+    def test_shapes_through_stack(self):
+        net = small_net()
+        out = net(Tensor(RNG.normal(size=(2, 1, 8, 8))))
+        assert out.shape == (2, 5)
+
+    def test_sequential_indexing(self):
+        net = small_net()
+        assert isinstance(net[0], Conv2d)
+        assert len(net) == 5
+
+    def test_repr_of_layers(self):
+        net = small_net()
+        text = repr(net)
+        for fragment in ("Conv2d", "ReLU", "MaxPool2d", "Flatten", "Linear"):
+            assert fragment in text
+
+
+class TestBatchNorm:
+    def test_train_mode_normalises_batch(self):
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = RNG.normal(loc=5.0, scale=2.0, size=(16, 3, 4, 4))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-2)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        for _ in range(50):
+            bn(Tensor(RNG.normal(loc=3.0, size=(8, 2, 2, 2))))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 2, 2, 2), 3.0))).data
+        # Input at the running mean should map near zero.
+        assert np.abs(out).max() < 0.5
+
+    def test_eval_is_deterministic(self):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        x = Tensor(RNG.normal(size=(4, 2, 3, 3)))
+        np.testing.assert_array_equal(bn(x).data, bn(x).data)
+
+    def test_rejects_non_4d(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((4, 2))))
+
+    def test_gradients_flow_through_gamma_beta(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        out = bn(Tensor(RNG.normal(size=(8, 2, 2, 2)), requires_grad=True))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = Sequential(BatchNorm2d(1), ReLU())
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestHooks:
+    def test_forward_hook_fires(self):
+        layer = ReLU()
+        captured = []
+        layer.register_forward_hook(lambda m, i, o: captured.append(o.data))
+        layer(Tensor(np.array([-1.0, 1.0])))
+        assert len(captured) == 1
+        np.testing.assert_array_equal(captured[0], [0.0, 1.0])
+
+    def test_hook_remover(self):
+        layer = ReLU()
+        captured = []
+        remove = layer.register_forward_hook(lambda m, i, o: captured.append(1))
+        layer(Tensor(np.array([1.0])))
+        remove()
+        layer(Tensor(np.array([1.0])))
+        assert len(captured) == 1
+
+    def test_hooks_fire_inside_sequential(self):
+        net = small_net()
+        captured = []
+        net[1].register_forward_hook(lambda m, i, o: captured.append(o.shape))
+        net(Tensor(RNG.normal(size=(2, 1, 8, 8))))
+        assert captured == [(2, 4, 6, 6)]
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = small_net(np.random.default_rng(1))
+        other = small_net(np.random.default_rng(2))
+        x = Tensor(RNG.normal(size=(2, 1, 8, 8)))
+        assert not np.allclose(net(x).data, other(x).data)
+        other.load_state_dict(net.state_dict())
+        np.testing.assert_allclose(net(x).data, other(x).data)
+
+    def test_missing_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        del state["layers.0.weight"]
+        with pytest.raises(KeyError):
+            small_net().load_state_dict(state)
+
+    def test_extra_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            small_net().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["layers.0.weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ValueError):
+            small_net().load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        net = small_net()
+        out = net(Tensor(RNG.normal(size=(2, 1, 8, 8))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())

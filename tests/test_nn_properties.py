@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the numpy NN framework."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.monitor import binarize, pack_patterns, unpack_patterns
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+small_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=small_floats)
+
+
+@given(arrays((3, 4)), arrays((3, 4)))
+@settings(max_examples=40, deadline=None)
+def test_addition_gradient_distributes(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, np.ones_like(a))
+    np.testing.assert_allclose(tb.grad, np.ones_like(b))
+
+
+@given(arrays((4, 3)), arrays((3, 2)))
+@settings(max_examples=40, deadline=None)
+def test_matmul_matches_numpy(a, b):
+    out = Tensor(a) @ Tensor(b)
+    np.testing.assert_allclose(out.data, a @ b)
+
+
+@given(arrays((5,)))
+@settings(max_examples=40, deadline=None)
+def test_relu_idempotent_and_nonnegative(x):
+    once = Tensor(x).relu()
+    twice = once.relu()
+    assert (once.data >= 0).all()
+    np.testing.assert_array_equal(once.data, twice.data)
+
+
+@given(arrays((4, 6)))
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_a_distribution(logits):
+    probs = F.softmax(logits)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-12)
+    assert (probs >= 0).all()
+
+
+@given(arrays((4, 6)), st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_softmax_shift_invariance(logits, shift):
+    np.testing.assert_allclose(
+        F.softmax(logits), F.softmax(logits + shift), atol=1e-10
+    )
+
+
+@given(arrays((2, 3)))
+@settings(max_examples=40, deadline=None)
+def test_sum_then_mean_consistency(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.mean().item(), t.sum().item() / x.size)
+
+
+@given(arrays((3, 8)))
+@settings(max_examples=40, deadline=None)
+def test_binarize_pack_unpack_roundtrip(acts):
+    patterns = binarize(acts)
+    np.testing.assert_array_equal(
+        unpack_patterns(pack_patterns(patterns), patterns.shape[1]), patterns
+    )
+
+
+@given(arrays((2, 1, 6, 6)))
+@settings(max_examples=30, deadline=None)
+def test_maxpool_dominates_average(images):
+    pooled = F.max_pool2d(Tensor(images), 2).data
+    windows = images.reshape(2, 1, 3, 2, 3, 2)
+    means = windows.mean(axis=(3, 5))
+    assert (pooled >= means - 1e-12).all()
+
+
+@given(arrays((2, 2, 5, 5)))
+@settings(max_examples=20, deadline=None)
+def test_conv_identity_kernel(images):
+    # A 1x1 identity kernel with zero bias reproduces the input channels.
+    weight = np.zeros((2, 2, 1, 1))
+    weight[0, 0, 0, 0] = 1.0
+    weight[1, 1, 0, 0] = 1.0
+    out = F.conv2d(Tensor(images), Tensor(weight), Tensor(np.zeros(2)))
+    np.testing.assert_allclose(out.data, images, atol=1e-12)
+
+
+@given(arrays((3, 4)))
+@settings(max_examples=40, deadline=None)
+def test_cross_entropy_nonnegative(logits):
+    from repro.nn import CrossEntropyLoss
+
+    labels = np.zeros(3, dtype=np.int64)
+    loss = CrossEntropyLoss()(Tensor(logits), labels)
+    assert loss.item() >= -1e-12

@@ -1,0 +1,154 @@
+"""Backend race: vectorized bitset vs BDD on the monitor hot path.
+
+The acceptance scenario for the pluggable-backend refactor: a synthetic
+64-neuron / 10-class monitor answering 10k queries.  Three codepaths are
+timed:
+
+* ``bdd / per-sample`` — the seed's deployment loop: one Python
+  ``contains`` walk per decision;
+* ``bdd / batched``    — the same zones through ``contains_batch``;
+* ``bitset / batched`` — packed rows + XOR/popcount over the whole query
+  matrix.
+
+The bitset backend must be at least 10x faster than the per-sample BDD
+path while returning bit-identical verdicts (the equivalence suite proves
+the latter in general; this bench re-asserts it on the workload).
+"""
+
+import time
+
+import numpy as np
+
+from benchutil import record
+from repro.analysis import format_table
+from repro.monitor import NeuronActivationMonitor
+
+WIDTH = 64
+NUM_CLASSES = 10
+PATTERNS_PER_CLASS = 300
+NUM_QUERIES = 10_000
+GAMMA = 1
+
+
+def _training_data(seed=0):
+    """Correlated per-class activation patterns (prototype + bit flips)."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.random((NUM_CLASSES, WIDTH)) < 0.5
+    labels = np.repeat(np.arange(NUM_CLASSES), PATTERNS_PER_CLASS)
+    flips = rng.random((len(labels), WIDTH)) < 0.06
+    patterns = (prototypes[labels] ^ flips).astype(np.uint8)
+    return patterns, labels
+
+
+def _queries(seed=1):
+    rng = np.random.default_rng(seed)
+    base, labels = _training_data()
+    picks = rng.integers(0, len(base), NUM_QUERIES)
+    # Mostly in-distribution queries (perturbed training patterns checked
+    # against their own class) with a 15% slice of cross-class probes, so
+    # both verdicts and both walk depths are exercised.
+    classes = labels[picks].copy()
+    scramble = rng.random(NUM_QUERIES) < 0.15
+    classes[scramble] = rng.integers(0, NUM_CLASSES, int(scramble.sum()))
+    patterns = base[picks] ^ (rng.random((NUM_QUERIES, WIDTH)) < 0.02)
+    return patterns.astype(np.uint8), classes
+
+
+def test_bitset_vs_bdd_10k_queries():
+    patterns, labels = _training_data()
+    queries, query_classes = _queries()
+
+    monitors = {}
+    build_times = {}
+    warmup = np.zeros((NUM_CLASSES, WIDTH), dtype=np.uint8)
+    warmup_classes = np.arange(NUM_CLASSES)
+    for backend in ("bdd", "bitset"):
+        t0 = time.perf_counter()
+        monitor = NeuronActivationMonitor(
+            WIDTH, range(NUM_CLASSES), gamma=GAMMA, backend=backend
+        )
+        monitor.record(patterns, labels, labels)
+        # Materialise every class's gamma-enlarged zone inside the build
+        # timing, so the query columns measure pure query cost for both
+        # engines (the BDD's Z^gamma construction is part of its build).
+        monitor.check(warmup, warmup_classes)
+        build_times[backend] = time.perf_counter() - t0
+        monitors[backend] = monitor
+
+    def best_of(runs, fn):
+        best, result = float("inf"), None
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    # Seed deployment path: one Python BDD walk per decision.
+    bdd = monitors["bdd"]
+    t_per_sample, per_sample = best_of(
+        3,
+        lambda: np.array(
+            [
+                bdd.is_known(queries[i : i + 1], int(query_classes[i]))
+                for i in range(NUM_QUERIES)
+            ]
+        ),
+    )
+
+    t_bdd_batch, bdd_batched = best_of(5, lambda: bdd.check(queries, query_classes))
+
+    bitset = monitors["bitset"]
+    t_bitset, bitset_batched = best_of(5, lambda: bitset.check(queries, query_classes))
+
+    # Identical verdicts across all three paths.
+    np.testing.assert_array_equal(per_sample, bdd_batched)
+    np.testing.assert_array_equal(bdd_batched, bitset_batched)
+
+    def row(name, build, query):
+        throughput = NUM_QUERIES / query
+        return [
+            name,
+            f"{build*1000:.0f}ms",
+            f"{query*1000:.1f}ms",
+            f"{query/NUM_QUERIES*1e6:.2f}us",
+            f"{throughput/1000:.0f}k/s",
+            f"{t_per_sample/query:.1f}x",
+        ]
+
+    table = format_table(
+        ["backend/path", "build", "10k queries", "per query", "throughput", "vs per-sample"],
+        [
+            row("bdd / per-sample", build_times["bdd"], t_per_sample),
+            row("bdd / batched", build_times["bdd"], t_bdd_batch),
+            row("bitset / batched", build_times["bitset"], t_bitset),
+        ],
+    )
+    record(
+        "backend-comparison",
+        table
+        + f"\n\nworkload: {WIDTH} neurons, {NUM_CLASSES} classes, "
+        f"{PATTERNS_PER_CLASS} visited patterns/class, gamma={GAMMA}, "
+        f"{NUM_QUERIES} queries\nwarnings raised: {int((~bitset_batched).sum())}"
+        f"/{NUM_QUERIES}",
+    )
+
+    # Acceptance criterion: >= 10x over the per-sample BDD path, with every
+    # zone pre-materialised for both engines (no lazy-build contamination).
+    assert t_bitset * 10 <= t_per_sample, (
+        f"bitset {t_bitset:.4f}s not 10x faster than per-sample BDD "
+        f"{t_per_sample:.4f}s"
+    )
+
+
+def test_gamma_zero_fast_path_matches():
+    """The bitset γ=0 hash fast path agrees with the XOR kernel and BDD."""
+    patterns, labels = _training_data(seed=3)
+    queries, query_classes = _queries(seed=4)
+    verdicts = {}
+    for backend in ("bdd", "bitset"):
+        monitor = NeuronActivationMonitor(
+            WIDTH, range(NUM_CLASSES), gamma=0, backend=backend
+        )
+        monitor.record(patterns, labels, labels)
+        verdicts[backend] = monitor.check(queries, query_classes)
+    np.testing.assert_array_equal(verdicts["bdd"], verdicts["bitset"])

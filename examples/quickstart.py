@@ -82,6 +82,20 @@ def main() -> None:
         f"confidence={verdict.confidence:.2f} -> {status}"
     )
 
+    # ------------------------------------------------------------------
+    # Pluggable zone engines: the bitset backend answers the same queries
+    # with vectorized XOR/popcount and must agree bit-for-bit.
+    # ------------------------------------------------------------------
+    print("\n== swapping the comfort-zone backend ==")
+    fast = NeuronActivationMonitor.build(
+        spec.model, spec.monitored_module, train_ds,
+        gamma=result.chosen_gamma, backend="bitset",
+    )
+    guarded_fast = MonitoredClassifier(spec.model, spec.monitored_module, fast)
+    rate_fast = guarded_fast.warning_rate(shifted)
+    print(f"bitset backend warning rate (same data): {percent(rate_fast)}")
+    assert abs(rate_fast - rate_shift) < 1e-12, "backends must agree"
+
 
 if __name__ == "__main__":
     main()

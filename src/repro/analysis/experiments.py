@@ -34,6 +34,7 @@ from repro.monitor import (
     select_random_neurons,
     select_top_neurons,
 )
+from repro.monitor.backends import DEFAULT_BACKEND
 from repro.nn import Adam, DataLoader, Trainer, load_model, save_model
 from repro.nn.data import ArrayDataset, Dataset, stack_dataset
 
@@ -262,12 +263,15 @@ def build_monitor(
     neuron_fraction: Optional[float] = None,
     selection: str = "gradient",
     selection_seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
 ) -> NeuronActivationMonitor:
     """Build a monitor for a trained system (Algorithm 1 + §II selection).
 
     ``neuron_fraction`` enables partial monitoring: ``selection`` is either
     ``"gradient"`` (paper's method: output-weight sensitivity) or
-    ``"random"`` (the ablation control).
+    ``"random"`` (the ablation control).  ``backend`` picks the zone
+    engine (``"bdd"`` or ``"bitset"``), so every experiment can be run
+    against either.
     """
     patterns, labels, predictions = system.patterns_of("train")
     if classes is None:
@@ -288,6 +292,7 @@ def build_monitor(
         classes=classes,
         gamma=gamma,
         monitored_neurons=monitored_neurons,
+        backend=backend,
     )
     monitor.record(patterns, labels, predictions)
     return monitor

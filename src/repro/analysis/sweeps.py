@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.experiments import TrainedSystem, build_monitor, gamma_sweep
 from repro.datasets import corrupt
+from repro.monitor.backends import DEFAULT_BACKEND
 from repro.monitor import MonitorEvaluation, evaluate_patterns, extract_patterns
 from repro.nn.data import stack_dataset
 
@@ -36,6 +37,10 @@ class AbstractionPoint:
         """Coarse label along the α1 → α3 axis of Figure 2."""
         if self.evaluation.out_of_pattern_rate > 0.5:
             return "under-generalising (alpha-1)"
+        if np.isnan(self.mean_zone_density):
+            # Engine could not measure density (e.g. bitset zones too
+            # large to enumerate) — don't guess a regime from NaN.
+            return "density unavailable"
         if self.mean_zone_density > 0.5:
             return "over-generalising (alpha-3)"
         return "useful band"
@@ -46,10 +51,16 @@ def abstraction_sweep(
     gammas: Sequence[int],
     classes: Optional[Sequence[int]] = None,
     neuron_fraction: Optional[float] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[AbstractionPoint]:
-    """Figure 2 quantified: zone density + warning quality per γ."""
+    """Figure 2 quantified: zone density + warning quality per γ.
+
+    ``mean_zone_nodes`` is a BDD-specific storage measure; for backends
+    without a node count it is reported as 0.0.
+    """
     monitor = build_monitor(
-        system, gamma=0, classes=classes, neuron_fraction=neuron_fraction
+        system, gamma=0, classes=classes, neuron_fraction=neuron_fraction,
+        backend=backend,
     )
     evaluations = gamma_sweep(system, monitor, list(gammas))
     points = []
@@ -58,7 +69,7 @@ def abstraction_sweep(
         stats = monitor.statistics()
         non_empty = [s for s in stats.values() if s["visited_patterns"] > 0]
         density = float(np.mean([s["density"] for s in non_empty])) if non_empty else 0.0
-        nodes = float(np.mean([s["nodes"] for s in non_empty])) if non_empty else 0.0
+        nodes = float(np.mean([s.get("nodes", 0.0) for s in non_empty])) if non_empty else 0.0
         points.append(
             AbstractionPoint(
                 gamma=gamma,
@@ -86,6 +97,7 @@ def neuron_fraction_sweep(
     classes: Optional[Sequence[int]] = None,
     strategies: Sequence[str] = ("gradient", "random"),
     random_seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[SelectionPoint]:
     """Ablate the monitored-neuron fraction and the selection strategy."""
     points = []
@@ -98,6 +110,7 @@ def neuron_fraction_sweep(
                 neuron_fraction=fraction,
                 selection=strategy,
                 selection_seed=random_seed,
+                backend=backend,
             )
             evaluation = gamma_sweep(system, monitor, [gamma])[0]
             points.append(

@@ -20,26 +20,27 @@ def sat_count(manager: BDDManager, ref: int) -> int:
     Exact integer arithmetic (Python ints), so it is safe for the
     200-variable monitors the paper considers, where counts exceed 2**100.
     """
-    cache: Dict[int, int] = {}
-
-    def count(node: int) -> int:
-        # Returns the count over variables strictly below `level_of(node)`.
-        if node == BDDManager.FALSE:
-            return 0
-        if node == BDDManager.TRUE:
-            return 1
-        cached = cache.get(node)
-        if cached is not None:
-            return cached
-        level = manager.level_of(node)
+    # Iterative post-order (wide monitors exceed the recursion limit).
+    # cache[node] is the count over variables strictly below its level.
+    cache: Dict[int, int] = {BDDManager.FALSE: 0, BDDManager.TRUE: 1}
+    stack = [ref]
+    while stack:
+        node = stack.pop()
+        if node in cache:
+            continue
         low, high = manager.low_of(node), manager.high_of(node)
-        low_count = count(low) << (manager.level_of(low) - level - 1)
-        high_count = count(high) << (manager.level_of(high) - level - 1)
-        result = low_count + high_count
-        cache[node] = result
-        return result
-
-    return count(ref) << manager.level_of(ref)
+        if low in cache and high in cache:
+            level = manager.level_of(node)
+            low_count = cache[low] << (manager.level_of(low) - level - 1)
+            high_count = cache[high] << (manager.level_of(high) - level - 1)
+            cache[node] = low_count + high_count
+        else:
+            stack.append(node)
+            if low not in cache:
+                stack.append(low)
+            if high not in cache:
+                stack.append(high)
+    return cache[ref] << manager.level_of(ref)
 
 
 def enumerate_models(manager: BDDManager, ref: int) -> Iterator[Tuple[int, ...]]:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class BDDManager:
     """Owns and deduplicates ROBDD nodes over a fixed set of variables.
@@ -53,6 +55,10 @@ class BDDManager:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self._ite_calls = 0
+        self._ite_cache_hits = 0
+        self._exists_calls = 0
+        self._exists_cache_hits = 0
 
     # ------------------------------------------------------------------
     # node primitives
@@ -125,9 +131,11 @@ class BDDManager:
             return g
         if g == self.TRUE and h == self.FALSE:
             return f
+        self._ite_calls += 1
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._ite_cache_hits += 1
             return cached
         level = min(self._level[f], self._level[g], self._level[h])
         f0, f1 = self._cofactors(f, level)
@@ -192,9 +200,11 @@ class BDDManager:
         if level > index:
             # f does not depend on variables at or above `index`'s level.
             return f
+        self._exists_calls += 1
         key = (f, index)
         cached = self._exists_cache.get(key)
         if cached is not None:
+            self._exists_cache_hits += 1
             return cached
         if level == index:
             result = self.apply_or(self._low[f], self._high[f])
@@ -265,11 +275,64 @@ class BDDManager:
         return result
 
     def from_patterns(self, patterns: Iterable[Sequence[int]]) -> int:
-        """Encode a collection of bit-vectors as the union of their cubes."""
-        result = self.FALSE
-        for pattern in patterns:
-            result = self.apply_or(result, self.from_pattern(pattern))
-        return result
+        """Encode a collection of bit-vectors as the union of their cubes.
+
+        Bulk construction: the patterns are deduplicated and sorted
+        lexicographically, then the BDD is built top-down by splitting the
+        sorted block on each variable in turn.  Every ``_mk`` call lands on
+        a node of the final diagram, so the cost is proportional to the
+        result size — no ``ite`` calls and no intermediate diagrams, unlike
+        the naive ``OR`` of N cubes which rebuilds the accumulated union N
+        times.
+        """
+        items = patterns if isinstance(patterns, np.ndarray) else list(patterns)
+        if len(items) == 0:
+            return self.FALSE
+        rows = np.atleast_2d(np.asarray(items, dtype=np.uint8))
+        if rows.shape[1] != self.num_vars:
+            raise ValueError(
+                f"patterns have {rows.shape[1]} bits, expected {self.num_vars}"
+            )
+        if self.num_vars == 0:
+            return self.TRUE
+        if rows.max(initial=0) > 1:
+            raise ValueError("pattern bits must be 0 or 1")
+
+        from bisect import bisect_left
+
+        num_vars = self.num_vars
+        rows = np.unique(rows, axis=0)  # lexicographic sort + dedup, C speed
+        # Per-level columns as plain lists: inside any block that agrees on
+        # the bits above `level`, the column is 0s-then-1s, so the split is
+        # a C-speed binary search bounded to the block.
+        columns = rows.T.tolist()
+
+        # Iterative post-order over the block tree (an explicit stack keeps
+        # arbitrary variable counts clear of Python's recursion limit).
+        # Each block of rows agrees on all bits above `level`; its split on
+        # bit `level` yields the two child blocks.  Depth-first order means
+        # a parent's child refs are exactly the top of `results` when its
+        # expanded entry is popped: low last (pushed low-then-high, so the
+        # high subtree finishes first).
+        results: List[int] = []
+        stack: List[Tuple[int, int, int, bool, int]] = [(0, 0, len(rows), False, 0)]
+        while stack:
+            level, lo, hi, expanded, split = stack.pop()
+            if level == num_vars:
+                results.append(self.TRUE)
+                continue
+            if not expanded:
+                split = bisect_left(columns[level], 1, lo, hi)
+                stack.append((level, lo, hi, True, split))
+                if split > lo:   # some rows have bit `level` == 0
+                    stack.append((level + 1, lo, split, False, 0))
+                if split < hi:   # some rows have bit `level` == 1
+                    stack.append((level + 1, split, hi, False, 0))
+            else:
+                low = results.pop() if split > lo else self.FALSE
+                high = results.pop() if split < hi else self.FALSE
+                results.append(self._mk(level, low, high))
+        return results[0]
 
     def contains(self, f: int, pattern: Sequence[int]) -> bool:
         """Membership query: is ``pattern`` in the set ``f``?
@@ -286,6 +349,27 @@ class BDDManager:
             level = self._level[ref]
             ref = self._high[ref] if pattern[level] else self._low[ref]
         return ref == self.TRUE
+
+    def contains_batch(self, f: int, patterns: "np.ndarray") -> "np.ndarray":
+        """Membership queries for a whole ``(N, num_vars)`` pattern matrix.
+
+        One shared validation plus a tight per-row walk over local list
+        bindings; each row costs at most ``num_vars`` node hops.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns))
+        if patterns.shape[1] != self.num_vars:
+            raise ValueError(
+                f"patterns have {patterns.shape[1]} bits, expected {self.num_vars}"
+            )
+        level, low, high = self._level, self._low, self._high
+        result = np.empty(len(patterns), dtype=bool)
+        rows = patterns.tolist()
+        for i, row in enumerate(rows):
+            ref = f
+            while ref > 1:
+                ref = high[ref] if row[level[ref]] else low[ref]
+            result[i] = ref == self.TRUE
+        return result
 
     def hamming_expand(self, f: int, monitored: Optional[Sequence[int]] = None) -> int:
         """One Hamming-distance enlargement step (Algorithm 1, lines 9-14).
@@ -342,6 +426,34 @@ class BDDManager:
         """Drop operation caches (the unique table is kept: refs stay valid)."""
         self._ite_cache.clear()
         self._exists_cache.clear()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Apply/ite and exists cache statistics plus table sizes.
+
+        Hit rates expose how much memoisation is doing for a workload —
+        the number the DateSAT-style batch-construction optimisations are
+        judged against.
+        """
+        ite_rate = self._ite_cache_hits / self._ite_calls if self._ite_calls else 0.0
+        exists_rate = (
+            self._exists_cache_hits / self._exists_calls if self._exists_calls else 0.0
+        )
+        return {
+            "nodes": len(self._level),
+            "ite_calls": self._ite_calls,
+            "ite_cache_hits": self._ite_cache_hits,
+            "ite_hit_rate": ite_rate,
+            "ite_cache_entries": len(self._ite_cache),
+            "exists_calls": self._exists_calls,
+            "exists_cache_hits": self._exists_cache_hits,
+            "exists_hit_rate": exists_rate,
+            "exists_cache_entries": len(self._exists_cache),
+        }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the call/hit counters (cache contents are untouched)."""
+        self._ite_calls = self._ite_cache_hits = 0
+        self._exists_calls = self._exists_cache_hits = 0
 
 
 class BDDFunction:

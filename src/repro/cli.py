@@ -35,6 +35,8 @@ from repro.analysis import (
     train_system,
 )
 from repro.models import available_models
+from repro.monitor import available_backends
+from repro.monitor.backends import DEFAULT_BACKEND
 
 
 def _add_system_argument(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +61,12 @@ def _add_monitor_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="monitor only this fraction of neurons (gradient-selected)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=DEFAULT_BACKEND,
+        help="comfort-zone engine: canonical BDD or vectorized bitset",
     )
 
 
@@ -99,6 +107,7 @@ def _cmd_info() -> int:
     print(f"repro {__version__}")
     print(f"registered models: {', '.join(available_models())}")
     print(f"standard systems:  {', '.join(sorted(STANDARD_CONFIGS))}")
+    print(f"zone backends:     {', '.join(available_backends())}")
     cache = os.path.abspath(DEFAULT_CACHE_DIR)
     if os.path.isdir(cache):
         artifacts = sorted(f for f in os.listdir(cache) if f.endswith(".npz"))
@@ -128,6 +137,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         classes=args.classes,
         neuron_fraction=args.neuron_fraction,
+        backend=args.backend,
     )
     rows = gamma_sweep(system, monitor, [args.gamma])
     print(render_table2(1, system.misclassification_rate, rows))
@@ -137,7 +147,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     system = train_system(STANDARD_CONFIGS[args.system])
     monitor = build_monitor(
-        system, gamma=0, classes=args.classes, neuron_fraction=args.neuron_fraction
+        system, gamma=0, classes=args.classes,
+        neuron_fraction=args.neuron_fraction, backend=args.backend,
     )
     rows = gamma_sweep(system, monitor, list(range(args.max_gamma + 1)))
     print(render_table2(1, system.misclassification_rate, rows))

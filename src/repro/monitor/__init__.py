@@ -24,6 +24,13 @@ from repro.monitor.patterns import (
     pack_patterns,
     unpack_patterns,
 )
+from repro.monitor.backends import (
+    BDDZoneBackend,
+    BitsetZoneBackend,
+    ZoneBackend,
+    available_backends,
+    make_backend,
+)
 from repro.monitor.zone import ComfortZone
 from repro.monitor.monitor import NeuronActivationMonitor
 from repro.monitor.selection import (
@@ -45,6 +52,11 @@ __all__ = [
     "hamming_distance",
     "pack_patterns",
     "unpack_patterns",
+    "ZoneBackend",
+    "BDDZoneBackend",
+    "BitsetZoneBackend",
+    "available_backends",
+    "make_backend",
     "ComfortZone",
     "NeuronActivationMonitor",
     "weight_sensitivity",

@@ -1,0 +1,58 @@
+"""Pluggable comfort-zone backends.
+
+See :mod:`repro.monitor.backends.base` for the protocol and README.md in
+this directory for guidance on picking a backend.  Use ``backend="bdd"``
+or ``backend="bitset"`` anywhere a monitor is built (``ComfortZone``,
+``NeuronActivationMonitor``, ``DetectionMonitor``, ``build_monitor``, the
+CLI's ``--backend`` flag).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.monitor.backends.base import ZoneBackend
+from repro.monitor.backends.bdd import BDDZoneBackend
+from repro.monitor.backends.bitset import BitsetZoneBackend
+
+_BACKENDS = {
+    BDDZoneBackend.name: BDDZoneBackend,
+    BitsetZoneBackend.name: BitsetZoneBackend,
+}
+
+DEFAULT_BACKEND = BDDZoneBackend.name
+
+
+def available_backends() -> list:
+    """Sorted registry keys accepted by :func:`make_backend`."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, num_vars: int, manager: Optional[object] = None) -> ZoneBackend:
+    """Instantiate a zone backend by registry key.
+
+    ``manager`` (a :class:`~repro.bdd.manager.BDDManager`) is forwarded to
+    the BDD backend so one monitor's zones can share a node table; other
+    backends reject it.
+    """
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown zone backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if cls is BDDZoneBackend:
+        return cls(num_vars, manager=manager)
+    if manager is not None:
+        raise ValueError(f"backend {name!r} does not accept a shared BDD manager")
+    return cls(num_vars)
+
+
+__all__ = [
+    "ZoneBackend",
+    "BDDZoneBackend",
+    "BitsetZoneBackend",
+    "available_backends",
+    "make_backend",
+    "DEFAULT_BACKEND",
+]

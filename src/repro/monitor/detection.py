@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.monitor.backends import DEFAULT_BACKEND
 from repro.monitor.monitor import NeuronActivationMonitor
 from repro.monitor.patterns import binarize
 from repro.nn.hooks import ActivationTap
@@ -59,11 +60,13 @@ class DetectionMonitor:
         cell_labels: np.ndarray,
         gamma: int = 0,
         batch_size: int = 64,
+        backend: str = DEFAULT_BACKEND,
     ) -> "DetectionMonitor":
         """Algorithm 1 per grid cell.
 
         ``cell_labels`` has shape ``(N, ...)`` flattening to ``(N, K)`` for
-        K cells; the model must emit ``(N, K, C)`` logits.
+        K cells; the model must emit ``(N, K, C)`` logits.  ``backend``
+        selects the zone engine for every cell monitor.
         """
         patterns, logits = _extract_detection(
             model, monitored_module, inputs, batch_size
@@ -79,7 +82,8 @@ class DetectionMonitor:
         for cell in range(k):
             classes = np.unique(flat_labels[:, cell]).tolist()
             monitor = NeuronActivationMonitor(
-                layer_width=patterns.shape[1], classes=classes, gamma=gamma
+                layer_width=patterns.shape[1], classes=classes, gamma=gamma,
+                backend=backend,
             )
             monitor.record(patterns, flat_labels[:, cell], predictions[:, cell])
             monitors[cell] = monitor

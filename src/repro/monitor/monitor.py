@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.bdd import BDDManager
+from repro.monitor.backends import DEFAULT_BACKEND
 from repro.monitor.patterns import extract_patterns, pack_patterns, unpack_patterns
 from repro.monitor.zone import ComfortZone
 from repro.nn.data import Dataset, stack_dataset
@@ -44,6 +45,10 @@ class NeuronActivationMonitor:
         Indices of the neurons to monitor (all by default).  Patterns are
         projected onto these indices before zone insertion and queries, so
         unmonitored neurons are don't-cares in the abstraction.
+    backend:
+        Zone engine registry key: ``"bdd"`` (canonical diagram, the
+        paper's engine) or ``"bitset"`` (vectorized XOR/popcount rows).
+        Both give identical verdicts; see ``monitor/backends/README.md``.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class NeuronActivationMonitor:
         classes: Iterable[int],
         gamma: int = 0,
         monitored_neurons: Optional[Sequence[int]] = None,
+        backend: str = DEFAULT_BACKEND,
     ):
         if layer_width <= 0:
             raise ValueError(f"layer_width must be positive, got {layer_width}")
@@ -72,10 +78,16 @@ class NeuronActivationMonitor:
                     f"monitored neuron indices must lie in [0, {layer_width})"
                 )
         self.gamma = gamma
-        # All zones share one manager: same variables, shared node table.
-        self._manager = BDDManager(len(self.monitored_neurons))
+        self.backend_name = backend
+        # BDD zones share one manager: same variables, shared node table.
+        self._manager = (
+            BDDManager(len(self.monitored_neurons)) if backend == "bdd" else None
+        )
         self.zones: Dict[int, ComfortZone] = {
-            c: ComfortZone(len(self.monitored_neurons), gamma, manager=self._manager)
+            c: ComfortZone(
+                len(self.monitored_neurons), gamma,
+                manager=self._manager, backend=backend,
+            )
             for c in self.classes
         }
 
@@ -125,6 +137,7 @@ class NeuronActivationMonitor:
         classes: Optional[Iterable[int]] = None,
         monitored_neurons: Optional[Sequence[int]] = None,
         batch_size: int = 256,
+        backend: str = DEFAULT_BACKEND,
     ) -> "NeuronActivationMonitor":
         """Run Algorithm 1: one sweep over the training set, then enlarge.
 
@@ -140,6 +153,7 @@ class NeuronActivationMonitor:
             classes=classes,
             gamma=gamma,
             monitored_neurons=monitored_neurons,
+            backend=backend,
         )
         monitor.record(patterns, labels, predictions)
         return monitor
@@ -194,7 +208,8 @@ class NeuronActivationMonitor:
     def __repr__(self) -> str:
         return (
             f"NeuronActivationMonitor(classes={self.classes}, gamma={self.gamma}, "
-            f"monitored={len(self.monitored_neurons)}/{self.layer_width})"
+            f"monitored={len(self.monitored_neurons)}/{self.layer_width}, "
+            f"backend={self.backend_name!r})"
         )
 
     @classmethod
@@ -203,12 +218,11 @@ class NeuronActivationMonitor:
 
         Useful when training data is processed in shards (e.g. a fleet of
         vehicles each contributes patterns): the merged monitor's zones are
-        the set union of the inputs' visited sets, with γ taken from the
-        first monitor.  All inputs must agree on ``layer_width`` and
-        ``monitored_neurons``.
+        the set union of the inputs' visited sets, with γ and the zone
+        backend taken from the first monitor.  All inputs must agree on
+        ``layer_width`` and ``monitored_neurons``; backends may differ
+        (the visited sets are exchanged as plain pattern matrices).
         """
-        from repro.bdd.analysis import enumerate_models
-
         if not monitors:
             raise ValueError("merge needs at least one monitor")
         first = monitors[0]
@@ -225,11 +239,12 @@ class NeuronActivationMonitor:
             classes=classes,
             gamma=first.gamma,
             monitored_neurons=first.monitored_neurons,
+            backend=first.backend_name,
         )
         for monitor in monitors:
             for c, zone in monitor.zones.items():
-                visited = list(enumerate_models(monitor._manager, zone.visited_ref))
-                if visited:
+                visited = zone.backend.visited_patterns()
+                if len(visited):
                     merged.zones[c].add_patterns(visited)
         return merged
 
@@ -240,33 +255,34 @@ class NeuronActivationMonitor:
         """Serialise to ``.npz``: visited patterns (packed bits) + metadata.
 
         Zones are rebuilt from visited patterns on load; storing ``Z^0``
-        rather than ``Z^γ`` keeps files small and lets γ be changed after
-        reload.
+        rather than ``Z^γ`` keeps files small and lets γ (and even the
+        backend) be changed after reload.  The format is backend-portable:
+        every backend can emit and re-ingest its deduplicated visited set.
         """
-        from repro.bdd.analysis import enumerate_models
-
         arrays = {}
         meta = {
             "layer_width": self.layer_width,
             "gamma": self.gamma,
             "classes": self.classes,
             "pattern_width": int(len(self.monitored_neurons)),
+            "backend": self.backend_name,
         }
         arrays["monitored_neurons"] = self.monitored_neurons
         for c, zone in self.zones.items():
-            visited = np.array(
-                list(enumerate_models(self._manager, zone.visited_ref)), dtype=np.uint8
-            )
-            if visited.size == 0:
-                visited = np.zeros((0, len(self.monitored_neurons)), dtype=np.uint8)
+            visited = zone.backend.visited_patterns()
             arrays[f"class_{c}"] = pack_patterns(visited)
             arrays[f"count_{c}"] = np.array([visited.shape[0]])
         arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path: PathLike) -> "NeuronActivationMonitor":
-        """Restore a monitor saved by :meth:`save`."""
+    def load(cls, path: PathLike, backend: Optional[str] = None) -> "NeuronActivationMonitor":
+        """Restore a monitor saved by :meth:`save`.
+
+        ``backend`` overrides the zone engine recorded in the file — the
+        on-disk format is a plain pattern set, so a monitor saved from the
+        BDD engine can be served by the bitset engine and vice versa.
+        """
         with np.load(path) as archive:
             meta = json.loads(bytes(archive["meta"]).decode())
             monitored = archive["monitored_neurons"]
@@ -275,6 +291,7 @@ class NeuronActivationMonitor:
                 classes=meta["classes"],
                 gamma=int(meta["gamma"]),
                 monitored_neurons=monitored,
+                backend=backend or meta.get("backend", DEFAULT_BACKEND),
             )
             width = int(meta["pattern_width"])
             for c in meta["classes"]:

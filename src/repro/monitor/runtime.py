@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.monitor.backends import DEFAULT_BACKEND
 from repro.monitor.monitor import NeuronActivationMonitor
 from repro.monitor.patterns import extract_patterns
 from repro.nn import functional as F
@@ -60,6 +61,33 @@ class MonitoredClassifier:
         self.model = model
         self.monitored_module = monitored_module
         self.monitor = monitor
+
+    @classmethod
+    def build(
+        cls,
+        model: Module,
+        monitored_module: Module,
+        train_dataset,
+        gamma: int = 0,
+        backend: str = DEFAULT_BACKEND,
+        **monitor_kwargs,
+    ) -> "MonitoredClassifier":
+        """Build the monitor (Algorithm 1) and wrap the model in one call.
+
+        ``backend`` selects the comfort-zone engine (``"bdd"`` or
+        ``"bitset"``); remaining keyword arguments are forwarded to
+        :meth:`NeuronActivationMonitor.build`.
+        """
+        monitor = NeuronActivationMonitor.build(
+            model, monitored_module, train_dataset,
+            gamma=gamma, backend=backend, **monitor_kwargs,
+        )
+        return cls(model, monitored_module, monitor)
+
+    @property
+    def backend_name(self) -> str:
+        """The zone engine serving this classifier's monitor."""
+        return self.monitor.backend_name
 
     def classify(self, inputs: np.ndarray, batch_size: int = 256) -> List[Verdict]:
         """Classify a batch and attach a monitor verdict to each decision."""

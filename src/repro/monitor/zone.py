@@ -1,37 +1,40 @@
-"""γ-comfort zones (Definition 2), stored as BDDs.
+"""γ-comfort zones (Definition 2), backed by a pluggable engine.
 
 ``Z^0_c`` is the set of activation patterns of all correctly-classified
 training images of class ``c``; ``Z^γ_c`` adds every pattern within Hamming
-distance γ, computed with the existential-quantification trick of
-Algorithm 1 (lines 9-14).
+distance γ.  The zone delegates storage and queries to a
+:class:`~repro.monitor.backends.base.ZoneBackend` — the canonical BDD of
+the paper (existential-quantification enlargement, Algorithm 1 lines 9-14)
+or the vectorized bitset engine (direct XOR/popcount distance) — both of
+which produce identical verdicts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.bdd import BDDManager, zone_statistics
-from repro.bdd.analysis import sat_count
+from repro.bdd import BDDManager
+from repro.monitor.backends import DEFAULT_BACKEND, ZoneBackend, make_backend
 
 
 class ComfortZone:
     """The comfort zone of one class over the monitored neurons.
 
-    Construction follows Algorithm 1: visited patterns are encoded as BDD
-    cubes and OR-ed into ``Z^0``; γ expansion steps enlarge the zone by
-    Hamming distance 1 each, via per-variable existential quantification.
-
     Parameters
     ----------
     num_neurons:
-        Width of the monitored pattern (BDD variable count).
+        Width of the monitored pattern.
     gamma:
         Hamming-distance enlargement radius.
     manager:
         Optionally share one :class:`BDDManager` across zones (the
-        per-class monitors of one network share variables).
+        per-class monitors of one network share variables).  Only valid
+        with the BDD backend.
+    backend:
+        Registry key (``"bdd"`` or ``"bitset"``) or a ready-made
+        :class:`ZoneBackend` instance.
     """
 
     def __init__(
@@ -39,21 +42,24 @@ class ComfortZone:
         num_neurons: int,
         gamma: int = 0,
         manager: Optional[BDDManager] = None,
+        backend: Union[str, ZoneBackend] = DEFAULT_BACKEND,
     ):
         if num_neurons <= 0:
             raise ValueError(f"num_neurons must be positive, got {num_neurons}")
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
-        if manager is not None and manager.num_vars != num_neurons:
-            raise ValueError(
-                f"shared manager has {manager.num_vars} variables, need {num_neurons}"
-            )
         self.num_neurons = num_neurons
         self.gamma = gamma
-        self.manager = manager if manager is not None else BDDManager(num_neurons)
-        self._visited = self.manager.empty_set()   # Z^0
-        self._zone = self.manager.empty_set()      # Z^gamma
-        self._dirty = False
+        if isinstance(backend, ZoneBackend):
+            if backend.num_vars != num_neurons:
+                raise ValueError(
+                    f"backend has {backend.num_vars} variables, need {num_neurons}"
+                )
+            if manager is not None:
+                raise ValueError("pass either a backend instance or a manager, not both")
+            self.backend = backend
+        else:
+            self.backend = make_backend(backend, num_neurons, manager=manager)
         self.num_visited_patterns = 0
 
     # ------------------------------------------------------------------
@@ -61,27 +67,24 @@ class ComfortZone:
     # ------------------------------------------------------------------
     def add_pattern(self, pattern: Sequence[int]) -> None:
         """Record one visited activation pattern (Algorithm 1, line 6)."""
-        cube = self.manager.from_pattern(pattern)
-        self._visited = self.manager.apply_or(self._visited, cube)
+        self.backend.add_patterns(np.asarray(pattern, dtype=np.uint8).reshape(1, -1))
         self.num_visited_patterns += 1
-        self._dirty = True
 
     def add_patterns(self, patterns: Iterable[Sequence[int]]) -> None:
-        """Record many visited patterns."""
-        for pattern in patterns:
-            self.add_pattern(pattern)
-
-    def _rebuild(self) -> None:
-        self._zone = self.manager.hamming_ball(self._visited, self.gamma)
-        self._dirty = False
+        """Record many visited patterns in one bulk insert."""
+        if not isinstance(patterns, np.ndarray):
+            patterns = np.asarray(list(patterns), dtype=np.uint8)
+        if patterns.size == 0:
+            return
+        patterns = np.atleast_2d(patterns)  # count rows, not bits, below
+        self.backend.add_patterns(patterns)
+        self.num_visited_patterns += len(patterns)
 
     def set_gamma(self, gamma: int) -> None:
-        """Change the enlargement radius (zone is lazily recomputed)."""
+        """Change the enlargement radius (a pure query parameter now)."""
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
-        if gamma != self.gamma:
-            self.gamma = gamma
-            self._dirty = True
+        self.gamma = gamma
 
     def enlarge(self) -> None:
         """Increase γ by one (used by the calibration loop)."""
@@ -91,51 +94,44 @@ class ComfortZone:
     # queries
     # ------------------------------------------------------------------
     @property
+    def manager(self) -> Optional[BDDManager]:
+        """The shared BDD manager (``None`` for non-BDD backends)."""
+        return getattr(self.backend, "manager", None)
+
+    @property
     def zone_ref(self) -> int:
-        """BDD ref of ``Z^γ`` (rebuilt on demand)."""
-        if self._dirty:
-            self._rebuild()
-        return self._zone
+        """BDD ref of ``Z^γ`` (BDD backend only)."""
+        return self.backend.zone_ref(self.gamma)
 
     @property
     def visited_ref(self) -> int:
-        """BDD ref of ``Z^0`` (the raw visited set)."""
-        return self._visited
+        """BDD ref of ``Z^0`` (BDD backend only)."""
+        return self.backend.visited_ref
 
     def contains(self, pattern: Sequence[int]) -> bool:
-        """Membership in ``Z^γ`` — the runtime monitor query.
-
-        Linear in the number of monitored neurons, per the BDD guarantee
-        the paper highlights.
-        """
-        return self.manager.contains(self.zone_ref, pattern)
+        """Membership in ``Z^γ`` — the runtime monitor query."""
+        return self.backend.contains(pattern, self.gamma)
 
     def contains_batch(self, patterns: np.ndarray) -> np.ndarray:
         """Vectorised membership for a ``(N, d)`` pattern array."""
-        ref = self.zone_ref
-        return np.fromiter(
-            (self.manager.contains(ref, row) for row in patterns),
-            dtype=bool,
-            count=len(patterns),
-        )
+        return self.backend.contains_batch(patterns, self.gamma)
 
     def is_empty(self) -> bool:
         """True when no pattern was ever added."""
-        return self._visited == self.manager.empty_set()
+        return self.backend.is_empty()
 
     def size(self) -> int:
         """Exact number of patterns in ``Z^γ``."""
-        return sat_count(self.manager, self.zone_ref)
+        return self.backend.size(self.gamma)
 
     def statistics(self) -> Dict[str, float]:
-        """Zone statistics (pattern count, node count, density, support)."""
-        stats = zone_statistics(self.manager, self.zone_ref)
+        """Zone statistics (pattern count, density, engine internals)."""
+        stats = self.backend.statistics(self.gamma)
         stats["gamma"] = self.gamma
-        stats["visited_patterns"] = sat_count(self.manager, self._visited)
         return stats
 
     def __repr__(self) -> str:
         return (
             f"ComfortZone(neurons={self.num_neurons}, gamma={self.gamma}, "
-            f"visited={self.num_visited_patterns})"
+            f"visited={self.num_visited_patterns}, backend={self.backend.name!r})"
         )

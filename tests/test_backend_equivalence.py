@@ -1,0 +1,147 @@
+"""Cross-backend equivalence: bitset and BDD zones are the same set.
+
+The two engines implement the same semantics — "is this pattern within
+Hamming distance γ of the visited set?" — through completely different
+representations (canonical decision diagram vs packed-row XOR/popcount).
+Property-based tests drive both with random pattern sets and require
+bit-identical accept/reject verdicts for γ ∈ {0, 1, 2}.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor import ComfortZone, NeuronActivationMonitor
+from repro.monitor.backends import make_backend
+
+
+def _pattern_matrix(draw, width, max_rows):
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=width, max_size=width),
+            min_size=1,
+            max_size=max_rows,
+        )
+    )
+    return np.asarray(rows, dtype=np.uint8)
+
+
+@st.composite
+def zone_and_probes(draw):
+    width = draw(st.integers(min_value=1, max_value=12))
+    visited = _pattern_matrix(draw, width, max_rows=12)
+    probes = _pattern_matrix(draw, width, max_rows=24)
+    gamma = draw(st.integers(min_value=0, max_value=2))
+    return width, visited, probes, gamma
+
+
+@settings(max_examples=120, deadline=None)
+@given(zone_and_probes())
+def test_backends_give_identical_verdicts(case):
+    width, visited, probes, gamma = case
+    bdd = make_backend("bdd", width)
+    bitset = make_backend("bitset", width)
+    bdd.add_patterns(visited)
+    bitset.add_patterns(visited)
+    np.testing.assert_array_equal(
+        bdd.contains_batch(probes, gamma),
+        bitset.contains_batch(probes, gamma),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(zone_and_probes())
+def test_backends_agree_on_zone_size(case):
+    width, visited, _probes, gamma = case
+    bdd = make_backend("bdd", width)
+    bitset = make_backend("bitset", width)
+    bdd.add_patterns(visited)
+    bitset.add_patterns(visited)
+    assert bdd.size(gamma) == bitset.size(gamma)
+
+
+@settings(max_examples=60, deadline=None)
+@given(zone_and_probes())
+def test_verdicts_match_brute_force_hamming(case):
+    """Both backends must equal the definitional check: min Hamming
+    distance to any visited pattern is at most γ."""
+    width, visited, probes, gamma = case
+    distances = (probes[:, None, :] != visited[None, :, :]).sum(axis=2)
+    expected = distances.min(axis=1) <= gamma
+    for name in ("bdd", "bitset"):
+        backend = make_backend(name, width)
+        backend.add_patterns(visited)
+        np.testing.assert_array_equal(
+            backend.contains_batch(probes, gamma), expected, err_msg=name
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(zone_and_probes())
+def test_incremental_inserts_match_bulk(case):
+    """Adding patterns one by one equals one bulk insert, per backend."""
+    width, visited, probes, gamma = case
+    for name in ("bdd", "bitset"):
+        bulk = make_backend(name, width)
+        bulk.add_patterns(visited)
+        incremental = make_backend(name, width)
+        for row in visited:
+            incremental.add_patterns(row.reshape(1, -1))
+        np.testing.assert_array_equal(
+            bulk.contains_batch(probes, gamma),
+            incremental.contains_batch(probes, gamma),
+            err_msg=name,
+        )
+
+
+class TestComfortZoneParity:
+    """The ComfortZone facade behaves identically over either engine."""
+
+    @pytest.mark.parametrize("gamma", [0, 1, 2])
+    def test_seeded_random_zones(self, gamma):
+        rng = np.random.default_rng(42 + gamma)
+        visited = (rng.random((40, 20)) < 0.35).astype(np.uint8)
+        probes = (rng.random((500, 20)) < 0.35).astype(np.uint8)
+        zones = {}
+        for name in ("bdd", "bitset"):
+            zone = ComfortZone(20, gamma=gamma, backend=name)
+            zone.add_patterns(visited)
+            zones[name] = zone.contains_batch(probes)
+        np.testing.assert_array_equal(zones["bdd"], zones["bitset"])
+
+    def test_gamma_sweep_parity_on_monitor(self):
+        rng = np.random.default_rng(7)
+        patterns = (rng.random((120, 16)) < 0.5).astype(np.uint8)
+        labels = rng.integers(0, 3, 120)
+        probes = (rng.random((400, 16)) < 0.5).astype(np.uint8)
+        probe_classes = rng.integers(0, 3, 400)
+        monitors = {
+            name: NeuronActivationMonitor(16, [0, 1, 2], backend=name)
+            for name in ("bdd", "bitset")
+        }
+        for monitor in monitors.values():
+            monitor.record(patterns, labels, labels)
+        for gamma in (0, 1, 2):
+            for monitor in monitors.values():
+                monitor.set_gamma(gamma)
+            np.testing.assert_array_equal(
+                monitors["bdd"].check(probes, probe_classes),
+                monitors["bitset"].check(probes, probe_classes),
+                err_msg=f"gamma={gamma}",
+            )
+
+    def test_monitored_neuron_projection_parity(self):
+        rng = np.random.default_rng(3)
+        patterns = (rng.random((60, 24)) < 0.5).astype(np.uint8)
+        labels = np.zeros(60, dtype=np.int64)
+        probes = (rng.random((200, 24)) < 0.5).astype(np.uint8)
+        neurons = [1, 4, 9, 16, 23]
+        results = {}
+        for name in ("bdd", "bitset"):
+            monitor = NeuronActivationMonitor(
+                24, [0], gamma=1, monitored_neurons=neurons, backend=name
+            )
+            monitor.record(patterns, labels, labels)
+            results[name] = monitor.check(probes, np.zeros(200, dtype=np.int64))
+        np.testing.assert_array_equal(results["bdd"], results["bitset"])

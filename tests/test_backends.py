@@ -1,0 +1,239 @@
+"""Unit tests for the zone-backend subsystem itself.
+
+Cross-backend semantic equivalence lives in ``test_backend_equivalence``;
+this file covers the registry/factory, engine-specific internals (bitset
+dedup and distance kernel, BDD γ-cache and bulk construction) and the
+backend plumbing through the monitor stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bdd import BDDManager
+from repro.monitor import (
+    BDDZoneBackend,
+    BitsetZoneBackend,
+    ComfortZone,
+    NeuronActivationMonitor,
+    available_backends,
+    make_backend,
+)
+from repro.monitor.detection import DetectionMonitor
+from repro.monitor.runtime import MonitoredClassifier
+from repro.nn import ArrayDataset, Linear, ReLU, Sequential
+
+
+class TestFactory:
+    def test_registry_contents(self):
+        assert available_backends() == ["bdd", "bitset"]
+
+    def test_make_backend_types(self):
+        assert isinstance(make_backend("bdd", 4), BDDZoneBackend)
+        assert isinstance(make_backend("bitset", 4), BitsetZoneBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown zone backend"):
+            make_backend("cudd", 4)
+
+    def test_shared_manager_only_for_bdd(self):
+        mgr = BDDManager(4)
+        backend = make_backend("bdd", 4, manager=mgr)
+        assert backend.manager is mgr
+        with pytest.raises(ValueError):
+            make_backend("bitset", 4, manager=mgr)
+
+    def test_manager_width_mismatch(self):
+        with pytest.raises(ValueError):
+            make_backend("bdd", 3, manager=BDDManager(4))
+
+    @pytest.mark.parametrize("name", ["bdd", "bitset"])
+    def test_invalid_num_vars(self, name):
+        with pytest.raises(ValueError):
+            make_backend(name, 0)
+
+
+class TestBitsetBackend:
+    def test_deduplication(self):
+        backend = BitsetZoneBackend(5)
+        row = np.array([[1, 0, 1, 0, 1]], dtype=np.uint8)
+        for _ in range(4):
+            backend.add_patterns(row)
+        assert len(backend.visited_patterns()) == 1
+        assert backend.size(0) == 1
+
+    def test_min_distances(self):
+        backend = BitsetZoneBackend(8)
+        backend.add_patterns(np.array([[0] * 8, [1] * 8], dtype=np.uint8))
+        probes = np.array(
+            [[0] * 8, [1, 0, 0, 0, 0, 0, 0, 0], [1, 1, 1, 1, 0, 0, 0, 0]],
+            dtype=np.uint8,
+        )
+        np.testing.assert_array_equal(
+            backend.min_distances(probes), [0, 1, 4]
+        )
+
+    def test_empty_zone_rejects_everything(self):
+        backend = BitsetZoneBackend(6)
+        probes = np.zeros((3, 6), dtype=np.uint8)
+        assert not backend.contains_batch(probes, 0).any()
+        assert not backend.contains_batch(probes, 3).any()
+        assert backend.is_empty()
+        assert backend.size(2) == 0
+
+    def test_chunked_query_path(self, monkeypatch):
+        """Queries larger than the chunk budget still answer correctly."""
+        import repro.monitor.backends.bitset as bitset_mod
+
+        monkeypatch.setattr(bitset_mod, "_CHUNK_BYTES", 64)
+        rng = np.random.default_rng(0)
+        backend = BitsetZoneBackend(16)
+        visited = (rng.random((20, 16)) < 0.5).astype(np.uint8)
+        backend.add_patterns(visited)
+        probes = (rng.random((100, 16)) < 0.5).astype(np.uint8)
+        expected = (probes[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1) <= 1
+        np.testing.assert_array_equal(backend.contains_batch(probes, 1), expected)
+
+    def test_non_binary_patterns_rejected(self):
+        backend = BitsetZoneBackend(4)
+        with pytest.raises(ValueError):
+            backend.add_patterns(np.array([[0, 1, 2, 0]], dtype=np.uint8))
+
+    def test_width_mismatch_rejected(self):
+        backend = BitsetZoneBackend(4)
+        with pytest.raises(ValueError):
+            backend.add_patterns(np.zeros((2, 5), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            backend.contains_batch(np.zeros((2, 5), dtype=np.uint8), 0)
+
+    def test_size_saturates_at_full_space(self):
+        backend = BitsetZoneBackend(3)
+        backend.add_patterns(np.array([[0, 0, 0]], dtype=np.uint8))
+        assert backend.size(3) == 8  # whole 3-bit space reached
+        assert backend.size(10) == 8
+
+    def test_statistics_keys(self):
+        backend = BitsetZoneBackend(6)
+        backend.add_patterns(np.array([[1, 0, 1, 0, 1, 0]], dtype=np.uint8))
+        stats = backend.statistics(1)
+        assert stats["visited_patterns"] == 1
+        assert stats["patterns"] == 7
+        assert stats["storage_bytes"] == 8  # one row, one 64-bit word
+        assert 0 < stats["density"] < 1
+
+
+class TestBDDBackend:
+    def test_gamma_cache_is_incremental(self):
+        rng = np.random.default_rng(1)
+        backend = BDDZoneBackend(10)
+        backend.add_patterns((rng.random((15, 10)) < 0.5).astype(np.uint8))
+        z2 = backend.zone_ref(2)
+        assert backend.zone_ref(1) == backend._zone_cache[1]
+        assert backend.zone_ref(2) == z2  # replay hits the cache
+        # Adding patterns invalidates enlarged zones.
+        backend.add_patterns(np.ones((1, 10), dtype=np.uint8))
+        assert 2 not in backend._zone_cache
+
+    def test_saturation_short_circuits(self):
+        backend = BDDZoneBackend(3)
+        backend.add_patterns(np.zeros((1, 3), dtype=np.uint8))
+        assert backend.zone_ref(3) == backend.manager.universal_set()
+        assert backend.zone_ref(7) == backend.manager.universal_set()
+
+    def test_visited_patterns_roundtrip(self):
+        rng = np.random.default_rng(2)
+        visited = (rng.random((12, 8)) < 0.5).astype(np.uint8)
+        backend = BDDZoneBackend(8)
+        backend.add_patterns(visited)
+        out = backend.visited_patterns()
+        assert {r.tobytes() for r in out} == {r.tobytes() for r in np.unique(visited, axis=0)}
+
+    def test_statistics_include_cache_counters(self):
+        backend = BDDZoneBackend(6)
+        backend.add_patterns(np.eye(6, dtype=np.uint8))
+        stats = backend.statistics(1)
+        assert stats["visited_patterns"] == 6
+        assert "nodes" in stats
+        assert stats["cache"]["ite_calls"] >= 0
+
+
+class TestZoneFacade:
+    def test_backend_instance_injection(self):
+        backend = BitsetZoneBackend(5)
+        zone = ComfortZone(5, gamma=1, backend=backend)
+        zone.add_pattern([1, 1, 0, 0, 0])
+        assert zone.backend is backend
+        assert zone.contains([1, 0, 0, 0, 0])
+
+    def test_backend_instance_width_checked(self):
+        with pytest.raises(ValueError):
+            ComfortZone(4, backend=BitsetZoneBackend(5))
+
+    def test_backend_instance_and_manager_conflict(self):
+        with pytest.raises(ValueError):
+            ComfortZone(4, manager=BDDManager(4), backend=BitsetZoneBackend(4))
+
+    def test_manager_property_none_for_bitset(self):
+        zone = ComfortZone(4, backend="bitset")
+        assert zone.manager is None
+
+    def test_repr_names_backend(self):
+        assert "bitset" in repr(ComfortZone(4, backend="bitset"))
+
+
+class TestMonitorPlumbing:
+    def _toy_system(self):
+        rng = np.random.default_rng(0)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 4, rng=rng), monitored, Linear(4, 2, rng=rng))
+        x = rng.normal(size=(40, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        return model, monitored, ArrayDataset(x, y)
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_monitor_build_with_backend(self, backend):
+        model, monitored, dataset = self._toy_system()
+        monitor = NeuronActivationMonitor.build(
+            model, monitored, dataset, gamma=1, backend=backend
+        )
+        assert monitor.backend_name == backend
+        assert backend in repr(monitor)
+
+    def test_bitset_monitor_has_no_shared_manager(self):
+        monitor = NeuronActivationMonitor(4, [0], backend="bitset")
+        assert monitor._manager is None
+
+    def test_merge_prefers_first_backend(self):
+        a = NeuronActivationMonitor(4, [0], backend="bitset")
+        b = NeuronActivationMonitor(4, [0], backend="bdd")
+        row = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        a.record(row, np.array([0]), np.array([0]))
+        b.record(1 - row, np.array([0]), np.array([0]))
+        merged = NeuronActivationMonitor.merge([a, b])
+        assert merged.backend_name == "bitset"
+        assert merged.zones[0].contains([1, 0, 1, 0])
+        assert merged.zones[0].contains([0, 1, 0, 1])
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_monitored_classifier_build(self, backend):
+        model, monitored, dataset = self._toy_system()
+        guarded = MonitoredClassifier.build(
+            model, monitored, dataset, gamma=0, backend=backend
+        )
+        assert guarded.backend_name == backend
+        verdicts = guarded.classify(dataset.inputs[:5])
+        assert len(verdicts) == 5
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_detection_monitor_backend(self, backend):
+        from repro.datasets import MultiObjectConfig, generate_multiobject
+        from repro.models import build_model
+
+        config = MultiObjectConfig()
+        data = generate_multiobject(12, seed=0, config=config)
+        spec = build_model("grid_detector", seed=0, config=config)
+        det = DetectionMonitor.build(
+            spec.model, spec.monitored_module, data.inputs, data.cell_labels,
+            gamma=0, backend=backend,
+        )
+        for monitor in det.monitors.values():
+            assert monitor.backend_name == backend

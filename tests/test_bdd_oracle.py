@@ -1,0 +1,173 @@
+"""Brute-force oracle for the ROBDD manager.
+
+For managers of up to 12 variables every boolean function can be checked
+against an explicit truth table: enumerate all 2^n assignments and compare
+``contains`` with a reference evaluation.  This pins down ``ite``,
+negation, ``exists`` and the bulk ``from_patterns`` constructor against
+first principles rather than against each other.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bdd import BDDManager
+from repro.bdd.analysis import sat_count
+
+
+def _assignments(num_vars):
+    return np.array(list(itertools.product([0, 1], repeat=num_vars)), dtype=np.uint8)
+
+
+def _truth_table(mgr, ref, assignments):
+    return mgr.contains_batch(ref, assignments)
+
+
+def _random_function(mgr, rng, depth=4):
+    """A random BDD built from vars and connectives, plus its numpy oracle.
+
+    Returns ``(ref, table)`` where ``table[i]`` is the function value on
+    the i-th assignment in lexicographic order.
+    """
+    assignments = _assignments(mgr.num_vars)
+    index = rng.integers(0, mgr.num_vars)
+    ref = mgr.var(int(index))
+    table = assignments[:, index].astype(bool)
+    for _ in range(depth):
+        op = rng.choice(["and", "or", "xor", "not", "implies"])
+        other_index = int(rng.integers(0, mgr.num_vars))
+        other_ref = mgr.var(other_index)
+        other_table = assignments[:, other_index].astype(bool)
+        if op == "not":
+            ref, table = mgr.apply_not(ref), ~table
+        elif op == "and":
+            ref, table = mgr.apply_and(ref, other_ref), table & other_table
+        elif op == "or":
+            ref, table = mgr.apply_or(ref, other_ref), table | other_table
+        elif op == "xor":
+            ref, table = mgr.apply_xor(ref, other_ref), table ^ other_table
+        else:
+            ref, table = mgr.apply_implies(ref, other_ref), ~table | other_table
+    return ref, table
+
+
+@pytest.mark.parametrize("num_vars", [2, 5, 8, 12])
+def test_random_connective_trees_match_truth_tables(num_vars):
+    rng = np.random.default_rng(num_vars)
+    mgr = BDDManager(num_vars)
+    assignments = _assignments(num_vars)
+    for _ in range(10):
+        ref, table = _random_function(mgr, rng, depth=6)
+        np.testing.assert_array_equal(_truth_table(mgr, ref, assignments), table)
+        # Model counting must match the table too.
+        assert sat_count(mgr, ref) == int(table.sum())
+
+
+@pytest.mark.parametrize("num_vars", [3, 6, 10])
+def test_ite_matches_pointwise_definition(num_vars):
+    rng = np.random.default_rng(100 + num_vars)
+    mgr = BDDManager(num_vars)
+    assignments = _assignments(num_vars)
+    for _ in range(8):
+        f, f_table = _random_function(mgr, rng)
+        g, g_table = _random_function(mgr, rng)
+        h, h_table = _random_function(mgr, rng)
+        result = mgr.ite(f, g, h)
+        expected = np.where(f_table, g_table, h_table)
+        np.testing.assert_array_equal(_truth_table(mgr, result, assignments), expected)
+
+
+@pytest.mark.parametrize("num_vars", [3, 6, 10])
+def test_negation_is_pointwise_complement(num_vars):
+    rng = np.random.default_rng(200 + num_vars)
+    mgr = BDDManager(num_vars)
+    assignments = _assignments(num_vars)
+    for _ in range(8):
+        f, f_table = _random_function(mgr, rng)
+        np.testing.assert_array_equal(
+            _truth_table(mgr, mgr.apply_not(f), assignments), ~f_table
+        )
+        # Involution closes the loop exactly (canonicity).
+        assert mgr.apply_not(mgr.apply_not(f)) == f
+
+
+@pytest.mark.parametrize("num_vars", [3, 6, 10])
+def test_exists_matches_cofactor_or(num_vars):
+    rng = np.random.default_rng(300 + num_vars)
+    mgr = BDDManager(num_vars)
+    assignments = _assignments(num_vars)
+    for _ in range(8):
+        f, f_table = _random_function(mgr, rng)
+        for index in range(num_vars):
+            result = mgr.exists(f, index)
+            # Oracle: value is 1 iff either setting of variable `index`
+            # satisfies f.  Assignment i's neighbour with bit `index`
+            # flipped sits at i XOR 2^(n-1-index) in lexicographic order.
+            neighbour = np.arange(len(f_table)) ^ (1 << (num_vars - 1 - index))
+            expected = f_table | f_table[neighbour]
+            np.testing.assert_array_equal(
+                _truth_table(mgr, result, assignments), expected
+            )
+
+
+@pytest.mark.parametrize("num_vars", [1, 4, 9, 12])
+def test_from_patterns_is_exactly_the_pattern_set(num_vars):
+    rng = np.random.default_rng(400 + num_vars)
+    mgr = BDDManager(num_vars)
+    assignments = _assignments(num_vars)
+    for count in (1, 3, 17):
+        patterns = (rng.random((count, num_vars)) < 0.5).astype(np.uint8)
+        ref = mgr.from_patterns(patterns)
+        keys = {row.tobytes() for row in patterns}
+        expected = np.array([row.tobytes() in keys for row in assignments])
+        np.testing.assert_array_equal(_truth_table(mgr, ref, assignments), expected)
+        assert sat_count(mgr, ref) == len(keys)
+
+
+def test_from_patterns_matches_sequential_inserts():
+    rng = np.random.default_rng(5)
+    for num_vars in (4, 8, 12):
+        patterns = (rng.random((30, num_vars)) < 0.5).astype(np.uint8)
+        bulk_mgr = BDDManager(num_vars)
+        bulk = bulk_mgr.from_patterns(patterns)
+        seq_mgr = BDDManager(num_vars)
+        seq = seq_mgr.empty_set()
+        for row in patterns:
+            seq = seq_mgr.apply_or(seq, seq_mgr.from_pattern(row))
+        assignments = _assignments(num_vars)
+        np.testing.assert_array_equal(
+            _truth_table(bulk_mgr, bulk, assignments),
+            _truth_table(seq_mgr, seq, assignments),
+        )
+
+
+def test_from_patterns_edge_cases():
+    mgr = BDDManager(4)
+    assert mgr.from_patterns([]) == mgr.FALSE
+    assert mgr.from_patterns(np.zeros((0, 4), dtype=np.uint8)) == mgr.FALSE
+    # Duplicates collapse to one cube.
+    ref = mgr.from_patterns([[1, 0, 1, 0]] * 5)
+    assert sat_count(mgr, ref) == 1
+    with pytest.raises(ValueError):
+        mgr.from_patterns([[1, 0, 1]])  # wrong width
+    with pytest.raises(ValueError):
+        mgr.from_patterns([[2, 0, 0, 0]])  # non-binary bit
+    zero = BDDManager(0)
+    assert zero.from_patterns([]) == zero.FALSE
+    assert zero.from_patterns([[]]) == zero.TRUE
+
+
+def test_cache_statistics_track_ite_activity():
+    mgr = BDDManager(6)
+    base = mgr.cache_stats()
+    assert base["ite_calls"] == 0
+    f = mgr.apply_or(mgr.var(0), mgr.var(1))
+    g = mgr.apply_or(mgr.var(0), mgr.var(1))  # replay: served by cache
+    assert f == g
+    stats = mgr.cache_stats()
+    assert stats["ite_calls"] > 0
+    assert stats["ite_cache_hits"] >= 1
+    assert 0.0 <= stats["ite_hit_rate"] <= 1.0
+    mgr.reset_cache_stats()
+    assert mgr.cache_stats()["ite_calls"] == 0

@@ -1,0 +1,135 @@
+"""Monitor persistence round-trips across both zone backends.
+
+The ``.npz`` format stores the deduplicated visited patterns (``Z^0``) as
+packed bits plus metadata, so it is backend-portable: a monitor saved from
+either engine must reload — into either engine — with identical verdicts,
+and γ must stay adjustable after reload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.monitor import NeuronActivationMonitor, pack_patterns, unpack_patterns
+
+BACKENDS = ["bdd", "bitset"]
+
+
+def _random_monitor(backend, rng, width=10, classes=(0, 1, 2), gamma=1):
+    monitor = NeuronActivationMonitor(
+        width, classes, gamma=gamma, backend=backend
+    )
+    patterns = (rng.random((90, width)) < 0.5).astype(np.uint8)
+    labels = rng.integers(0, len(classes), 90)
+    monitor.record(patterns, labels, labels)
+    return monitor
+
+
+def _assert_same_verdicts(a, b, rng, width=10, n=300):
+    probes = (rng.random((n, width)) < 0.5).astype(np.uint8)
+    for c in a.classes:
+        preds = np.full(n, c)
+        np.testing.assert_array_equal(a.check(probes, preds), b.check(probes, preds))
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("width", [1, 7, 8, 9, 64, 100])
+    def test_roundtrip_exact(self, width):
+        rng = np.random.default_rng(width)
+        patterns = (rng.random((25, width)) < 0.5).astype(np.uint8)
+        np.testing.assert_array_equal(
+            unpack_patterns(pack_patterns(patterns), width), patterns
+        )
+
+    def test_empty_roundtrip(self):
+        empty = np.zeros((0, 12), dtype=np.uint8)
+        packed = pack_patterns(empty)
+        assert packed.shape[0] == 0
+        np.testing.assert_array_equal(unpack_patterns(packed, 12), empty)
+
+    def test_pack_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            pack_patterns(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_patterns(np.zeros(8, dtype=np.uint8), 8)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_same_backend_roundtrip(self, backend, tmp_path):
+        rng = np.random.default_rng(0)
+        monitor = _random_monitor(backend, rng)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        assert restored.backend_name == backend
+        assert restored.classes == monitor.classes
+        assert restored.gamma == monitor.gamma
+        _assert_same_verdicts(monitor, restored, np.random.default_rng(1))
+
+    @pytest.mark.parametrize("save_backend", BACKENDS)
+    @pytest.mark.parametrize("load_backend", BACKENDS)
+    def test_cross_backend_roundtrip(self, save_backend, load_backend, tmp_path):
+        rng = np.random.default_rng(2)
+        monitor = _random_monitor(save_backend, rng)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path, backend=load_backend)
+        assert restored.backend_name == load_backend
+        _assert_same_verdicts(monitor, restored, np.random.default_rng(3))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gamma_adjustable_after_reload(self, backend, tmp_path):
+        rng = np.random.default_rng(4)
+        monitor = _random_monitor(backend, rng, gamma=0)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        monitor.set_gamma(2)
+        restored.set_gamma(2)
+        _assert_same_verdicts(monitor, restored, np.random.default_rng(5))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_monitored_neuron_subset_roundtrip(self, backend, tmp_path):
+        rng = np.random.default_rng(6)
+        monitor = NeuronActivationMonitor(
+            16, [0, 1], gamma=1, monitored_neurons=[0, 3, 8, 15], backend=backend
+        )
+        patterns = (rng.random((50, 16)) < 0.5).astype(np.uint8)
+        labels = rng.integers(0, 2, 50)
+        monitor.record(patterns, labels, labels)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        np.testing.assert_array_equal(
+            restored.monitored_neurons, monitor.monitored_neurons
+        )
+        probes = (rng.random((200, 16)) < 0.5).astype(np.uint8)
+        for c in (0, 1):
+            preds = np.full(200, c)
+            np.testing.assert_array_equal(
+                monitor.check(probes, preds), restored.check(probes, preds)
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_class_roundtrip(self, backend, tmp_path):
+        monitor = NeuronActivationMonitor(4, [0, 1], backend=backend)
+        monitor.record(
+            np.array([[1, 0, 1, 0]], dtype=np.uint8), np.array([0]), np.array([0])
+        )
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        assert restored.zones[1].is_empty()
+        assert restored.zones[0].contains([1, 0, 1, 0])
+
+    def test_duplicate_patterns_deduplicated_on_disk(self, tmp_path):
+        """Save stores the deduplicated visited set regardless of how many
+        times a pattern was recorded."""
+        monitor = NeuronActivationMonitor(4, [0], backend="bitset")
+        row = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        for _ in range(5):
+            monitor.record(row, np.array([0]), np.array([0]))
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        with np.load(path) as archive:
+            assert int(archive["count_0"][0]) == 1

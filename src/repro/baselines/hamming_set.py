@@ -85,12 +85,40 @@ class HammingSetMonitor:
         self.gamma = gamma
 
     def min_distance(self, pattern: np.ndarray, class_index: int) -> int:
-        """Minimum Hamming distance from ``pattern`` to the visited set."""
+        """Minimum Hamming distance from ``pattern`` to the visited set.
+
+        Empty visited set: ``len(monitored_neurons) + 1`` — one beyond any
+        achievable distance *in the projected space*, matching the zone
+        backends' sentinel (the full-layer width would be reachable when
+        only a neuron subset is monitored).
+        """
         visited = self._patterns[class_index]
         if len(visited) == 0:
-            return pattern.shape[-1] + 1  # beyond any achievable distance
+            return len(self.monitored_neurons) + 1
         projected = np.asarray(pattern).reshape(-1)[self.monitored_neurons]
         return int((visited != projected).sum(axis=1).min())
+
+    def min_distances(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """Batch oracle mirror of ``NeuronActivationMonitor.min_distances``.
+
+        Unmonitored classes get distance 0 (the monitor has no opinion);
+        empty visited sets get the projected-width + 1 sentinel.
+        """
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        projected = patterns[:, self.monitored_neurons]
+        distances = np.zeros(len(patterns), dtype=np.int64)
+        for c in self.classes:
+            mask = predicted_classes == c
+            if not mask.any():
+                continue
+            visited = self._patterns[c]
+            if len(visited) == 0:
+                distances[mask] = len(self.monitored_neurons) + 1
+                continue
+            pairwise = (projected[mask][:, None, :] != visited[None, :, :]).sum(axis=2)
+            distances[mask] = pairwise.min(axis=1)
+        return distances
 
     def check(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
         """True per row when within distance γ of the class's visited set."""

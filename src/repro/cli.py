@@ -11,7 +11,14 @@ Commands
     Build a monitor at a fixed γ and print the Table II row for the
     validation set.
 ``sweep``
-    Run the γ calibration sweep and report the chosen coarseness.
+    Run the γ calibration sweep and report the chosen coarseness (the
+    choice is made by :class:`~repro.monitor.calibration.GammaCalibrator`,
+    so CLI and library always agree).
+``serve`` (alias ``stream``)
+    Shard the monitor per class and replay the validation stream through
+    the asyncio micro-batching :class:`~repro.serving.server.StreamServer`;
+    prints sustained throughput, per-shard queue/batch/latency statistics
+    and the inline distribution-shift verdict.
 
 All heavy lifting is delegated to :mod:`repro.analysis`; the CLI is a thin,
 scriptable veneer used by the examples and CI.
@@ -24,18 +31,26 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro import __version__
 from repro.analysis import (
     DEFAULT_CACHE_DIR,
     STANDARD_CONFIGS,
     build_monitor,
+    format_table,
     gamma_sweep,
     percent,
     render_table2,
     train_system,
 )
 from repro.models import available_models
-from repro.monitor import available_backends
+from repro.monitor import (
+    DistanceShiftDetector,
+    DistributionShiftDetector,
+    GammaCalibrator,
+    available_backends,
+)
 from repro.monitor.backends import DEFAULT_BACKEND
 
 
@@ -100,6 +115,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="silence target used to choose gamma",
     )
+    sweep_p.add_argument(
+        "--min-precision",
+        type=float,
+        default=0.0,
+        help="floor on misclassified-within-oop; noisier gammas are skipped",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        aliases=["stream"],
+        help="replay the validation stream through the sharded async server",
+    )
+    _add_system_argument(serve_p)
+    _add_monitor_arguments(serve_p)
+    # Serving is the bitset engine's home turf (vectorized batch queries
+    # and cheap exact distances); BDD remains selectable via --backend.
+    serve_p.set_defaults(backend="bitset")
+    serve_p.add_argument("--gamma", type=int, default=2, help="Hamming radius")
+    serve_p.add_argument(
+        "--shards", type=int, default=4, help="number of per-class monitor shards"
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=64,
+        help="largest micro-batch coalesced into one backend call",
+    )
+    serve_p.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="longest wait for stragglers before a batch is flushed",
+    )
+    serve_p.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="per-shard queue bound (producers block beyond it)",
+    )
+    serve_p.add_argument(
+        "--requests", type=int, default=None,
+        help="stream length (validation rows are recycled; default: one epoch)",
+    )
+    serve_p.add_argument(
+        "--distances", action="store_true",
+        help="also stream exact Hamming distances into the histogram "
+        "shift detector (sharper signal than binary verdicts)",
+    )
     return parser
 
 
@@ -152,10 +209,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     rows = gamma_sweep(system, monitor, list(range(args.max_gamma + 1)))
     print(render_table2(1, system.misclassification_rate, rows))
-    acceptable = [r for r in rows if r.out_of_pattern_rate <= args.max_warning_rate]
-    chosen = min((r.gamma for r in acceptable), default=rows[-1].gamma)
+    # One selection rule for library and CLI: GammaCalibrator applies the
+    # min_precision floor and the documented quietest-gamma fallback.
+    calibrator = GammaCalibrator(
+        max_gamma=args.max_gamma,
+        max_out_of_pattern_rate=args.max_warning_rate,
+        min_precision=args.min_precision,
+    )
+    chosen = calibrator.choose(rows)
     print(f"\nchosen gamma: {chosen} "
-          f"(silence target {percent(args.max_warning_rate)})")
+          f"(silence target {percent(args.max_warning_rate)}, "
+          f"precision floor {percent(args.min_precision)})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import ShardRouter, run_stream
+
+    system = train_system(STANDARD_CONFIGS[args.system])
+    monitor = build_monitor(
+        system,
+        gamma=args.gamma,
+        classes=args.classes,
+        neuron_fraction=args.neuron_fraction,
+        backend=args.backend,
+    )
+    router = ShardRouter.partition(monitor, args.shards)
+    patterns, labels, predictions = system.patterns_of("val")
+    total = args.requests if args.requests is not None else len(patterns)
+    if total <= 0 or len(patterns) == 0:
+        raise SystemExit("nothing to serve: empty validation stream")
+    picks = np.arange(total) % len(patterns)
+    stream_patterns = patterns[picks]
+    stream_classes = predictions[picks]
+
+    # Calibration-time baselines for the inline shift detectors.
+    baseline_oop = 1.0 - monitor.check(patterns, predictions).mean()
+    shift_detector = DistributionShiftDetector(min(baseline_oop, 0.99))
+    distance_detector = None
+    if args.distances:
+        distance_detector = DistanceShiftDetector(
+            monitor.min_distances(patterns, predictions)
+        )
+
+    result = run_stream(
+        router,
+        stream_patterns,
+        stream_classes,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_pending=args.max_pending,
+        shift_detector=shift_detector,
+        distance_detector=distance_detector,
+    )
+    print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}")
+    print(f"shards:   {len(router)}  "
+          f"(classes per shard: {[len(s.classes) for s in router.shards]})")
+    print(f"requests: {len(result.verdicts)}  elapsed {result.elapsed*1e3:.1f}ms  "
+          f"throughput {result.throughput/1e3:.1f}k req/s")
+    print(f"warnings: {int((~result.verdicts).sum())} "
+          f"(baseline oop rate {percent(baseline_oop)})")
+    keys = ["shard", "requests", "batches", "mean_batch", "max_batch",
+            "max_queue_depth", "p50_ms", "p99_ms"]
+    table_rows = [
+        [f"{row[k]:.2f}" if isinstance(row[k], float) else str(row[k]) for k in keys]
+        for row in result.stats
+    ]
+    print(format_table(keys, table_rows))
+    shift_state = shift_detector.peek()
+    print(f"shift detector: window rate {percent(shift_state.window_rate)}, "
+          f"z={shift_state.z_score:.2f}, cusum={shift_state.cusum:.2f}, "
+          f"alarm={shift_state.alarm}")
+    if distance_detector is not None:
+        state = distance_detector.peek()
+        print(f"distance histogram: mean {state.window_mean:.2f}, "
+              f"divergence {state.divergence:.3f}, alarm={state.alarm}")
     return 0
 
 
@@ -170,6 +298,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command in ("serve", "stream"):
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

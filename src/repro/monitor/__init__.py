@@ -42,7 +42,12 @@ from repro.monitor.selection import (
 from repro.monitor.metrics import MonitorEvaluation, evaluate_monitor, evaluate_patterns
 from repro.monitor.calibration import CalibrationResult, GammaCalibrator
 from repro.monitor.runtime import MonitoredClassifier, Verdict
-from repro.monitor.shift import DistributionShiftDetector, ShiftState
+from repro.monitor.shift import (
+    DistanceShiftDetector,
+    DistanceShiftState,
+    DistributionShiftDetector,
+    ShiftState,
+)
 from repro.monitor.boxes import BoxMonitor, BoxZone
 from repro.monitor.detection import CellVerdict, DetectionMonitor
 
@@ -72,6 +77,8 @@ __all__ = [
     "Verdict",
     "DistributionShiftDetector",
     "ShiftState",
+    "DistanceShiftDetector",
+    "DistanceShiftState",
     "BoxMonitor",
     "BoxZone",
     "DetectionMonitor",

@@ -61,8 +61,27 @@ class ZoneBackend(ABC):
         return bool(self.contains_batch(row, gamma)[0])
 
     @abstractmethod
+    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
+        """Per-row minimum Hamming distance from ``(N, num_vars)`` queries
+        to the visited set ``Z^0``.
+
+        The sentinel for an empty store is ``num_vars + 1`` (beyond any
+        achievable distance), so ``min_distances(Q) <= gamma`` is always
+        equivalent to ``contains_batch(Q, gamma)``.  Exact distances feed
+        the serving layer's distance histograms — a sharper shift signal
+        than the binary verdict stream (paper §V)."""
+
+    @abstractmethod
     def is_empty(self) -> bool:
         """True when no pattern was ever recorded."""
+
+    @abstractmethod
+    def num_visited(self) -> int:
+        """Number of *distinct* patterns recorded (``|Z^0|``).
+
+        Backends deduplicate on insert, so this is the dedup count — the
+        one true cardinality behind ``ComfortZone.num_visited_patterns``
+        and the serialisation round-trip."""
 
     @abstractmethod
     def visited_patterns(self) -> np.ndarray:

@@ -15,6 +15,7 @@ an abstraction, and the natural engine to race against the BDD backend.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Set
 
 import numpy as np
@@ -27,7 +28,12 @@ _POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
     axis=1, dtype=np.uint8
 )
 
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+#: ``REPRO_FORCE_POPCOUNT_LUT=1`` forces the byte-LUT kernel even when the
+#: hardware ufunc exists, so CI on numpy>=2 can still exercise the numpy<2
+#: fallback path.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count") and os.environ.get(
+    "REPRO_FORCE_POPCOUNT_LUT", ""
+).lower() not in ("1", "true", "yes")
 
 #: Cap on the temporary ``(chunk, M, W)`` XOR cube, in bytes.
 _CHUNK_BYTES = 1 << 26  # 64 MiB
@@ -116,7 +122,8 @@ class BitsetZoneBackend(ZoneBackend):
         return self._min_distances_packed(words) <= gamma
 
     def min_distances(self, patterns: np.ndarray) -> np.ndarray:
-        """Per-row minimum Hamming distance to the visited set."""
+        """Per-row minimum Hamming distance to the visited set
+        (``num_vars + 1`` when nothing was recorded)."""
         return self._min_distances_packed(self._pack_words(self._validate(patterns)))
 
     def _min_distances_packed(self, words: np.ndarray) -> np.ndarray:
@@ -147,6 +154,9 @@ class BitsetZoneBackend(ZoneBackend):
 
     def is_empty(self) -> bool:
         return not self._seen
+
+    def num_visited(self) -> int:
+        return len(self._seen)
 
     def visited_patterns(self) -> np.ndarray:
         if not self._seen:

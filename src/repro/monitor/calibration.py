@@ -84,7 +84,7 @@ class GammaCalibrator:
             monitor.set_gamma(gamma)
             sweep.append(evaluate_patterns(monitor, patterns, predictions, labels))
 
-        chosen = self._choose(sweep)
+        chosen = self.choose(sweep)
         monitor.set_gamma(chosen)
         return CalibrationResult(chosen_gamma=chosen, sweep=sweep)
 
@@ -101,7 +101,10 @@ class GammaCalibrator:
         patterns, logits = extract_patterns(model, monitored_module, inputs, batch_size)
         return self.calibrate_patterns(monitor, patterns, logits.argmax(axis=1), labels)
 
-    def _choose(self, sweep: List[MonitorEvaluation]) -> int:
+    def choose(self, sweep: List[MonitorEvaluation]) -> int:
+        """Select γ from evaluated sweep rows — the single source of truth
+        for the selection rule (the CLI ``sweep`` command routes through
+        this too, so library and CLI cannot drift apart)."""
         acceptable = [
             row
             for row in sweep
@@ -115,3 +118,6 @@ class GammaCalibrator:
         # point (largest gamma), which the enlargement monotonicity makes
         # the best-effort choice.
         return sweep[-1].gamma
+
+    # Backwards-compatible alias (pre-serving-layer name).
+    _choose = choose

@@ -189,6 +189,25 @@ class NeuronActivationMonitor:
                 supported[mask] = zone.contains_batch(projected[mask])
         return supported
 
+    def min_distances(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """Exact per-row Hamming distance to the predicted class's ``Z^0``.
+
+        The distance refines :meth:`check`'s binary verdict into "how far
+        out-of-distribution": ``distance <= gamma`` iff the row is
+        supported.  Rows predicted as an unmonitored class get distance 0
+        (the monitor has no opinion, mirroring ``check``'s ``True``); an
+        empty zone yields the ``d + 1`` sentinel of the backends.
+        """
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        projected = self.project(patterns)
+        distances = np.zeros(len(patterns), dtype=np.int64)
+        for c, zone in self.zones.items():
+            mask = predicted_classes == c
+            if mask.any():
+                distances[mask] = zone.min_distances(projected[mask])
+        return distances
+
     def monitors_class(self, class_index: int) -> bool:
         """Whether the monitor has a zone for this class."""
         return class_index in self.zones

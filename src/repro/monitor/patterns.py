@@ -37,6 +37,35 @@ def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.asarray(a != b).sum(axis=-1)
 
 
+def infer_pattern_width(model: Module, monitored_module: Module) -> int:
+    """Best-effort flat pattern width of ``monitored_module``, without a
+    forward pass.
+
+    Activationless modules (ReLU, the usual monitoring point) take the
+    width of the closest preceding layer with a declared ``out_features``
+    in their enclosing ``Sequential``.  Returns 0 when nothing declares a
+    width (empty-input extraction then yields ``(0, 0)`` patterns).
+    """
+    def declared(module: Module) -> int:
+        width = getattr(module, "out_features", None)
+        return int(width) if isinstance(width, int) else 0
+
+    width = declared(monitored_module)
+    if width:
+        return width
+    for container in model.modules():
+        layers = getattr(container, "layers", None)
+        if not isinstance(layers, list):
+            continue
+        for index, layer in enumerate(layers):
+            if layer is monitored_module:
+                for previous in reversed(layers[:index]):
+                    width = declared(previous)
+                    if width:
+                        return width
+    return 0
+
+
 def extract_patterns(
     model: Module,
     monitored_module: Module,
@@ -45,6 +74,10 @@ def extract_patterns(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run ``inputs`` through ``model`` and collect patterns plus logits.
 
+    Zero-length inputs run no forward pass; the pattern matrix is then
+    ``(0, d)`` with ``d`` taken from :func:`infer_pattern_width` and the
+    logits ``(0, 1)`` (so ``argmax(axis=1)`` stays well-defined).
+
     Returns
     -------
     patterns:
@@ -52,6 +85,9 @@ def extract_patterns(
     logits:
         ``(N, C)`` raw network outputs, for deciding ``dec(in)``.
     """
+    if len(inputs) == 0:
+        width = infer_pattern_width(model, monitored_module)
+        return np.zeros((0, width), dtype=np.uint8), np.zeros((0, 1))
     model.eval()
     logits_chunks = []
     with ActivationTap(monitored_module) as tap:
@@ -59,7 +95,7 @@ def extract_patterns(
             batch = Tensor(inputs[start : start + batch_size])
             logits_chunks.append(model(batch).data)
     activations = tap.concatenated()
-    logits = np.concatenate(logits_chunks, axis=0) if logits_chunks else np.empty((0, 0))
+    logits = np.concatenate(logits_chunks, axis=0)
     return binarize(activations), logits
 
 

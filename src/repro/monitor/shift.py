@@ -46,6 +46,13 @@ class DistributionShiftDetector:
         The CUSUM accumulates ``(x - baseline - slack)`` per observation and
         alarms when it exceeds the threshold; catches slow drifts that never
         spike a single window.
+
+    Alarm semantics: each :class:`ShiftState` reports whether *that update*
+    crossed a limit.  When the CUSUM limit is hit, the accumulator restarts
+    at zero (standard CUSUM restart), so the alarm is an edge — a fresh
+    alarm needs fresh evidence rather than staying latched forever on the
+    pre-shift residue.  The windowed z-test needs no reset: the window
+    slides, so its alarm clears by itself once the rate recovers.
     """
 
     def __init__(
@@ -69,18 +76,15 @@ class DistributionShiftDetector:
         self._cusum = 0.0
         self._seen = 0
 
-    def update(self, out_of_pattern: bool) -> ShiftState:
-        """Feed one monitor verdict; returns the current detector state."""
-        self._buffer.append(bool(out_of_pattern))
-        self._seen += 1
-        self._cusum = max(
-            0.0,
-            self._cusum + (float(out_of_pattern) - self.baseline_rate - self.cusum_slack),
-        )
+    def _state(self) -> ShiftState:
+        """Current state from the window and accumulator (shared by
+        :meth:`update` and :meth:`peek` so the alarm rule cannot drift)."""
         n = len(self._buffer)
-        rate = sum(self._buffer) / n
+        rate = sum(self._buffer) / n if n else 0.0
         # One-sided z-test of the windowed rate against the baseline.
-        std = np.sqrt(max(self.baseline_rate * (1.0 - self.baseline_rate), 1e-12) / n)
+        std = np.sqrt(
+            max(self.baseline_rate * (1.0 - self.baseline_rate), 1e-12) / max(n, 1)
+        )
         z = (rate - self.baseline_rate) / std
         # The z-test waits for a full window: partial-window estimates are
         # too noisy and would fire spuriously during warm-up.
@@ -95,12 +99,157 @@ class DistributionShiftDetector:
             alarm=bool(alarm),
         )
 
+    def update(self, out_of_pattern: bool) -> ShiftState:
+        """Feed one monitor verdict; returns the current detector state."""
+        self._buffer.append(bool(out_of_pattern))
+        self._seen += 1
+        self._cusum = max(
+            0.0,
+            self._cusum + (float(out_of_pattern) - self.baseline_rate - self.cusum_slack),
+        )
+        state = self._state()
+        if self._cusum >= self.cusum_threshold:
+            # CUSUM restart: report the crossing value, then re-arm so the
+            # alarm doesn't stay latched on the accumulated pre-shift mass.
+            self._cusum = 0.0
+        return state
+
     def update_many(self, flags: Iterable[bool]) -> List[ShiftState]:
         """Feed a sequence of verdicts; returns the state after each."""
         return [self.update(flag) for flag in flags]
+
+    def peek(self) -> ShiftState:
+        """Current state without consuming an observation (serving stats)."""
+        return self._state()
 
     def reset(self) -> None:
         """Clear the window and the CUSUM accumulator."""
         self._buffer.clear()
         self._cusum = 0.0
+        self._seen = 0
+
+
+@dataclass
+class DistanceShiftState:
+    """Snapshot of the distance-histogram detector after one update."""
+
+    samples_seen: int
+    window_mean: float
+    divergence: float
+    histogram: np.ndarray
+    alarm: bool
+
+
+class DistanceShiftDetector:
+    """Shift detection from *exact* Hamming distances, not binary verdicts.
+
+    The binary out-of-pattern stream collapses "one bit outside the zone"
+    and "half the layer flipped" into the same event.  The bitset backend
+    (and now the BDD backend, via ``ZoneBackend.min_distances``) reports
+    the exact distance of every decision to its class's visited set, so a
+    shift can be read off the *distance histogram* before the binary rate
+    moves: distributions drifting away from training shift probability
+    mass to larger distances even while most samples still fall inside
+    ``Z^γ``.
+
+    The detector bins distances into ``[0, 1, ..., max_distance, overflow]``,
+    maintains a sliding-window empirical histogram and alarms when its
+    total-variation divergence from the calibration-time baseline exceeds
+    ``divergence_threshold`` (with a full window, mirroring the z-test's
+    warm-up guard).
+
+    Parameters
+    ----------
+    baseline_distances:
+        Distances observed on validation data (no shift), used to build
+        the reference histogram.
+    max_distance:
+        Distances above this land in one overflow bin (default: the
+        largest baseline distance + 1).
+    window:
+        Sliding window length.
+    divergence_threshold:
+        Total-variation distance (in [0, 1]) above which the windowed
+        histogram is declared shifted.
+    """
+
+    def __init__(
+        self,
+        baseline_distances: Iterable[int],
+        max_distance: Optional[int] = None,
+        window: int = 200,
+        divergence_threshold: float = 0.25,
+    ):
+        baseline = np.asarray(list(baseline_distances), dtype=np.int64)
+        if baseline.size == 0:
+            raise ValueError("baseline_distances must be non-empty")
+        if baseline.min() < 0:
+            raise ValueError("distances must be non-negative")
+        if not 0.0 < divergence_threshold <= 1.0:
+            raise ValueError(
+                f"divergence_threshold must be in (0, 1], got {divergence_threshold}"
+            )
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.max_distance = (
+            int(baseline.max()) + 1 if max_distance is None else int(max_distance)
+        )
+        if self.max_distance < 0:
+            raise ValueError(f"max_distance must be non-negative, got {max_distance}")
+        self.window = window
+        self.divergence_threshold = divergence_threshold
+        self.baseline_histogram = self._histogram(baseline)
+        self._buffer: Deque[int] = deque(maxlen=window)
+        self._seen = 0
+
+    def _histogram(self, distances: np.ndarray) -> np.ndarray:
+        """Normalised counts over bins ``0..max_distance`` plus overflow."""
+        clipped = np.minimum(distances, self.max_distance + 1)
+        counts = np.bincount(clipped, minlength=self.max_distance + 2)
+        return counts / counts.sum()
+
+    def _state(self) -> DistanceShiftState:
+        """Current state from the window (shared by :meth:`update` and
+        :meth:`peek` so the alarm rule cannot drift)."""
+        if not self._buffer:
+            return DistanceShiftState(
+                samples_seen=self._seen,
+                window_mean=0.0,
+                divergence=0.0,
+                histogram=self.baseline_histogram.copy(),
+                alarm=False,
+            )
+        histogram = self._histogram(np.asarray(self._buffer, dtype=np.int64))
+        divergence = 0.5 * float(np.abs(histogram - self.baseline_histogram).sum())
+        alarm = (
+            len(self._buffer) >= self.window
+            and divergence >= self.divergence_threshold
+        )
+        return DistanceShiftState(
+            samples_seen=self._seen,
+            window_mean=float(np.mean(self._buffer)),
+            divergence=divergence,
+            histogram=histogram,
+            alarm=bool(alarm),
+        )
+
+    def update(self, distance: int) -> DistanceShiftState:
+        """Feed one decision's exact distance; returns the detector state."""
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        self._buffer.append(int(distance))
+        self._seen += 1
+        return self._state()
+
+    def update_many(self, distances: Iterable[int]) -> List[DistanceShiftState]:
+        """Feed a sequence of distances; returns the state after each."""
+        return [self.update(d) for d in distances]
+
+    def peek(self) -> DistanceShiftState:
+        """Current state without consuming an observation (serving stats)."""
+        return self._state()
+
+    def reset(self) -> None:
+        """Clear the sliding window (the baseline is kept)."""
+        self._buffer.clear()
         self._seen = 0

@@ -60,7 +60,17 @@ class ComfortZone:
             self.backend = backend
         else:
             self.backend = make_backend(backend, num_neurons, manager=manager)
-        self.num_visited_patterns = 0
+
+    @property
+    def num_visited_patterns(self) -> int:
+        """Number of *distinct* visited patterns (``|Z^0|``).
+
+        Delegated to the backend's dedup count: every backend collapses
+        duplicate inserts, so a counter incremented by raw insert count
+        would disagree with :meth:`ZoneBackend.visited_patterns` and
+        silently change across a save/load round-trip.
+        """
+        return self.backend.num_visited()
 
     # ------------------------------------------------------------------
     # construction
@@ -68,7 +78,6 @@ class ComfortZone:
     def add_pattern(self, pattern: Sequence[int]) -> None:
         """Record one visited activation pattern (Algorithm 1, line 6)."""
         self.backend.add_patterns(np.asarray(pattern, dtype=np.uint8).reshape(1, -1))
-        self.num_visited_patterns += 1
 
     def add_patterns(self, patterns: Iterable[Sequence[int]]) -> None:
         """Record many visited patterns in one bulk insert."""
@@ -76,9 +85,7 @@ class ComfortZone:
             patterns = np.asarray(list(patterns), dtype=np.uint8)
         if patterns.size == 0:
             return
-        patterns = np.atleast_2d(patterns)  # count rows, not bits, below
-        self.backend.add_patterns(patterns)
-        self.num_visited_patterns += len(patterns)
+        self.backend.add_patterns(np.atleast_2d(patterns))
 
     def set_gamma(self, gamma: int) -> None:
         """Change the enlargement radius (a pure query parameter now)."""
@@ -115,6 +122,10 @@ class ComfortZone:
     def contains_batch(self, patterns: np.ndarray) -> np.ndarray:
         """Vectorised membership for a ``(N, d)`` pattern array."""
         return self.backend.contains_batch(patterns, self.gamma)
+
+    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
+        """Exact per-row Hamming distance to ``Z^0`` (γ-independent)."""
+        return self.backend.min_distances(patterns)
 
     def is_empty(self) -> bool:
         """True when no pattern was ever added."""

@@ -1,0 +1,37 @@
+"""Sharded streaming serving layer over the ``ZoneBackend`` protocol.
+
+The paper positions the monitor as a deployment-time supervisor (§I, §V);
+this package turns one monitor into a serving fleet:
+
+* :mod:`repro.serving.shard` — :class:`MonitorShard` slices +
+  :class:`ShardRouter` (per-class partitioning, routing, reassembly via
+  ``NeuronActivationMonitor.merge``; per-cell sharding for detection
+  monitors);
+* :mod:`repro.serving.server` — :class:`StreamServer`, an asyncio
+  micro-batching queue coalescing concurrent ``check``/``classify``
+  requests into vectorised backend calls, with backpressure, per-shard
+  stats, and inline distribution-shift detection from exact Hamming
+  distances.
+
+See the serving section of ``monitor/backends/README.md`` for the
+sharding model and tuning knobs, and ``python -m repro serve`` for the
+CLI entry point.
+"""
+
+from repro.serving.shard import MonitorShard, ShardRouter, shard_detection_monitor
+from repro.serving.server import (
+    ShardServingStats,
+    StreamResult,
+    StreamServer,
+    run_stream,
+)
+
+__all__ = [
+    "MonitorShard",
+    "ShardRouter",
+    "shard_detection_monitor",
+    "ShardServingStats",
+    "StreamResult",
+    "StreamServer",
+    "run_stream",
+]

@@ -1,0 +1,414 @@
+"""Asyncio micro-batching monitor server.
+
+The deployment loop of the paper checks one decision at a time; the zone
+backends answer *matrices* orders of magnitude faster per row.  The
+:class:`StreamServer` closes that gap for a stream of concurrent callers:
+requests are enqueued per shard, a worker per shard coalesces whatever
+arrived within ``max_delay_ms`` (up to ``max_batch`` rows) into one
+vectorised ``contains_batch`` call, and resolves each caller's future
+individually.  Bounded queues give natural backpressure — producers block
+in ``await`` when a shard falls behind rather than growing the queue
+without limit.
+
+Two request shapes are served:
+
+* :meth:`StreamServer.check` — a pre-extracted activation pattern plus its
+  predicted class (the hot path when the network runs elsewhere);
+* :meth:`StreamServer.classify` — a raw input, micro-batched through the
+  wrapped :class:`~repro.monitor.runtime.MonitoredClassifier`'s network
+  first, then routed to the shards.
+
+When detectors are attached, every served verdict feeds the binary
+:class:`~repro.monitor.shift.DistributionShiftDetector` and every exact
+distance the histogram
+:class:`~repro.monitor.shift.DistanceShiftDetector`, so the §V shift
+indicator runs inline with serving at no extra query cost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.monitor.runtime import MonitoredClassifier, Verdict
+from repro.monitor.shift import DistanceShiftDetector, DistributionShiftDetector
+from repro.serving.shard import ShardRouter
+
+#: Per-shard cap on retained latency samples (enough for stable p99).
+_LATENCY_SAMPLES = 8192
+
+
+@dataclass
+class ShardServingStats:
+    """Counters and latency samples for one shard's worker."""
+
+    shard_id: int
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_SAMPLES)
+    )
+
+    @property
+    def mean_batch(self) -> float:
+        """Average rows coalesced per vectorised backend call."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (seconds) over the retained samples."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "shard": self.shard_id,
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "max_batch": self.max_batch,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "p50_ms": self.latency_percentile(50) * 1e3,
+            "p99_ms": self.latency_percentile(99) * 1e3,
+        }
+
+
+@dataclass
+class _CheckRequest:
+    pattern: np.ndarray
+    predicted_class: int
+    future: "asyncio.Future[bool]"
+    enqueued_at: float
+
+
+@dataclass
+class _ClassifyRequest:
+    single_input: np.ndarray
+    future: "asyncio.Future[Verdict]"
+    enqueued_at: float
+
+
+class StreamServer:
+    """Sharded, micro-batched, backpressured monitor serving.
+
+    Parameters
+    ----------
+    router:
+        The sharded monitor (see :class:`~repro.serving.shard.ShardRouter`).
+    max_batch:
+        Largest number of requests coalesced into one backend call.
+    max_delay_ms:
+        Longest a worker waits for stragglers once it holds a request —
+        the latency price paid for batching (0 disables coalescing delay).
+    max_pending:
+        Per-shard queue bound; producers await when a shard is this far
+        behind (backpressure instead of unbounded memory).
+    classifier:
+        Optional :class:`MonitoredClassifier` enabling :meth:`classify`
+        (raw inputs micro-batched through the network first).
+    shift_detector / distance_detector:
+        Optional shift detectors fed inline from the served stream.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        max_pending: int = 1024,
+        classifier: Optional[MonitoredClassifier] = None,
+        shift_detector: Optional[DistributionShiftDetector] = None,
+        distance_detector: Optional[DistanceShiftDetector] = None,
+    ):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be non-negative, got {max_delay_ms}")
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.router = router
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1e3
+        self.max_pending = max_pending
+        self.classifier = classifier
+        self.shift_detector = shift_detector
+        self.distance_detector = distance_detector
+        self._queues: Dict[int, "asyncio.Queue[Optional[_CheckRequest]]"] = {}
+        self._classify_queue: Optional["asyncio.Queue[Optional[_ClassifyRequest]]"] = None
+        self._workers: List["asyncio.Task"] = []
+        self._stats = {
+            shard.shard_id: ShardServingStats(shard.shard_id)
+            for shard in router.shards
+        }
+        self._classify_stats = ShardServingStats(shard_id=-1)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn one micro-batching worker per shard (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        for shard in self.router.shards:
+            queue: "asyncio.Queue[Optional[_CheckRequest]]" = asyncio.Queue(
+                maxsize=self.max_pending
+            )
+            self._queues[shard.shard_id] = queue
+            self._workers.append(
+                asyncio.ensure_future(self._check_worker(shard, queue))
+            )
+        if self.classifier is not None:
+            self._classify_queue = asyncio.Queue(maxsize=self.max_pending)
+            self._workers.append(
+                asyncio.ensure_future(self._classify_worker(self._classify_queue))
+            )
+
+    async def stop(self) -> None:
+        """Drain queued work, then stop every worker."""
+        if not self._running:
+            return
+        self._running = False
+        if self._classify_queue is not None:
+            await self._classify_queue.put(None)
+        for queue in self._queues.values():
+            await queue.put(None)
+        await asyncio.gather(*self._workers)
+        self._workers.clear()
+        self._queues.clear()
+        self._classify_queue = None
+
+    async def __aenter__(self) -> "StreamServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # request paths
+    # ------------------------------------------------------------------
+    async def check(self, pattern: np.ndarray, predicted_class: int) -> bool:
+        """Zone verdict for one pre-extracted full-layer pattern.
+
+        Unmonitored classes resolve immediately (``True``, no queue hop),
+        exactly like the synchronous monitor.
+        """
+        if not self._running:
+            raise RuntimeError("server is not running; use 'async with' or start()")
+        predicted_class = int(predicted_class)
+        if not self.router.owns(predicted_class):
+            if self.shift_detector is not None:
+                self.shift_detector.update(False)
+            if self.distance_detector is not None:
+                self.distance_detector.update(0)
+            return True
+        shard = self.router.shard_for(predicted_class)
+        request = _CheckRequest(
+            pattern=np.asarray(pattern).reshape(-1),
+            predicted_class=predicted_class,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        queue = self._queues[shard.shard_id]
+        await queue.put(request)  # blocks under backpressure
+        stats = self._stats[shard.shard_id]
+        stats.queue_depth = queue.qsize()
+        stats.max_queue_depth = max(stats.max_queue_depth, queue.qsize())
+        return await request.future
+
+    async def check_many(
+        self, patterns: np.ndarray, predicted_classes: Sequence[int]
+    ) -> np.ndarray:
+        """Fire one :meth:`check` per row concurrently; gather verdicts."""
+        verdicts = await asyncio.gather(
+            *(
+                self.check(patterns[i], predicted_classes[i])
+                for i in range(len(patterns))
+            )
+        )
+        return np.asarray(verdicts, dtype=bool)
+
+    async def classify(self, single_input: np.ndarray) -> Verdict:
+        """Full monitored classification of one raw input.
+
+        Inputs are micro-batched through the wrapped classifier's network
+        (one forward pass per coalesced batch), then each decision is
+        routed to its shard like :meth:`check`.
+        """
+        if self.classifier is None:
+            raise RuntimeError("server was built without a classifier")
+        if not self._running or self._classify_queue is None:
+            raise RuntimeError("server is not running; use 'async with' or start()")
+        request = _ClassifyRequest(
+            single_input=np.asarray(single_input),
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        await self._classify_queue.put(request)
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    async def _collect_batch(self, queue: "asyncio.Queue", first) -> Tuple[list, bool]:
+        """Coalesce up to ``max_batch`` requests within ``max_delay``."""
+        batch = [first]
+        deadline = asyncio.get_running_loop().time() + self.max_delay
+        while len(batch) < self.max_batch:
+            if not queue.empty():
+                item = queue.get_nowait()
+            else:
+                timeout = deadline - asyncio.get_running_loop().time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    async def _check_worker(
+        self, shard, queue: "asyncio.Queue[Optional[_CheckRequest]]"
+    ) -> None:
+        stats = self._stats[shard.shard_id]
+        stopping = False
+        while not stopping:
+            first = await queue.get()
+            if first is None:
+                break
+            batch, stopping = await self._collect_batch(queue, first)
+            try:
+                patterns = np.stack([r.pattern for r in batch])
+                classes = np.asarray([r.predicted_class for r in batch])
+                supported = shard.check(patterns, classes)
+                distances = None
+                if self.distance_detector is not None:
+                    distances = shard.min_distances(patterns, classes)
+            except Exception as exc:  # noqa: BLE001 — surfaced to callers
+                # A bad request (e.g. wrong pattern width) must fail its
+                # own batch, not kill the worker and wedge every later
+                # caller on an unresolved future.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            now = time.perf_counter()
+            stats.requests += len(batch)
+            stats.batches += 1
+            stats.max_batch = max(stats.max_batch, len(batch))
+            stats.queue_depth = queue.qsize()
+            for i, request in enumerate(batch):
+                stats.latencies.append(now - request.enqueued_at)
+                if self.shift_detector is not None:
+                    self.shift_detector.update(not bool(supported[i]))
+                if distances is not None:
+                    self.distance_detector.update(int(distances[i]))
+                if not request.future.done():
+                    request.future.set_result(bool(supported[i]))
+
+    async def _classify_worker(
+        self, queue: "asyncio.Queue[Optional[_ClassifyRequest]]"
+    ) -> None:
+        classifier = self.classifier
+        stats = self._classify_stats
+        stopping = False
+        while not stopping:
+            first = await queue.get()
+            if first is None:
+                break
+            batch, stopping = await self._collect_batch(queue, first)
+            try:
+                inputs = np.stack([r.single_input for r in batch])
+                verdicts = classifier.classify(inputs)
+            except Exception as exc:  # noqa: BLE001 — surfaced to callers
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            now = time.perf_counter()
+            stats.requests += len(batch)
+            stats.batches += 1
+            stats.max_batch = max(stats.max_batch, len(batch))
+            stats.queue_depth = queue.qsize()
+            for request, verdict in zip(batch, verdicts):
+                stats.latencies.append(now - request.enqueued_at)
+                if self.shift_detector is not None:
+                    self.shift_detector.update(verdict.warning)
+                if not request.future.done():
+                    request.future.set_result(verdict)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> List[Dict[str, float]]:
+        """Per-shard serving statistics (requests, batching, latency)."""
+        rows = [self._stats[s.shard_id].as_dict() for s in self.router.shards]
+        if self.classifier is not None:
+            rows.append(self._classify_stats.as_dict())
+        return rows
+
+
+@dataclass
+class StreamResult:
+    """Outcome of replaying a finite stream through a :class:`StreamServer`."""
+
+    verdicts: np.ndarray
+    elapsed: float
+    stats: List[Dict[str, float]]
+
+    @property
+    def throughput(self) -> float:
+        """Requests served per second of wall-clock."""
+        return len(self.verdicts) / self.elapsed if self.elapsed else 0.0
+
+
+def run_stream(
+    router: ShardRouter,
+    patterns: np.ndarray,
+    predicted_classes: Sequence[int],
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    max_pending: int = 1024,
+    shift_detector: Optional[DistributionShiftDetector] = None,
+    distance_detector: Optional[DistanceShiftDetector] = None,
+) -> StreamResult:
+    """Replay a pattern stream as concurrent requests; return verdicts + stats.
+
+    Convenience synchronous entry point for the CLI and benchmarks: every
+    row becomes one concurrent :meth:`StreamServer.check` call (as if each
+    decision arrived from its own caller), so the measured throughput is
+    the sustained micro-batched serving rate, backpressure included.
+    """
+
+    async def _run() -> StreamResult:
+        server = StreamServer(
+            router,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_pending=max_pending,
+            shift_detector=shift_detector,
+            distance_detector=distance_detector,
+        )
+        async with server:
+            t0 = time.perf_counter()
+            verdicts = await server.check_many(patterns, predicted_classes)
+            elapsed = time.perf_counter() - t0
+            return StreamResult(
+                verdicts=verdicts, elapsed=elapsed, stats=server.stats()
+            )
+
+    return asyncio.run(_run())

@@ -1,0 +1,195 @@
+"""Sharding monitors into independently queryable slices.
+
+A :class:`~repro.monitor.monitor.NeuronActivationMonitor` is a dictionary
+of per-class comfort zones over one projection — an embarrassingly
+partitionable structure: any subset of classes is itself a complete
+monitor for the decisions predicted as those classes.  A
+:class:`MonitorShard` wraps such a slice; :class:`ShardRouter` partitions
+a monitor into shards, routes query rows to the shard owning their
+predicted class, and reassembles the full monitor with
+:meth:`NeuronActivationMonitor.merge` (the exact inverse of
+:meth:`ShardRouter.partition`, since zones are exchanged as deduplicated
+visited-pattern matrices).
+
+Detection monitors shard along their natural axis instead: one shard per
+grid cell (:func:`shard_detection_monitor`), each wrapping that cell's
+complete per-class monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.monitor.detection import DetectionMonitor
+from repro.monitor.monitor import NeuronActivationMonitor
+
+
+class MonitorShard:
+    """One independently queryable slice of a monitor.
+
+    Thin, stateless wrapper pairing a shard id with the slice's monitor;
+    all storage and vectorised querying stays in the monitor's zone
+    backends, so a shard can live in its own worker, process or host.
+    """
+
+    def __init__(self, shard_id: int, monitor: NeuronActivationMonitor):
+        self.shard_id = shard_id
+        self.monitor = monitor
+
+    @property
+    def classes(self) -> List[int]:
+        """The class indices this shard serves."""
+        return self.monitor.classes
+
+    def check(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """Vectorised zone membership for rows owned by this shard."""
+        return self.monitor.check(patterns, predicted_classes)
+
+    def min_distances(
+        self, patterns: np.ndarray, predicted_classes: np.ndarray
+    ) -> np.ndarray:
+        """Exact Hamming distances for rows owned by this shard."""
+        return self.monitor.min_distances(patterns, predicted_classes)
+
+    def __repr__(self) -> str:
+        return f"MonitorShard(id={self.shard_id}, classes={self.classes})"
+
+
+class ShardRouter:
+    """Partition a classification monitor per-class and route queries.
+
+    The router is the synchronous core of the serving layer: it owns the
+    class → shard map and stitches per-shard vectorised answers back into
+    request order.  The async :class:`~repro.serving.server.StreamServer`
+    adds queueing and micro-batching on top.
+    """
+
+    def __init__(self, shards: Sequence[MonitorShard]):
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.shards = list(shards)
+        self._shard_by_id: Dict[int, MonitorShard] = {}
+        self._owner: Dict[int, MonitorShard] = {}
+        for shard in self.shards:
+            if shard.shard_id in self._shard_by_id:
+                raise ValueError(f"duplicate shard id {shard.shard_id}")
+            self._shard_by_id[shard.shard_id] = shard
+            for c in shard.classes:
+                if c in self._owner:
+                    raise ValueError(f"class {c} is owned by two shards")
+                self._owner[c] = shard
+
+    @classmethod
+    def partition(
+        cls, monitor: NeuronActivationMonitor, num_shards: int
+    ) -> "ShardRouter":
+        """Split a monitor's classes round-robin into ``num_shards`` slices.
+
+        Each shard gets a fresh monitor over the same layer and neuron
+        projection, seeded with the deduplicated visited sets of its
+        classes — the same portable exchange format used by save/load and
+        :meth:`NeuronActivationMonitor.merge`, so partitioning works
+        across backends and :meth:`assemble` is an exact inverse.
+        """
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        num_shards = min(num_shards, len(monitor.classes))
+        assignments: List[List[int]] = [[] for _ in range(num_shards)]
+        for index, c in enumerate(monitor.classes):
+            assignments[index % num_shards].append(c)
+        shards = []
+        for shard_id, classes in enumerate(assignments):
+            piece = NeuronActivationMonitor(
+                layer_width=monitor.layer_width,
+                classes=classes,
+                gamma=monitor.gamma,
+                monitored_neurons=monitor.monitored_neurons,
+                backend=monitor.backend_name,
+            )
+            for c in classes:
+                visited = monitor.zones[c].backend.visited_patterns()
+                if len(visited):
+                    piece.zones[c].add_patterns(visited)
+            shards.append(MonitorShard(shard_id, piece))
+        return cls(shards)
+
+    def assemble(self) -> NeuronActivationMonitor:
+        """Merge the shards back into one monitor (inverse of partition)."""
+        return NeuronActivationMonitor.merge([s.monitor for s in self.shards])
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, predicted_class: int) -> MonitorShard:
+        """The shard owning a class (``KeyError`` for unmonitored ones)."""
+        return self._owner[predicted_class]
+
+    def owns(self, predicted_class: int) -> bool:
+        """Whether any shard monitors this class."""
+        return predicted_class in self._owner
+
+    def route(self, predicted_classes: np.ndarray) -> Dict[int, np.ndarray]:
+        """Group query rows by owning shard: shard_id → row indices.
+
+        Rows predicted as unmonitored classes appear under no shard (they
+        are trusted unmonitored, mirroring ``NeuronActivationMonitor.check``).
+        """
+        predicted_classes = np.asarray(predicted_classes)
+        groups: Dict[int, np.ndarray] = {}
+        for shard in self.shards:
+            mask = np.isin(predicted_classes, shard.classes)
+            if mask.any():
+                groups[shard.shard_id] = np.flatnonzero(mask)
+        return groups
+
+    def check(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+        """Synchronous routed check: dispatch per shard, stitch results."""
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        supported = np.ones(len(patterns), dtype=bool)
+        for shard_id, rows in self.route(predicted_classes).items():
+            shard = self._shard_by_id[shard_id]
+            supported[rows] = shard.check(patterns[rows], predicted_classes[rows])
+        return supported
+
+    def min_distances(
+        self, patterns: np.ndarray, predicted_classes: np.ndarray
+    ) -> np.ndarray:
+        """Synchronous routed distances (0 for unmonitored classes)."""
+        patterns = np.atleast_2d(patterns)
+        predicted_classes = np.asarray(predicted_classes)
+        distances = np.zeros(len(patterns), dtype=np.int64)
+        for shard_id, rows in self.route(predicted_classes).items():
+            shard = self._shard_by_id[shard_id]
+            distances[rows] = shard.min_distances(
+                patterns[rows], predicted_classes[rows]
+            )
+        return distances
+
+    def set_gamma(self, gamma: int) -> None:
+        """Change γ on every shard (zones recompute lazily)."""
+        for shard in self.shards:
+            shard.monitor.set_gamma(gamma)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        sizes = [len(s.classes) for s in self.shards]
+        return f"ShardRouter(shards={len(self.shards)}, classes_per_shard={sizes})"
+
+
+def shard_detection_monitor(monitor: DetectionMonitor) -> List[MonitorShard]:
+    """One shard per grid cell of a detection monitor.
+
+    Each cell already owns a complete per-class monitor over the shared
+    trunk layer, so the cell axis is the natural partition: the returned
+    shard ``i`` serves cell ``i``'s proposals and can be queried (or
+    hosted) independently of every other cell.
+    """
+    return [
+        MonitorShard(cell, monitor.monitors[cell])
+        for cell in range(monitor.num_cells)
+    ]

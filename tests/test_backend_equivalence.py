@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines import HammingSetMonitor
 from repro.monitor import ComfortZone, NeuronActivationMonitor
 from repro.monitor.backends import make_backend
 
@@ -93,6 +94,165 @@ def test_incremental_inserts_match_bulk(case):
             incremental.contains_batch(probes, gamma),
             err_msg=name,
         )
+
+
+@st.composite
+def adversarial_zone_and_probes(draw):
+    """γ ∈ {3, 4} with the pattern families that stress each engine:
+    near-duplicate rows (dedup + deep sharing), all-zeros/all-ones
+    (terminal-adjacent diagrams), and single-bit orbits (a ready-made
+    Hamming ball whose γ-enlargement saturates quickly)."""
+    width = draw(st.integers(min_value=4, max_value=10))
+    base = np.asarray(
+        draw(st.lists(st.integers(0, 1), min_size=width, max_size=width)),
+        dtype=np.uint8,
+    )
+    family = draw(st.sampled_from(["near_duplicates", "extremes", "orbit"]))
+    if family == "near_duplicates":
+        rows = [base]
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            row = base.copy()
+            row[draw(st.integers(0, width - 1))] ^= 1
+            rows.append(row)
+    elif family == "extremes":
+        rows = [np.zeros(width, dtype=np.uint8), np.ones(width, dtype=np.uint8), base]
+    else:  # the full single-bit orbit of the base pattern
+        rows = [base]
+        for j in range(width):
+            row = base.copy()
+            row[j] ^= 1
+            rows.append(row)
+    visited = np.stack(rows)
+    probes = _pattern_matrix(draw, width, max_rows=16)
+    # Adversarial probes: exact duplicates and complements of visited rows.
+    probes = np.concatenate([probes, visited[:2], 1 - visited[:2]])
+    gamma = draw(st.sampled_from([3, 4]))
+    return width, visited, probes, gamma
+
+
+@settings(max_examples=60, deadline=None)
+@given(adversarial_zone_and_probes())
+def test_large_gamma_adversarial_verdict_parity(case):
+    """γ ∈ {3, 4}: both engines equal the brute-force definition on the
+    adversarial families (ROADMAP γ>2 coverage item)."""
+    width, visited, probes, gamma = case
+    distances = (probes[:, None, :] != visited[None, :, :]).sum(axis=2)
+    expected = distances.min(axis=1) <= gamma
+    for name in ("bdd", "bitset"):
+        backend = make_backend(name, width)
+        backend.add_patterns(visited)
+        np.testing.assert_array_equal(
+            backend.contains_batch(probes, gamma), expected, err_msg=name
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(adversarial_zone_and_probes())
+def test_large_gamma_zone_sizes_agree(case):
+    width, visited, _probes, gamma = case
+    bdd = make_backend("bdd", width)
+    bitset = make_backend("bitset", width)
+    bdd.add_patterns(visited)
+    bitset.add_patterns(visited)
+    assert bdd.size(gamma) == bitset.size(gamma)
+
+
+@settings(max_examples=60, deadline=None)
+@given(zone_and_probes())
+def test_min_distances_match_brute_force(case):
+    """Protocol-level min_distances: both engines equal the exact
+    min-Hamming-distance oracle (this also exercises the BDD backend's
+    explicit-set fallback for rows beyond max_expand_gamma)."""
+    width, visited, probes, _gamma = case
+    expected = (probes[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
+    for name in ("bdd", "bitset"):
+        backend = make_backend(name, width)
+        backend.add_patterns(visited)
+        np.testing.assert_array_equal(
+            backend.min_distances(probes), expected, err_msg=name
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(zone_and_probes())
+def test_num_visited_is_dedup_count(case):
+    width, visited, _probes, _gamma = case
+    expected = len(np.unique(visited, axis=0))
+    for name in ("bdd", "bitset"):
+        backend = make_backend(name, width)
+        backend.add_patterns(visited)
+        backend.add_patterns(visited)  # duplicate insert must not count
+        assert backend.num_visited() == expected, name
+
+
+class TestMinDistancesOracle:
+    """Monitor-level distances against the HammingSetMonitor baseline."""
+
+    def _pair(self, backend, monitored_neurons=None):
+        rng = np.random.default_rng(11)
+        layer_width = 12
+        patterns = (rng.random((80, layer_width)) < 0.5).astype(np.uint8)
+        labels = rng.integers(0, 3, 80)
+        monitor = NeuronActivationMonitor(
+            layer_width, [0, 1, 2], monitored_neurons=monitored_neurons,
+            backend=backend,
+        )
+        monitor.record(patterns, labels, labels)
+        oracle = HammingSetMonitor(
+            layer_width, [0, 1, 2], monitored_neurons=monitored_neurons
+        )
+        projected = patterns[:, oracle.monitored_neurons]
+        for c in oracle.classes:
+            mask = labels == c
+            if mask.any():
+                oracle._patterns[c] = np.unique(projected[mask], axis=0)
+        return monitor, oracle, rng
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_full_layer_distances(self, backend):
+        monitor, oracle, rng = self._pair(backend)
+        probes = (rng.random((60, 12)) < 0.5).astype(np.uint8)
+        classes = rng.integers(0, 3, 60)
+        np.testing.assert_array_equal(
+            monitor.min_distances(probes, classes),
+            oracle.min_distances(probes, classes),
+        )
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_projected_distances(self, backend):
+        neurons = [0, 3, 5, 8, 11]
+        monitor, oracle, rng = self._pair(backend, monitored_neurons=neurons)
+        probes = (rng.random((60, 12)) < 0.5).astype(np.uint8)
+        classes = rng.integers(0, 3, 60)
+        np.testing.assert_array_equal(
+            monitor.min_distances(probes, classes),
+            oracle.min_distances(probes, classes),
+        )
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_empty_zone_sentinel_uses_projected_width(self, backend):
+        """Regression: the oracle's empty-set sentinel used the full layer
+        width; backends use projected width + 1.  Both must agree."""
+        neurons = [1, 4, 7]
+        layer_width = 12
+        monitor = NeuronActivationMonitor(
+            layer_width, [0, 1], monitored_neurons=neurons, backend=backend
+        )
+        oracle = HammingSetMonitor(layer_width, [0, 1], monitored_neurons=neurons)
+        # Class 0 has patterns, class 1 stays empty.
+        pattern = np.zeros((1, layer_width), dtype=np.uint8)
+        monitor.record(pattern, np.array([0]), np.array([0]))
+        oracle._patterns[0] = pattern[:, neurons]
+        probe = np.ones((2, layer_width), dtype=np.uint8)
+        classes = np.array([0, 1])
+        sentinel = len(neurons) + 1
+        np.testing.assert_array_equal(
+            monitor.min_distances(probe, classes), [len(neurons), sentinel]
+        )
+        np.testing.assert_array_equal(
+            oracle.min_distances(probe, classes), [len(neurons), sentinel]
+        )
+        assert oracle.min_distance(probe[1], 1) == sentinel
 
 
 class TestComfortZoneParity:

@@ -82,3 +82,31 @@ class TestCommands:
              "--neuron-fraction", "0.25", "--classes", "0", "1"]
         ) == 0
         assert "#oop/#total" in capsys.readouterr().out
+
+    def test_sweep_uses_calibrator_selection(self, tiny_systems, capsys):
+        """Regression: the CLI reimplemented gamma selection without the
+        min_precision floor; an unreachable floor must now trigger the
+        calibrator's quietest-gamma fallback (largest swept gamma)."""
+        assert cli.main(
+            ["sweep", "--system", "mnist", "--max-gamma", "1",
+             "--max-warning-rate", "1.0", "--min-precision", "1.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chosen gamma: 1" in out
+
+    def test_serve_streams_validation_set(self, tiny_systems, capsys):
+        assert cli.main(
+            ["serve", "--system", "mnist", "--gamma", "1", "--shards", "3",
+             "--requests", "120", "--max-batch", "16", "--distances"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "p99_ms" in out
+        assert "shift detector" in out
+        assert "distance histogram" in out
+
+    def test_stream_alias(self, tiny_systems, capsys):
+        assert cli.main(
+            ["stream", "--system", "mnist", "--requests", "40"]
+        ) == 0
+        assert "throughput" in capsys.readouterr().out

@@ -42,6 +42,23 @@ class TestSweep:
         result = GammaCalibrator(max_gamma=2).calibrate(monitor, model, monitored, val)
         assert result.chosen.gamma == result.chosen_gamma
 
+    def test_calibrate_on_empty_validation_set(self):
+        """Regression: an empty validation set used to crash in pattern
+        extraction; now every sweep row is the all-zero evaluation."""
+        monitor, model, monitored, _val = make_monitor_with_data(seed=4)
+        empty = ArrayDataset(np.zeros((0, 3)), np.zeros(0, dtype=np.int64))
+        result = GammaCalibrator(max_gamma=2).calibrate(
+            monitor, model, monitored, empty
+        )
+        assert [row.gamma for row in result.sweep] == [0, 1, 2]
+        assert all(row.total == 0 for row in result.sweep)
+
+    def test_public_choose_is_selection_rule(self):
+        monitor, model, monitored, val = make_monitor_with_data(seed=5)
+        calibrator = GammaCalibrator(max_gamma=3)
+        result = calibrator.calibrate(monitor, model, monitored, val)
+        assert calibrator.choose(result.sweep) == result.chosen_gamma
+
 
 class TestChoice:
     def test_picks_smallest_gamma_meeting_silence_target(self):

@@ -106,3 +106,15 @@ class TestEvaluateMonitor:
         # On *training* data the monitor must accept all correct decisions:
         ev_train = evaluate_monitor(monitor, model, monitored, train)
         assert ev_train.false_positive_rate == 0.0
+
+    def test_empty_dataset(self):
+        """Regression: evaluating on a zero-length dataset used to crash
+        in ActivationTap.concatenated; now it is the all-zero row."""
+        rng = np.random.default_rng(1)
+        monitored = ReLU()
+        model = Sequential(Linear(2, 6, rng=rng), monitored, Linear(6, 2, rng=rng))
+        monitor = NeuronActivationMonitor(6, [0, 1], gamma=0)
+        empty = ArrayDataset(np.zeros((0, 2)), np.zeros(0, dtype=np.int64))
+        ev = evaluate_monitor(monitor, model, monitored, empty)
+        assert ev.total == 0
+        assert ev.out_of_pattern_rate == 0.0

@@ -62,6 +62,21 @@ class TestConstruction:
         assert monitor.monitors_class(1)
         assert not monitor.monitors_class(0)
 
+    def test_build_from_empty_dataset(self, trained_toy):
+        """Regression: a zero-length training set used to crash in
+        ActivationTap.concatenated; now it builds an all-empty monitor
+        (classes must be explicit — none can be observed)."""
+        model, monitored, _dataset = trained_toy
+        from repro.nn import ArrayDataset
+
+        empty = ArrayDataset(np.zeros((0, 2)), np.zeros(0, dtype=np.int64))
+        monitor = NeuronActivationMonitor.build(
+            model, monitored, empty, classes=[0, 1]
+        )
+        assert monitor.layer_width == 4  # inferred from the network
+        assert all(z.is_empty() for z in monitor.zones.values())
+        assert not monitor.check(np.zeros((1, 4), dtype=np.uint8), [0])[0]
+
 
 class TestRecord:
     def test_only_correct_predictions_recorded(self):

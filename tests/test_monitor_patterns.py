@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.monitor import binarize, extract_patterns, hamming_distance, pack_patterns, unpack_patterns
+from repro.monitor.patterns import infer_pattern_width
 from repro.nn import Linear, ReLU, Sequential, Tensor
 
 
@@ -73,6 +74,32 @@ class TestExtractPatterns:
         p2, l2 = extract_patterns(net, monitored, inputs, batch_size=7)
         np.testing.assert_array_equal(p1, p2)
         np.testing.assert_allclose(l1, l2)
+
+    def test_empty_inputs_no_forward_pass(self, model):
+        """Regression: zero-length inputs used to raise RuntimeError from
+        ActivationTap.concatenated (no forward pass ever ran)."""
+        net, monitored = model
+        patterns, logits = extract_patterns(net, monitored, np.zeros((0, 4)))
+        assert patterns.shape == (0, 6)  # width inferred from the network
+        assert patterns.dtype == np.uint8
+        assert logits.shape[0] == 0
+        assert logits.argmax(axis=1).shape == (0,)  # callers' dec(in) works
+
+
+class TestInferPatternWidth:
+    def test_linear_module_declares_width(self):
+        net = Sequential(Linear(4, 6))
+        assert infer_pattern_width(net, net[0]) == 6
+
+    def test_relu_takes_preceding_linear_width(self):
+        monitored = ReLU()
+        net = Sequential(Linear(4, 6), monitored, Linear(6, 3))
+        assert infer_pattern_width(net, monitored) == 6
+
+    def test_unknown_width_is_zero(self):
+        monitored = ReLU()
+        net = Sequential(monitored)
+        assert infer_pattern_width(net, monitored) == 0
 
 
 class TestPacking:

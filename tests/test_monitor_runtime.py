@@ -137,3 +137,28 @@ class TestShiftDetector:
             DistributionShiftDetector(baseline_rate=1.0)
         with pytest.raises(ValueError):
             DistributionShiftDetector(baseline_rate=0.1, window=0)
+
+    def test_cusum_alarm_is_not_latched(self):
+        """Regression: once the CUSUM crossed its threshold the alarm
+        stayed on forever.  The accumulator now restarts on alarm, so a
+        recovered stream goes quiet again."""
+        detector = DistributionShiftDetector(
+            baseline_rate=0.0, window=1000,  # z path effectively disabled
+            cusum_slack=0.1, cusum_threshold=1.5,
+        )
+        burst = detector.update_many([True] * 3)  # 3 * 0.9 = 2.7 >= 1.5
+        assert any(s.alarm for s in burst)
+        # The alarm state reports the crossing value, then re-arms.
+        crossing = [s for s in burst if s.alarm][0]
+        assert crossing.cusum >= 1.5
+        quiet = detector.update_many([False] * 20)
+        assert not any(s.alarm for s in quiet)
+        assert quiet[-1].cusum == 0.0
+
+    def test_peek_does_not_consume(self):
+        detector = DistributionShiftDetector(baseline_rate=0.1, window=10)
+        detector.update_many([True, False, True])
+        before = detector.peek()
+        after = detector.peek()
+        assert before == after
+        assert before.samples_seen == 3

@@ -31,6 +31,19 @@ class TestConstruction:
         assert not zone.contains([1, 1, 1])
         assert zone.num_visited_patterns == 1
 
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_visited_counter_deduplicates(self, backend):
+        """Regression: the counter used to add the raw insert count while
+        every backend deduplicates, so repr/stats drifted from
+        backend.visited_patterns() and changed across save/load."""
+        zone = ComfortZone(4, backend=backend)
+        zone.add_pattern([1, 0, 1, 0])
+        zone.add_pattern([1, 0, 1, 0])          # duplicate single insert
+        zone.add_patterns([[1, 0, 1, 0], [0, 1, 0, 1], [0, 1, 0, 1]])
+        assert zone.num_visited_patterns == 2
+        assert zone.num_visited_patterns == len(zone.backend.visited_patterns())
+        assert "visited=2" in repr(zone)
+
     def test_shared_manager(self):
         mgr = BDDManager(3)
         a = ComfortZone(3, manager=mgr)

@@ -4,13 +4,40 @@ Every bench prints the paper-format table it regenerates and also writes it
 to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote recorded
 output.  Trained systems come from the session-scoped fixtures in
 ``conftest.py`` (cached under ``.artifacts/`` after the first run).
+
+Two extra facilities:
+
+* **Smoke mode** — ``REPRO_BENCH_SMOKE=1`` (or ``pytest benchmarks
+  --smoke``) shrinks the trained systems and workload sizes to CI scale
+  and relaxes the paper-regime accuracy assertions (tiny models cannot
+  hit them); structural invariants (monotonicity, verdict parity,
+  soundness) still hold and are still asserted.  Use :func:`is_smoke`
+  to gate an assertion and :func:`scaled` to pick a workload size.
+* **Machine-readable perf trajectory** — :func:`record_perf` merges a
+  JSON payload into ``BENCH_perf.json`` at the repository root, so CI
+  can archive per-commit numbers and future PRs have a trajectory to
+  compare against (every section records whether it was a smoke run).
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+PERF_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_perf.json")
+)
+
+
+def is_smoke() -> bool:
+    """Whether the suite runs in CI-speed smoke mode."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+
+def scaled(full, smoke):
+    """Pick the full-scale or smoke-scale value for a workload knob."""
+    return smoke if is_smoke() else full
 
 
 def record(name: str, text: str) -> None:
@@ -20,3 +47,47 @@ def record(name: str, text: str) -> None:
     print(banner)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+
+
+def record_appendix(name: str, title: str, text: str) -> None:
+    """Append (or replace) a titled appendix block in a result file.
+
+    Lets one bench contribute a section to another bench's report — e.g.
+    the pruned-index sweep rides along in ``backend-comparison.txt`` —
+    without clobbering the main table.  Re-running the contributing
+    bench replaces only its own block (matched by the title marker).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    marker = f"----- {title} -----"
+    existing = ""
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = fh.read()
+        if marker in existing:
+            existing = existing[: existing.index(marker)].rstrip() + "\n"
+    block = f"\n{marker}\n{text}\n"
+    print(f"\n===== {name} / {title} =====\n{text}\n")
+    with open(path, "w") as fh:
+        fh.write(existing + block)
+
+
+def record_perf(section: str, payload: dict) -> None:
+    """Merge one bench's machine-readable numbers into ``BENCH_perf.json``.
+
+    The file maps section name -> payload; re-running a bench replaces
+    its own section and leaves the others untouched, so a partial run
+    never erases the rest of the trajectory.
+    """
+    data = {}
+    if os.path.exists(PERF_JSON):
+        try:
+            with open(PERF_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data.setdefault("schema", 1)
+    data[section] = {"smoke": is_smoke(), **payload}
+    with open(PERF_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -2,23 +2,65 @@
 
 The first run trains the three standard systems (minutes, pure numpy) and
 caches checkpoints in ``.artifacts/``; later runs load instantly.
+
+``pytest benchmarks --smoke`` (or ``REPRO_BENCH_SMOKE=1``) swaps in
+CI-scale configs: far smaller training sets and epoch counts, so the
+whole suite runs in a couple of minutes on a cold cache.  The shrunken
+configs hash to their own ``.artifacts/`` cache keys, so smoke and
+full-scale checkpoints never collide.  Benches gate their paper-regime
+accuracy assertions on :func:`benchutil.is_smoke`; structural invariants
+stay asserted at either scale.
 """
+
+import dataclasses
+import os
 
 import pytest
 
+from benchutil import is_smoke
 from repro.analysis import STANDARD_CONFIGS, train_system
+
+#: CI-scale overrides per system: enough data/epochs for a working (not
+#: paper-accurate) model, small enough to train in seconds.
+SMOKE_OVERRIDES = {
+    "mnist": dict(train_size=1200, val_size=600, epochs=2),
+    "gtsrb": dict(train_size=860, val_size=860, epochs=4),
+    "frontcar": dict(train_size=2500, val_size=800, epochs=25),
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="CI-speed benchmark run: tiny trained systems, scaled-down "
+        "workloads, paper-regime assertions relaxed",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+
+
+def _system_config(name):
+    config = STANDARD_CONFIGS[name]
+    if is_smoke():
+        config = dataclasses.replace(config, **SMOKE_OVERRIDES[name])
+    return config
 
 
 @pytest.fixture(scope="session")
 def mnist_system():
-    return train_system(STANDARD_CONFIGS["mnist"])
+    return train_system(_system_config("mnist"))
 
 
 @pytest.fixture(scope="session")
 def gtsrb_system():
-    return train_system(STANDARD_CONFIGS["gtsrb"])
+    return train_system(_system_config("gtsrb"))
 
 
 @pytest.fixture(scope="session")
 def frontcar_system():
-    return train_system(STANDARD_CONFIGS["frontcar"])
+    return train_system(_system_config("frontcar"))

@@ -1,27 +1,27 @@
-"""Backend race: vectorized bitset vs BDD on the monitor hot path.
+"""Backend race: vectorized bitset vs BDD, and pruned-index vs brute.
 
-The acceptance scenario for the pluggable-backend refactor: a synthetic
-64-neuron / 10-class monitor answering 10k queries.  Three codepaths are
-timed:
+Two workloads:
 
-* ``bdd / per-sample`` — the seed's deployment loop: one Python
-  ``contains`` walk per decision;
-* ``bdd / batched``    — the same zones through ``contains_batch``;
-* ``bitset / batched`` — packed rows + XOR/popcount over the whole query
-  matrix.
-
-The bitset backend must be at least 10x faster than the per-sample BDD
-path while returning bit-identical verdicts (the equivalence suite proves
-the latter in general; this bench re-asserts it on the workload).
+* the pluggable-backend acceptance scenario — a synthetic 64-neuron /
+  10-class monitor answering 10k queries through the per-sample BDD
+  walk, the batched BDD and the batched bitset (bitset must stay >= 10x
+  over per-sample BDD, bit-identical verdicts);
+* the PR-3 query-acceleration scenario — one zone holding M ∈
+  {1k, 10k, 50k} visited patterns at 64 and 256 neurons, queried brute
+  (full XOR/popcount scan, O(M·W) per query) vs indexed (γ+1-band
+  pigeonhole shortlist + prototype triage).  The indexed kernel must be
+  >= 5x faster at M = 50k for γ <= 2, bit-identical verdicts, and the
+  numbers land in ``BENCH_perf.json`` for the perf trajectory.
 """
 
 import time
 
 import numpy as np
 
-from benchutil import record
+from benchutil import is_smoke, record, record_appendix, record_perf, scaled
 from repro.analysis import format_table
 from repro.monitor import NeuronActivationMonitor
+from repro.monitor.backends import BitsetZoneBackend
 
 WIDTH = 64
 NUM_CLASSES = 10
@@ -57,6 +57,8 @@ def _queries(seed=1):
 def test_bitset_vs_bdd_10k_queries():
     patterns, labels = _training_data()
     queries, query_classes = _queries()
+    num_queries = scaled(NUM_QUERIES, 2_000)
+    queries, query_classes = queries[:num_queries], query_classes[:num_queries]
 
     monitors = {}
     build_times = {}
@@ -90,7 +92,7 @@ def test_bitset_vs_bdd_10k_queries():
         lambda: np.array(
             [
                 bdd.is_known(queries[i : i + 1], int(query_classes[i]))
-                for i in range(NUM_QUERIES)
+                for i in range(num_queries)
             ]
         ),
     )
@@ -105,18 +107,18 @@ def test_bitset_vs_bdd_10k_queries():
     np.testing.assert_array_equal(bdd_batched, bitset_batched)
 
     def row(name, build, query):
-        throughput = NUM_QUERIES / query
+        throughput = num_queries / query
         return [
             name,
             f"{build*1000:.0f}ms",
             f"{query*1000:.1f}ms",
-            f"{query/NUM_QUERIES*1e6:.2f}us",
+            f"{query/num_queries*1e6:.2f}us",
             f"{throughput/1000:.0f}k/s",
             f"{t_per_sample/query:.1f}x",
         ]
 
     table = format_table(
-        ["backend/path", "build", "10k queries", "per query", "throughput", "vs per-sample"],
+        ["backend/path", "build", "queries", "per query", "throughput", "vs per-sample"],
         [
             row("bdd / per-sample", build_times["bdd"], t_per_sample),
             row("bdd / batched", build_times["bdd"], t_bdd_batch),
@@ -128,8 +130,18 @@ def test_bitset_vs_bdd_10k_queries():
         table
         + f"\n\nworkload: {WIDTH} neurons, {NUM_CLASSES} classes, "
         f"{PATTERNS_PER_CLASS} visited patterns/class, gamma={GAMMA}, "
-        f"{NUM_QUERIES} queries\nwarnings raised: {int((~bitset_batched).sum())}"
-        f"/{NUM_QUERIES}",
+        f"{num_queries} queries\nwarnings raised: {int((~bitset_batched).sum())}"
+        f"/{num_queries}",
+    )
+    record_perf(
+        "backend_comparison",
+        {
+            "queries": num_queries,
+            "bdd_per_sample_s": t_per_sample,
+            "bdd_batched_s": t_bdd_batch,
+            "bitset_batched_s": t_bitset,
+            "bitset_vs_per_sample": t_per_sample / t_bitset,
+        },
     )
 
     # Acceptance criterion: >= 10x over the per-sample BDD path, with every
@@ -138,6 +150,108 @@ def test_bitset_vs_bdd_10k_queries():
         f"bitset {t_bitset:.4f}s not 10x faster than per-sample BDD "
         f"{t_per_sample:.4f}s"
     )
+
+
+def _zone_workload(num_neurons, num_patterns, num_queries, seed=7):
+    """One class's visited set: 32 activation clusters + bit-flip noise,
+    queried by a mix of near-in-zone probes and uniform far-out probes
+    (the post-shift stream the ring pre-filter must reject cheaply)."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.random((32, num_neurons)) < 0.5
+    members = rng.integers(0, 32, num_patterns)
+    patterns = (
+        prototypes[members] ^ (rng.random((num_patterns, num_neurons)) < 0.06)
+    ).astype(np.uint8)
+    picks = rng.integers(0, num_patterns, num_queries)
+    queries = patterns[picks] ^ (rng.random((num_queries, num_neurons)) < 0.02)
+    far = rng.random(num_queries) < 0.3
+    queries[far] = rng.random((int(far.sum()), num_neurons)) < 0.5
+    return patterns, queries.astype(np.uint8)
+
+
+def test_pruned_index_vs_brute_kernel():
+    """Tentpole acceptance: multi-index Hamming pruning makes γ-membership
+    sub-linear in M — >= 5x over the brute scan at M = 50k, identical
+    verdicts (enforced at every cell of the sweep)."""
+    m_values = scaled((1_000, 10_000, 50_000), (1_000, 5_000))
+    rows = []
+    perf_rows = []
+    for num_neurons in (64, 256):
+        # The brute (M, W) scan at 256 neurons costs 4x the words of the
+        # 64-neuron one; fewer queries keep the sweep's wall-clock sane.
+        num_queries = scaled(10_000 if num_neurons == 64 else 2_000, 1_000)
+        for m in m_values:
+            patterns, queries = _zone_workload(num_neurons, m, num_queries)
+            brute = BitsetZoneBackend(num_neurons)
+            brute.add_patterns(patterns)
+            indexed = BitsetZoneBackend(num_neurons, indexed=True)
+            indexed.add_patterns(patterns)
+            for gamma in (1, 2):
+                runs = 2 if m <= 10_000 else 1
+                t_brute, brute_verdicts = _best_of(
+                    runs, lambda: brute.contains_batch(queries, gamma)
+                )
+                # Warm build outside the timed runs, then time pure queries.
+                indexed.contains_batch(queries[:1], gamma)
+                t_indexed, indexed_verdicts = _best_of(
+                    runs, lambda: indexed.contains_batch(queries, gamma)
+                )
+                np.testing.assert_array_equal(brute_verdicts, indexed_verdicts)
+                stats = indexed.statistics(gamma)
+                speedup = t_brute / t_indexed
+                rows.append(
+                    [
+                        f"{num_neurons}", f"{m}", f"{gamma}",
+                        f"{t_brute/num_queries*1e6:.2f}us",
+                        f"{t_indexed/num_queries*1e6:.2f}us",
+                        f"{speedup:.1f}x",
+                        f"{stats.get('index_scanned_fraction', 1.0)*100:.3f}%",
+                    ]
+                )
+                perf_rows.append(
+                    {
+                        "neurons": num_neurons,
+                        "patterns": m,
+                        "gamma": gamma,
+                        "queries": num_queries,
+                        "brute_s": t_brute,
+                        "indexed_s": t_indexed,
+                        "speedup": speedup,
+                        "scanned_fraction": stats.get("index_scanned_fraction", 1.0),
+                    }
+                )
+    table = format_table(
+        ["neurons", "M visited", "gamma", "brute/query", "indexed/query",
+         "speedup", "candidates scanned"],
+        rows,
+    )
+    notes = (
+        "\n\nworkload: one zone, 32 activation clusters + 6% flip noise, "
+        "queries 70% near-in-zone / 30% uniform-random\n"
+        "indexed = gamma+1-band pigeonhole shortlist + prototype "
+        "triangle-inequality triage before the XOR/popcount kernel"
+    )
+    record("pruned-index", table + notes)
+    # The acceptance record also rides along in the main backend report.
+    record_appendix("backend-comparison", "pruned-index vs brute kernel", table + notes)
+    record_perf("pruned_index", {"sweeps": perf_rows})
+    if not is_smoke():
+        worst_at_50k = min(
+            row["speedup"] for row in perf_rows if row["patterns"] == 50_000
+        )
+        assert worst_at_50k >= 5.0, (
+            f"indexed kernel only {worst_at_50k:.1f}x over brute at M=50k "
+            "(acceptance floor is 5x)"
+        )
+
+
+def _best_of(runs, fn):
+    best, result = float("inf"), None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
 
 
 def test_gamma_zero_fast_path_matches():

@@ -14,7 +14,7 @@ silence levels.
 
 import numpy as np
 
-from benchutil import record
+from benchutil import is_smoke, record
 from repro.analysis import abstraction_sweep, format_table, percent
 from repro.monitor import BoxMonitor
 from repro.monitor.boxes import _extract_activations
@@ -49,10 +49,11 @@ def test_fig2_abstraction_sweep(mnist_system):
     # Coarseness grows with gamma, warnings shrink: the Fig. 2 axis.
     assert all(a <= b + 1e-15 for a, b in zip(densities, densities[1:]))
     assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
-    # gamma=0 is alpha-1-like: density is a vanishing fraction of 2^40.
-    assert densities[0] < 1e-6
-    # The sweep never over-generalises into alpha-3 within gamma<=4.
-    assert densities[-1] < 0.5
+    if not is_smoke():  # density levels depend on full-scale diversity
+        # gamma=0 is alpha-1-like: density is a vanishing fraction of 2^40.
+        assert densities[0] < 1e-6
+        # The sweep never over-generalises into alpha-3 within gamma<=4.
+        assert densities[-1] < 0.5
 
 
 def test_fig2_box_abstraction_comparison(mnist_system):

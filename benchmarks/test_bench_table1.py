@@ -11,7 +11,7 @@ system pays per frame before the monitor is even consulted.
 
 import numpy as np
 
-from benchutil import record
+from benchutil import is_smoke, record
 from repro.analysis import render_table1, table1_row
 from repro.nn import Tensor
 
@@ -34,14 +34,16 @@ def test_table1_accuracies(mnist_system, gtsrb_system):
     ]
     record("table1", render_table1(rows) + "\n(* = monitored layer)")
 
-    # Shape assertions mirroring the paper's Table I.
-    assert mnist_system.train_accuracy > 0.95
-    assert mnist_system.val_accuracy > 0.90
-    assert gtsrb_system.train_accuracy > 0.90
-    # GTSRB has the larger generalisation gap (paper: 99.98 vs 96.73).
-    mnist_gap = mnist_system.train_accuracy - mnist_system.val_accuracy
-    gtsrb_gap = gtsrb_system.train_accuracy - gtsrb_system.val_accuracy
-    assert gtsrb_gap > mnist_gap
+    # Shape assertions mirroring the paper's Table I (full scale only:
+    # smoke-mode systems train for seconds and land below this regime).
+    if not is_smoke():
+        assert mnist_system.train_accuracy > 0.95
+        assert mnist_system.val_accuracy > 0.90
+        assert gtsrb_system.train_accuracy > 0.90
+        # GTSRB has the larger generalisation gap (paper: 99.98 vs 96.73).
+        mnist_gap = mnist_system.train_accuracy - mnist_system.val_accuracy
+        gtsrb_gap = gtsrb_system.train_accuracy - gtsrb_system.val_accuracy
+        assert gtsrb_gap > mnist_gap
 
 
 def test_bench_mnist_inference_latency(benchmark, mnist_system):

@@ -11,7 +11,7 @@ per proposal cell.
 import numpy as np
 import pytest
 
-from benchutil import record
+from benchutil import is_smoke, record, scaled
 from repro.analysis import format_table, percent
 from repro.datasets import GRID, MultiObjectConfig, generate_multiobject
 from repro.models import build_model
@@ -24,13 +24,13 @@ GAMMAS = [0, 1, 2]
 @pytest.fixture(scope="module")
 def detector_system():
     config = MultiObjectConfig()
-    train_data = generate_multiobject(300, seed=0, config=config)
-    val_data = generate_multiobject(120, seed=10_000, config=config)
+    train_data = generate_multiobject(scaled(300, 120), seed=0, config=config)
+    val_data = generate_multiobject(scaled(120, 60), seed=10_000, config=config)
     spec = build_model("grid_detector", seed=0, config=config)
     optimizer = Adam(spec.model.parameters(), lr=2e-3)
     loss_fn = CrossEntropyLoss()
     flat_labels = train_data.cell_labels.reshape(len(train_data), -1)
-    for epoch in range(6):
+    for epoch in range(scaled(6, 2)):
         order = np.random.default_rng(epoch).permutation(len(train_data))
         for start in range(0, len(train_data), 32):
             idx = order[start : start + 32]
@@ -71,7 +71,8 @@ def test_yolo_extension_table(detector_system):
     )
     # Same monotone shape as the classification monitors.
     assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
-    assert rates[0] > 0.0  # a fresh validation set contains novelty at gamma=0
+    if not is_smoke():
+        assert rates[0] > 0.0  # fresh validation data has novelty at gamma=0
 
 
 def test_bench_detection_monitor_build(benchmark, detector_system):

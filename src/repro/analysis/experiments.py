@@ -264,6 +264,7 @@ def build_monitor(
     selection: str = "gradient",
     selection_seed: int = 0,
     backend: str = DEFAULT_BACKEND,
+    indexed: bool = False,
 ) -> NeuronActivationMonitor:
     """Build a monitor for a trained system (Algorithm 1 + §II selection).
 
@@ -271,7 +272,8 @@ def build_monitor(
     ``"gradient"`` (paper's method: output-weight sensitivity) or
     ``"random"`` (the ablation control).  ``backend`` picks the zone
     engine (``"bdd"`` or ``"bitset"``), so every experiment can be run
-    against either.
+    against either; ``indexed`` arms the bitset engine's multi-index
+    Hamming pruner for sub-linear queries over large zones.
     """
     patterns, labels, predictions = system.patterns_of("train")
     if classes is None:
@@ -293,6 +295,7 @@ def build_monitor(
         gamma=gamma,
         monitored_neurons=monitored_neurons,
         backend=backend,
+        indexed=indexed,
     )
     monitor.record(patterns, labels, predictions)
     return monitor

@@ -83,6 +83,12 @@ def _add_monitor_arguments(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_BACKEND,
         help="comfort-zone engine: canonical BDD or vectorized bitset",
     )
+    parser.add_argument(
+        "--indexed",
+        action="store_true",
+        help="arm the bitset engine's multi-index Hamming pruner "
+        "(sub-linear queries over large zones; bitset backend only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stream exact Hamming distances into the histogram "
         "shift detector (sharper signal than binary verdicts)",
     )
+    serve_p.add_argument(
+        "--submit", choices=["bulk", "per_request"], default="bulk",
+        help="producer shape: one vectorised check_many call (bulk) or "
+        "one concurrent check call per row (per_request) — throughputs "
+        "are not comparable across modes",
+    )
     return parser
 
 
@@ -195,6 +207,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         classes=args.classes,
         neuron_fraction=args.neuron_fraction,
         backend=args.backend,
+        indexed=args.indexed,
     )
     rows = gamma_sweep(system, monitor, [args.gamma])
     print(render_table2(1, system.misclassification_rate, rows))
@@ -206,6 +219,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     monitor = build_monitor(
         system, gamma=0, classes=args.classes,
         neuron_fraction=args.neuron_fraction, backend=args.backend,
+        indexed=args.indexed,
     )
     rows = gamma_sweep(system, monitor, list(range(args.max_gamma + 1)))
     print(render_table2(1, system.misclassification_rate, rows))
@@ -233,6 +247,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         classes=args.classes,
         neuron_fraction=args.neuron_fraction,
         backend=args.backend,
+        indexed=args.indexed,
     )
     router = ShardRouter.partition(monitor, args.shards)
     patterns, labels, predictions = system.patterns_of("val")
@@ -261,8 +276,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         shift_detector=shift_detector,
         distance_detector=distance_detector,
+        submit=args.submit,
     )
-    print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}")
+    print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}  "
+          f"submit={args.submit}")
     print(f"shards:   {len(router)}  "
           f"(classes per shard: {[len(s.classes) for s in router.shards]})")
     print(f"requests: {len(result.verdicts)}  elapsed {result.elapsed*1e3:.1f}ms  "
@@ -289,7 +306,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Reject the combination up front: discovering it after minutes of
+    # system training would surface as a raw backend ValueError.
+    if getattr(args, "indexed", False) and args.backend != "bitset":
+        parser.error("--indexed requires --backend bitset")
     if args.command == "info":
         return _cmd_info()
     if args.command == "train":

@@ -28,12 +28,19 @@ def available_backends() -> list:
     return sorted(_BACKENDS)
 
 
-def make_backend(name: str, num_vars: int, manager: Optional[object] = None) -> ZoneBackend:
+def make_backend(
+    name: str,
+    num_vars: int,
+    manager: Optional[object] = None,
+    indexed: bool = False,
+) -> ZoneBackend:
     """Instantiate a zone backend by registry key.
 
     ``manager`` (a :class:`~repro.bdd.manager.BDDManager`) is forwarded to
     the BDD backend so one monitor's zones can share a node table; other
-    backends reject it.
+    backends reject it.  ``indexed=True`` arms the bitset backend's
+    multi-index Hamming pruner (sub-linear γ queries); other backends
+    reject it.
     """
     try:
         cls = _BACKENDS[name]
@@ -42,10 +49,14 @@ def make_backend(name: str, num_vars: int, manager: Optional[object] = None) -> 
             f"unknown zone backend {name!r}; available: {', '.join(available_backends())}"
         ) from None
     if cls is BDDZoneBackend:
+        if indexed:
+            raise ValueError(
+                "indexed pruning is only available on the bitset backend"
+            )
         return cls(num_vars, manager=manager)
     if manager is not None:
         raise ValueError(f"backend {name!r} does not accept a shared BDD manager")
-    return cls(num_vars)
+    return cls(num_vars, indexed=indexed)
 
 
 __all__ = [

@@ -10,13 +10,15 @@ numpy, no per-sample Python.
 
 This is the NAP-monitor style representation (od-test lineage): exact, not
 an abstraction, and the natural engine to race against the BDD backend.
-γ = 0 additionally takes a hash-set fast path with O(1) lookups per row.
+γ = 0 takes a fully vectorized sorted-lookup fast path, and ``indexed=True``
+enables the multi-index Hamming pruner (``index.py``) that makes γ > 0
+queries sub-linear in the number of stored patterns.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Set
+from typing import Dict
 
 import numpy as np
 
@@ -50,19 +52,40 @@ def _popcount_words(words: np.ndarray) -> np.ndarray:
 
 
 class BitsetZoneBackend(ZoneBackend):
-    """Deduplicated packed-pattern words + vectorized XOR/popcount queries."""
+    """Deduplicated packed-pattern words + vectorized XOR/popcount queries.
+
+    ``indexed=True`` arms the multi-index Hamming pruner
+    (:class:`~repro.monitor.backends.index.MultiIndexHammingIndex`): γ > 0
+    queries first shortlist candidates through γ+1 exact band lookups and
+    a class-prototype distance ring, and only the shortlist reaches the
+    XOR/popcount kernel.  Indices are built lazily per γ on first query
+    and invalidated by :meth:`add_patterns`; when pruning would not pay
+    (few stored patterns, bands too narrow) the query silently falls back
+    to the brute kernel, so verdicts are always bit-identical.
+    """
 
     name = "bitset"
 
     #: Exact |Z^γ| counting enumerates the enlarged zone; stop past this.
     _SIZE_BUDGET = 2_000_000
 
-    def __init__(self, num_vars: int):
+    #: Below this much stored work (pattern rows × words per row) the
+    #: brute kernel beats the index's per-query bookkeeping.
+    _INDEX_MIN_WORK = 2048
+    #: Bands narrower than this collide so often the shortlist is ~everything.
+    _INDEX_MIN_BAND_BITS = 8
+
+    def __init__(self, num_vars: int, indexed: bool = False):
         super().__init__(num_vars)
         self._row_bytes = (num_vars + 7) // 8
         self._row_words = (self._row_bytes + 7) // 8
+        self._void = np.dtype((np.void, self._row_words * 8))
         self._words = np.zeros((0, self._row_words), dtype=np.uint64)
-        self._seen: Set[bytes] = set()
+        #: Sorted void view of ``_words`` rows — the vectorized membership
+        #: structure behind dedup on insert and the γ=0 fast path.
+        self._sorted_void = self._words.view(self._void).ravel()
+        self.indexed = bool(indexed)
+        self._indices: Dict[int, "object"] = {}
 
     # ------------------------------------------------------------------
     # packing
@@ -75,6 +98,15 @@ class BitsetZoneBackend(ZoneBackend):
             packed = np.pad(packed, ((0, 0), (0, pad)))
         return np.ascontiguousarray(packed).view(np.uint64)
 
+    def _member_mask(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized exact membership of packed rows in the stored set."""
+        if not len(self._sorted_void):
+            return np.zeros(len(words), dtype=bool)
+        queries = np.ascontiguousarray(words).view(self._void).ravel()
+        pos = np.searchsorted(self._sorted_void, queries)
+        pos = np.minimum(pos, len(self._sorted_void) - 1)
+        return self._sorted_void[pos] == queries
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -84,46 +116,59 @@ class BitsetZoneBackend(ZoneBackend):
             return
         if patterns.max(initial=0) > 1:
             raise ValueError("pattern bits must be 0 or 1")
-        words = self._pack_words(patterns)
-        # Collapse intra-batch duplicates at C speed; the Python loop below
-        # only filters the (much smaller) unique set against prior batches.
-        words = np.unique(words, axis=0)
-        raw = words.tobytes()
-        stride = self._row_words * 8
-        fresh = []
-        for i in range(len(words)):
-            key = raw[i * stride : (i + 1) * stride]
-            if key not in self._seen:
-                self._seen.add(key)
-                fresh.append(words[i])
-        if fresh:
-            self._words = np.concatenate([self._words, np.asarray(fresh)], axis=0)
+        # Intra-batch dedup and the cross-batch filter both run at C speed:
+        # unique void rows, then a sorted-lookup membership test against the
+        # stored set (no per-row Python, however large the zone).
+        words = np.unique(self._pack_words(patterns), axis=0)
+        fresh = ~self._member_mask(words)
+        if fresh.any():
+            self._words = np.concatenate([self._words, words[fresh]], axis=0)
+            self._sorted_void = np.sort(self._words.view(self._void).ravel())
+            self._indices.clear()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _index_pays(self, gamma: int) -> bool:
+        """Whether the pruned index beats the brute kernel for this γ."""
+        return (
+            self.indexed
+            and gamma + 1 <= self.num_vars  # pigeonhole needs γ+1 bands
+            and len(self._words) * self._row_words >= self._INDEX_MIN_WORK
+            and self.num_vars // (gamma + 1) >= self._INDEX_MIN_BAND_BITS
+        )
+
+    def _index_for(self, gamma: int):
+        index = self._indices.get(gamma)
+        if index is None:
+            from repro.monitor.backends.index import MultiIndexHammingIndex
+
+            index = MultiIndexHammingIndex(self._words, self.num_vars, gamma)
+            self._indices[gamma] = index
+        return index
+
     def contains_batch(self, patterns: np.ndarray, gamma: int) -> np.ndarray:
         patterns = self._validate(patterns)
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
         n = len(patterns)
-        if n == 0 or not self._seen:
+        if n == 0 or not len(self._words):
             return np.zeros(n, dtype=bool)
         words = self._pack_words(patterns)
         if gamma == 0:
-            raw = words.tobytes()
-            stride = self._row_words * 8
-            seen = self._seen
-            return np.fromiter(
-                (raw[i * stride : (i + 1) * stride] in seen for i in range(n)),
-                dtype=bool,
-                count=n,
-            )
+            return self._member_mask(words)
+        if self._index_pays(gamma):
+            return self._index_for(gamma).contains(words)
         return self._min_distances_packed(words) <= gamma
 
     def min_distances(self, patterns: np.ndarray) -> np.ndarray:
         """Per-row minimum Hamming distance to the visited set
-        (``num_vars + 1`` when nothing was recorded)."""
+        (``num_vars + 1`` when nothing was recorded).
+
+        Always the brute kernel: the band index can only bound distances
+        by its γ (beyond the shortlist the true minimum is unknowable), so
+        the exact-distance workload stays on the exhaustive scan.
+        """
         return self._min_distances_packed(self._pack_words(self._validate(patterns)))
 
     def _min_distances_packed(self, words: np.ndarray) -> np.ndarray:
@@ -153,13 +198,13 @@ class BitsetZoneBackend(ZoneBackend):
         return out
 
     def is_empty(self) -> bool:
-        return not self._seen
+        return not len(self._words)
 
     def num_visited(self) -> int:
-        return len(self._seen)
+        return len(self._words)
 
     def visited_patterns(self) -> np.ndarray:
-        if not self._seen:
+        if not len(self._words):
             return np.zeros((0, self.num_vars), dtype=np.uint8)
         bytes_view = self._words.view(np.uint8)[:, : self._row_bytes]
         return np.unpackbits(bytes_view, axis=1)[:, : self.num_vars]
@@ -174,7 +219,7 @@ class BitsetZoneBackend(ZoneBackend):
         """
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
-        if not self._seen:
+        if self.is_empty():
             return 0
         if gamma == 0:
             return len(self._words)
@@ -227,10 +272,15 @@ class BitsetZoneBackend(ZoneBackend):
             # Zone too large to enumerate exactly: NaN propagates loudly
             # through downstream aggregation instead of skewing means.
             patterns = float("nan")
-        return {
+        stats = {
             "patterns": patterns,
             "density": patterns / total,
             "visited_patterns": visited,
             "storage_bytes": int(self._words.nbytes),
             "popcount_kernel": "bitwise_count" if _HAS_BITWISE_COUNT else "lut",
+            "indexed": self.indexed,
         }
+        index = self._indices.get(gamma)
+        if index is not None:
+            stats.update(index.statistics())
+        return stats

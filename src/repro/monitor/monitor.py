@@ -49,6 +49,10 @@ class NeuronActivationMonitor:
         Zone engine registry key: ``"bdd"`` (canonical diagram, the
         paper's engine) or ``"bitset"`` (vectorized XOR/popcount rows).
         Both give identical verdicts; see ``monitor/backends/README.md``.
+    indexed:
+        Arm the bitset backend's multi-index Hamming pruner, making γ
+        queries sub-linear in the stored-pattern count (bitset-only; the
+        pruner falls back to the brute kernel when it would not pay).
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class NeuronActivationMonitor:
         gamma: int = 0,
         monitored_neurons: Optional[Sequence[int]] = None,
         backend: str = DEFAULT_BACKEND,
+        indexed: bool = False,
     ):
         if layer_width <= 0:
             raise ValueError(f"layer_width must be positive, got {layer_width}")
@@ -79,6 +84,7 @@ class NeuronActivationMonitor:
                 )
         self.gamma = gamma
         self.backend_name = backend
+        self.indexed = bool(indexed)
         # BDD zones share one manager: same variables, shared node table.
         self._manager = (
             BDDManager(len(self.monitored_neurons)) if backend == "bdd" else None
@@ -86,7 +92,7 @@ class NeuronActivationMonitor:
         self.zones: Dict[int, ComfortZone] = {
             c: ComfortZone(
                 len(self.monitored_neurons), gamma,
-                manager=self._manager, backend=backend,
+                manager=self._manager, backend=backend, indexed=self.indexed,
             )
             for c in self.classes
         }
@@ -138,6 +144,7 @@ class NeuronActivationMonitor:
         monitored_neurons: Optional[Sequence[int]] = None,
         batch_size: int = 256,
         backend: str = DEFAULT_BACKEND,
+        indexed: bool = False,
     ) -> "NeuronActivationMonitor":
         """Run Algorithm 1: one sweep over the training set, then enlarge.
 
@@ -154,6 +161,7 @@ class NeuronActivationMonitor:
             gamma=gamma,
             monitored_neurons=monitored_neurons,
             backend=backend,
+            indexed=indexed,
         )
         monitor.record(patterns, labels, predictions)
         return monitor
@@ -259,6 +267,7 @@ class NeuronActivationMonitor:
             gamma=first.gamma,
             monitored_neurons=first.monitored_neurons,
             backend=first.backend_name,
+            indexed=first.indexed,
         )
         for monitor in monitors:
             for c, zone in monitor.zones.items():
@@ -285,6 +294,7 @@ class NeuronActivationMonitor:
             "classes": self.classes,
             "pattern_width": int(len(self.monitored_neurons)),
             "backend": self.backend_name,
+            "indexed": self.indexed,
         }
         arrays["monitored_neurons"] = self.monitored_neurons
         for c, zone in self.zones.items():
@@ -305,12 +315,17 @@ class NeuronActivationMonitor:
         with np.load(path) as archive:
             meta = json.loads(bytes(archive["meta"]).decode())
             monitored = archive["monitored_neurons"]
+            restored_backend = backend or meta.get("backend", DEFAULT_BACKEND)
             monitor = cls(
                 layer_width=int(meta["layer_width"]),
                 classes=meta["classes"],
                 gamma=int(meta["gamma"]),
                 monitored_neurons=monitored,
-                backend=backend or meta.get("backend", DEFAULT_BACKEND),
+                backend=restored_backend,
+                # Indexing is bitset-only; drop it when the engine is
+                # overridden to one that cannot honour it.
+                indexed=bool(meta.get("indexed", False))
+                and restored_backend == "bitset",
             )
             width = int(meta["pattern_width"])
             for c in meta["classes"]:

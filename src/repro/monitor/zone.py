@@ -35,6 +35,9 @@ class ComfortZone:
     backend:
         Registry key (``"bdd"`` or ``"bitset"``) or a ready-made
         :class:`ZoneBackend` instance.
+    indexed:
+        Arm the bitset backend's multi-index Hamming pruner (sub-linear
+        γ queries over large visited sets).  Bitset-only.
     """
 
     def __init__(
@@ -43,6 +46,7 @@ class ComfortZone:
         gamma: int = 0,
         manager: Optional[BDDManager] = None,
         backend: Union[str, ZoneBackend] = DEFAULT_BACKEND,
+        indexed: bool = False,
     ):
         if num_neurons <= 0:
             raise ValueError(f"num_neurons must be positive, got {num_neurons}")
@@ -57,9 +61,15 @@ class ComfortZone:
                 )
             if manager is not None:
                 raise ValueError("pass either a backend instance or a manager, not both")
+            if indexed:
+                raise ValueError(
+                    "pass either a backend instance or indexed=, not both"
+                )
             self.backend = backend
         else:
-            self.backend = make_backend(backend, num_neurons, manager=manager)
+            self.backend = make_backend(
+                backend, num_neurons, manager=manager, indexed=indexed
+            )
 
     @property
     def num_visited_patterns(self) -> int:

@@ -1,4 +1,4 @@
-"""Asyncio micro-batching monitor server.
+"""Asyncio micro-batching monitor server with off-loop kernel execution.
 
 The deployment loop of the paper checks one decision at a time; the zone
 backends answer *matrices* orders of magnitude faster per row.  The
@@ -10,10 +10,29 @@ individually.  Bounded queues give natural backpressure — producers block
 in ``await`` when a shard falls behind rather than growing the queue
 without limit.
 
+Two design points keep the hot path cheap and the shards genuinely
+parallel:
+
+* **Block requests.**  A queue entry carries a *block* of pre-stacked
+  rows, not a single pattern.  :meth:`StreamServer.check` wraps one row
+  per block (the open-stream shape); :meth:`StreamServer.check_many`
+  routes a whole matrix shard-by-shard with vectorised numpy indexing and
+  enqueues ``max_batch``-row blocks directly — no per-row coroutine, no
+  per-row array boxing, one future per block.
+* **Off-loop kernels.**  Workers ship each coalesced batch to a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``loop.run_in_executor``).  The XOR/popcount and BDD kernels run
+  outside the event loop and release the GIL inside numpy, so shard
+  batches compute concurrently on multicore hosts and the loop stays free
+  to coalesce the next batches.  Tiny batches skip the executor hop
+  (``_EXECUTOR_MIN_ROWS``), and ``executor_threads=0`` restores fully
+  inline execution.
+
 Two request shapes are served:
 
-* :meth:`StreamServer.check` — a pre-extracted activation pattern plus its
-  predicted class (the hot path when the network runs elsewhere);
+* :meth:`StreamServer.check` / :meth:`StreamServer.check_many` — a
+  pre-extracted activation pattern (or matrix) plus predicted class(es)
+  (the hot path when the network runs elsewhere);
 * :meth:`StreamServer.classify` — a raw input, micro-batched through the
   wrapped :class:`~repro.monitor.runtime.MonitoredClassifier`'s network
   first, then routed to the shards.
@@ -21,15 +40,19 @@ Two request shapes are served:
 When detectors are attached, every served verdict feeds the binary
 :class:`~repro.monitor.shift.DistributionShiftDetector` and every exact
 distance the histogram
-:class:`~repro.monitor.shift.DistanceShiftDetector`, so the §V shift
+:class:`~repro.monitor.shift.DistanceShiftDetector`; verdicts and
+distances then come from one combined distance kernel per batch
+(:meth:`~repro.serving.shard.MonitorShard.check_batch`), so the §V shift
 indicator runs inline with serving at no extra query cost.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -42,10 +65,18 @@ from repro.serving.shard import ShardRouter
 #: Per-shard cap on retained latency samples (enough for stable p99).
 _LATENCY_SAMPLES = 8192
 
+#: Below this many coalesced rows the executor hand-off costs more than
+#: the kernel; the worker runs the batch inline on the loop instead.
+_EXECUTOR_MIN_ROWS = 16
+
 
 @dataclass
 class ShardServingStats:
-    """Counters and latency samples for one shard's worker."""
+    """Counters and latency samples for one shard's worker.
+
+    ``requests`` counts rows; ``batches`` counts vectorised backend
+    calls, so ``mean_batch`` is the amortisation factor of the kernel.
+    """
 
     shard_id: int
     requests: int = 0
@@ -53,6 +84,7 @@ class ShardServingStats:
     max_batch: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
+    offloaded_batches: int = 0
     latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=_LATENCY_SAMPLES)
     )
@@ -77,24 +109,38 @@ class ShardServingStats:
             "max_batch": self.max_batch,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
+            "offloaded_batches": self.offloaded_batches,
             "p50_ms": self.latency_percentile(50) * 1e3,
             "p99_ms": self.latency_percentile(99) * 1e3,
         }
 
 
-@dataclass
 class _CheckRequest:
-    pattern: np.ndarray
-    predicted_class: int
-    future: "asyncio.Future[bool]"
-    enqueued_at: float
+    """A block of pre-stacked query rows awaiting one shard verdict.
+
+    Plain ``__slots__`` object, not a dataclass: these are created once
+    per block on the producer hot path, and attribute-dict allocation is
+    measurable at micro-batching request rates.
+    """
+
+    __slots__ = ("patterns", "classes", "rows", "future", "enqueued_at")
+
+    def __init__(self, patterns, classes, rows, future, enqueued_at):
+        self.patterns = patterns      # (rows, layer_width)
+        self.classes = classes        # (rows,)
+        self.rows = rows
+        self.future = future          # resolves to the (rows,) verdict slice
+        self.enqueued_at = enqueued_at
 
 
-@dataclass
 class _ClassifyRequest:
-    single_input: np.ndarray
-    future: "asyncio.Future[Verdict]"
-    enqueued_at: float
+    __slots__ = ("single_input", "rows", "future", "enqueued_at")
+
+    def __init__(self, single_input, future, enqueued_at):
+        self.single_input = single_input
+        self.rows = 1  # lets _collect_batch coalesce classify requests too
+        self.future = future
+        self.enqueued_at = enqueued_at
 
 
 class StreamServer:
@@ -105,18 +151,24 @@ class StreamServer:
     router:
         The sharded monitor (see :class:`~repro.serving.shard.ShardRouter`).
     max_batch:
-        Largest number of requests coalesced into one backend call.
+        Largest number of rows coalesced into one backend call.
     max_delay_ms:
         Longest a worker waits for stragglers once it holds a request —
         the latency price paid for batching (0 disables coalescing delay).
     max_pending:
-        Per-shard queue bound; producers await when a shard is this far
-        behind (backpressure instead of unbounded memory).
+        Per-shard queue bound, in queued blocks; producers await when a
+        shard is this far behind (backpressure instead of unbounded
+        memory).
     classifier:
         Optional :class:`MonitoredClassifier` enabling :meth:`classify`
         (raw inputs micro-batched through the network first).
     shift_detector / distance_detector:
         Optional shift detectors fed inline from the served stream.
+    executor_threads:
+        Size of the shared kernel thread pool.  ``None`` (default) sizes
+        it to ``min(num_shards + 1, cpu_count)``; ``0`` disables
+        off-loop execution entirely (kernels run inline on the loop,
+        the pre-PR behaviour).
     """
 
     def __init__(
@@ -128,6 +180,7 @@ class StreamServer:
         classifier: Optional[MonitoredClassifier] = None,
         shift_detector: Optional[DistributionShiftDetector] = None,
         distance_detector: Optional[DistanceShiftDetector] = None,
+        executor_threads: Optional[int] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -135,6 +188,10 @@ class StreamServer:
             raise ValueError(f"max_delay_ms must be non-negative, got {max_delay_ms}")
         if max_pending <= 0:
             raise ValueError(f"max_pending must be positive, got {max_pending}")
+        if executor_threads is not None and executor_threads < 0:
+            raise ValueError(
+                f"executor_threads must be non-negative, got {executor_threads}"
+            )
         self.router = router
         self.max_batch = max_batch
         self.max_delay = max_delay_ms / 1e3
@@ -142,6 +199,8 @@ class StreamServer:
         self.classifier = classifier
         self.shift_detector = shift_detector
         self.distance_detector = distance_detector
+        self.executor_threads = executor_threads
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._queues: Dict[int, "asyncio.Queue[Optional[_CheckRequest]]"] = {}
         self._classify_queue: Optional["asyncio.Queue[Optional[_ClassifyRequest]]"] = None
         self._workers: List["asyncio.Task"] = []
@@ -160,6 +219,13 @@ class StreamServer:
         if self._running:
             return
         self._running = True
+        threads = self.executor_threads
+        if threads is None:
+            threads = min(len(self.router.shards) + 1, os.cpu_count() or 1)
+        if threads > 0:
+            self._executor = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-serving"
+            )
         for shard in self.router.shards:
             queue: "asyncio.Queue[Optional[_CheckRequest]]" = asyncio.Queue(
                 maxsize=self.max_pending
@@ -187,6 +253,9 @@ class StreamServer:
         self._workers.clear()
         self._queues.clear()
         self._classify_queue = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     async def __aenter__(self) -> "StreamServer":
         await self.start()
@@ -214,30 +283,93 @@ class StreamServer:
                 self.distance_detector.update(0)
             return True
         shard = self.router.shard_for(predicted_class)
+        # Pre-packed single-row fast path: a caller streaming 1-D rows
+        # (the deployment shape) skips the asarray/copy entirely.
+        if type(pattern) is not np.ndarray or pattern.ndim != 1:
+            pattern = np.asarray(pattern).reshape(-1)
         request = _CheckRequest(
-            pattern=np.asarray(pattern).reshape(-1),
-            predicted_class=predicted_class,
+            patterns=pattern[None, :],
+            classes=predicted_class,
+            rows=1,
             future=asyncio.get_running_loop().create_future(),
             enqueued_at=time.perf_counter(),
         )
         queue = self._queues[shard.shard_id]
         await queue.put(request)  # blocks under backpressure
         stats = self._stats[shard.shard_id]
-        stats.queue_depth = queue.qsize()
-        stats.max_queue_depth = max(stats.max_queue_depth, queue.qsize())
-        return await request.future
+        depth = queue.qsize()
+        stats.queue_depth = depth
+        if depth > stats.max_queue_depth:
+            stats.max_queue_depth = depth
+        verdicts = await request.future
+        return bool(verdicts[0])
 
     async def check_many(
         self, patterns: np.ndarray, predicted_classes: Sequence[int]
     ) -> np.ndarray:
-        """Fire one :meth:`check` per row concurrently; gather verdicts."""
-        verdicts = await asyncio.gather(
-            *(
-                self.check(patterns[i], predicted_classes[i])
-                for i in range(len(patterns))
-            )
+        """Vectorised bulk submit: route the whole matrix, enqueue
+        ``max_batch``-row blocks per shard, gather verdicts in order.
+
+        Semantically identical to firing one :meth:`check` per row
+        concurrently, but the per-row fixed overhead (coroutine, array
+        boxing, future, queue hop) is paid once per *block*: the Python
+        cost of a 10k-row stream is a few dozen queue operations.
+        """
+        if not self._running:
+            raise RuntimeError("server is not running; use 'async with' or start()")
+        patterns = np.atleast_2d(np.asarray(patterns))
+        predicted_classes = np.asarray(predicted_classes)
+        n = len(patterns)
+        verdicts = np.ones(n, dtype=bool)
+        if n == 0:
+            return verdicts
+        loop = asyncio.get_running_loop()
+        groups = self.router.route(predicted_classes)
+        pending: List[Tuple[np.ndarray, "asyncio.Future"]] = []
+        routed_rows = 0
+        for shard_id, rows in groups.items():
+            queue = self._queues[shard_id]
+            stats = self._stats[shard_id]
+            routed_rows += len(rows)
+            for start in range(0, len(rows), self.max_batch):
+                block = rows[start : start + self.max_batch]
+                request = _CheckRequest(
+                    patterns=patterns[block],
+                    classes=predicted_classes[block],
+                    rows=len(block),
+                    future=loop.create_future(),
+                    enqueued_at=time.perf_counter(),
+                )
+                if queue.full():
+                    await queue.put(request)  # backpressure
+                else:
+                    queue.put_nowait(request)
+                depth = queue.qsize()
+                stats.queue_depth = depth
+                if depth > stats.max_queue_depth:
+                    stats.max_queue_depth = depth
+                pending.append((block, request.future))
+        # Rows predicted as unmonitored classes: trusted, fed to the
+        # detectors exactly like the per-request path.
+        unrouted = n - routed_rows
+        if unrouted:
+            if self.shift_detector is not None:
+                for _ in range(unrouted):
+                    self.shift_detector.update(False)
+            if self.distance_detector is not None:
+                self.distance_detector.update_many(np.zeros(unrouted, dtype=np.int64))
+        # return_exceptions so every block future is retrieved even when
+        # several fail (no "exception was never retrieved" loop warnings);
+        # the first failure is then re-raised like a plain gather.
+        results = await asyncio.gather(
+            *(future for _, future in pending), return_exceptions=True
         )
-        return np.asarray(verdicts, dtype=bool)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        for (block, _), block_verdicts in zip(pending, results):
+            verdicts[block] = block_verdicts
+        return verdicts
 
     async def classify(self, single_input: np.ndarray) -> Verdict:
         """Full monitored classification of one raw input.
@@ -261,11 +393,15 @@ class StreamServer:
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
-    async def _collect_batch(self, queue: "asyncio.Queue", first) -> Tuple[list, bool]:
-        """Coalesce up to ``max_batch`` requests within ``max_delay``."""
+    async def _collect_batch(self, queue: "asyncio.Queue", first):
+        """Coalesce blocks up to ``max_batch`` total rows within
+        ``max_delay``.  Returns ``(batch, total_rows, carry, stopping)``:
+        ``carry`` is a block that would overflow the row budget, held for
+        the next batch so one kernel call never exceeds ``max_batch``."""
         batch = [first]
+        total = first.rows
         deadline = asyncio.get_running_loop().time() + self.max_delay
-        while len(batch) < self.max_batch:
+        while total < self.max_batch:
             if not queue.empty():
                 item = queue.get_nowait()
             else:
@@ -277,27 +413,52 @@ class StreamServer:
                 except asyncio.TimeoutError:
                     break
             if item is None:
-                return batch, True
+                return batch, total, None, True
+            if total + item.rows > self.max_batch:
+                return batch, total, item, False
             batch.append(item)
-        return batch, False
+            total += item.rows
+        return batch, total, None, False
+
+    async def _run_kernel(self, shard, patterns, classes, rows, stats):
+        """Execute one coalesced batch — off-loop when it pays."""
+        want_distances = self.distance_detector is not None
+        if self._executor is not None and rows >= _EXECUTOR_MIN_ROWS:
+            stats.offloaded_batches += 1
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor, shard.check_batch, patterns, classes, want_distances
+            )
+        return shard.check_batch(patterns, classes, want_distances)
 
     async def _check_worker(
         self, shard, queue: "asyncio.Queue[Optional[_CheckRequest]]"
     ) -> None:
         stats = self._stats[shard.shard_id]
+        carry: Optional[_CheckRequest] = None
         stopping = False
-        while not stopping:
-            first = await queue.get()
-            if first is None:
-                break
-            batch, stopping = await self._collect_batch(queue, first)
+        while True:
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                if stopping:
+                    break
+                first = await queue.get()
+                if first is None:
+                    break
+            batch, total, carry, got_stop = await self._collect_batch(queue, first)
+            stopping = stopping or got_stop
             try:
-                patterns = np.stack([r.pattern for r in batch])
-                classes = np.asarray([r.predicted_class for r in batch])
-                supported = shard.check(patterns, classes)
-                distances = None
-                if self.distance_detector is not None:
-                    distances = shard.min_distances(patterns, classes)
+                if len(batch) == 1:
+                    patterns = batch[0].patterns
+                    classes = np.atleast_1d(np.asarray(batch[0].classes))
+                else:
+                    patterns = np.concatenate([r.patterns for r in batch])
+                    classes = np.concatenate(
+                        [np.atleast_1d(np.asarray(r.classes)) for r in batch]
+                    )
+                supported, distances = await self._run_kernel(
+                    shard, patterns, classes, total, stats
+                )
             except Exception as exc:  # noqa: BLE001 — surfaced to callers
                 # A bad request (e.g. wrong pattern width) must fail its
                 # own batch, not kill the worker and wedge every later
@@ -307,33 +468,53 @@ class StreamServer:
                         request.future.set_exception(exc)
                 continue
             now = time.perf_counter()
-            stats.requests += len(batch)
+            stats.requests += total
             stats.batches += 1
-            stats.max_batch = max(stats.max_batch, len(batch))
+            if total > stats.max_batch:
+                stats.max_batch = total
             stats.queue_depth = queue.qsize()
-            for i, request in enumerate(batch):
+            shift = self.shift_detector
+            distance_detector = self.distance_detector
+            offset = 0
+            for request in batch:
                 stats.latencies.append(now - request.enqueued_at)
-                if self.shift_detector is not None:
-                    self.shift_detector.update(not bool(supported[i]))
-                if distances is not None:
-                    self.distance_detector.update(int(distances[i]))
+                block = supported[offset : offset + request.rows]
+                if shift is not None:
+                    for value in block:
+                        shift.update(not bool(value))
+                if distance_detector is not None:
+                    distance_detector.update_many(
+                        distances[offset : offset + request.rows]
+                    )
                 if not request.future.done():
-                    request.future.set_result(bool(supported[i]))
+                    request.future.set_result(block)
+                offset += request.rows
 
     async def _classify_worker(
         self, queue: "asyncio.Queue[Optional[_ClassifyRequest]]"
     ) -> None:
         classifier = self.classifier
         stats = self._classify_stats
+        loop = asyncio.get_running_loop()
         stopping = False
         while not stopping:
             first = await queue.get()
             if first is None:
                 break
-            batch, stopping = await self._collect_batch(queue, first)
+            batch, _total, carry, stopping = await self._collect_batch(queue, first)
+            # Single-row requests can never overflow the row budget; a
+            # carried request here would mean rows != 1 and a silently
+            # dropped (forever-pending) caller — fail loudly instead.
+            assert carry is None, "classify requests must stay single-row"
             try:
                 inputs = np.stack([r.single_input for r in batch])
-                verdicts = classifier.classify(inputs)
+                if self._executor is not None and len(batch) >= _EXECUTOR_MIN_ROWS:
+                    stats.offloaded_batches += 1
+                    verdicts = await loop.run_in_executor(
+                        self._executor, classifier.classify, inputs
+                    )
+                else:
+                    verdicts = classifier.classify(inputs)
             except Exception as exc:  # noqa: BLE001 — surfaced to callers
                 for request in batch:
                     if not request.future.done():
@@ -385,14 +566,24 @@ def run_stream(
     max_pending: int = 1024,
     shift_detector: Optional[DistributionShiftDetector] = None,
     distance_detector: Optional[DistanceShiftDetector] = None,
+    executor_threads: Optional[int] = None,
+    submit: str = "bulk",
 ) -> StreamResult:
-    """Replay a pattern stream as concurrent requests; return verdicts + stats.
+    """Replay a pattern stream through a server; return verdicts + stats.
 
-    Convenience synchronous entry point for the CLI and benchmarks: every
-    row becomes one concurrent :meth:`StreamServer.check` call (as if each
-    decision arrived from its own caller), so the measured throughput is
-    the sustained micro-batched serving rate, backpressure included.
+    Convenience synchronous entry point for the CLI and benchmarks.
+    ``submit`` selects the producer shape:
+
+    * ``"bulk"`` (default) — one :meth:`StreamServer.check_many` call:
+      the whole stream is routed vectorised and enqueued as
+      ``max_batch``-row blocks, the batched-producer serving rate.
+    * ``"per_request"`` — every row becomes its own concurrent
+      :meth:`StreamServer.check` call (as if each decision arrived from
+      its own caller), the open-stream rate including all per-request
+      queueing overhead.
     """
+    if submit not in ("bulk", "per_request"):
+        raise ValueError(f"submit must be 'bulk' or 'per_request', got {submit!r}")
 
     async def _run() -> StreamResult:
         server = StreamServer(
@@ -402,10 +593,22 @@ def run_stream(
             max_pending=max_pending,
             shift_detector=shift_detector,
             distance_detector=distance_detector,
+            executor_threads=executor_threads,
         )
         async with server:
             t0 = time.perf_counter()
-            verdicts = await server.check_many(patterns, predicted_classes)
+            if submit == "bulk":
+                verdicts = await server.check_many(patterns, predicted_classes)
+            else:
+                verdicts = np.asarray(
+                    await asyncio.gather(
+                        *(
+                            server.check(patterns[i], predicted_classes[i])
+                            for i in range(len(patterns))
+                        )
+                    ),
+                    dtype=bool,
+                )
             elapsed = time.perf_counter() - t0
             return StreamResult(
                 verdicts=verdicts, elapsed=elapsed, stats=server.stats()

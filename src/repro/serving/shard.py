@@ -53,6 +53,22 @@ class MonitorShard:
         """Exact Hamming distances for rows owned by this shard."""
         return self.monitor.min_distances(patterns, predicted_classes)
 
+    def check_batch(self, patterns, predicted_classes, with_distances=False):
+        """One-kernel-pass combined query: ``(verdicts, distances | None)``.
+
+        When the caller also wants exact distances (the serving layer's
+        inline histogram detector), deriving verdicts from the distance
+        kernel halves the backend work: ``min_distances(Q) <= gamma`` is
+        protocol-equivalent to ``contains_batch(Q, gamma)``.  This is the
+        single callable the :class:`~repro.serving.server.StreamServer`
+        ships to its thread pool, so a whole micro-batch runs off the
+        event loop (numpy releases the GIL inside the kernels).
+        """
+        if not with_distances:
+            return self.monitor.check(patterns, predicted_classes), None
+        distances = self.monitor.min_distances(patterns, predicted_classes)
+        return distances <= self.monitor.gamma, distances
+
     def __repr__(self) -> str:
         return f"MonitorShard(id={self.shard_id}, classes={self.classes})"
 
@@ -107,6 +123,7 @@ class ShardRouter:
                 gamma=monitor.gamma,
                 monitored_neurons=monitor.monitored_neurons,
                 backend=monitor.backend_name,
+                indexed=monitor.indexed,
             )
             for c in classes:
                 visited = monitor.zones[c].backend.visited_patterns()

@@ -1,0 +1,298 @@
+"""Property suite for the multi-index Hamming pruner.
+
+The pruned query path (``backends/index.py``) must be invisible: for any
+visited set, any probe set and any γ, the indexed bitset backend must
+return bit-identical verdicts and ``min_distances`` to the brute-force
+bitset scan and the BDD engine.  The suite drives random zones across
+γ ∈ {0..4} plus the adversarial families that stress the two pruning
+stages specifically:
+
+* **band-collision families** — patterns identical on one band but far
+  apart overall (shared buckets must not turn into false accepts), and
+  probes within γ whose differing bits are crammed into the fewest
+  possible bands (the pigeonhole guarantee must not false-reject);
+* **prototype-ring stress** — visited sets symmetric around the majority
+  prototype, so many rows share one triage ring shell.
+
+The backend's fallback heuristic is forced off (thresholds zeroed) so
+every case actually exercises the index, and separately asserted to
+fall back when pruning cannot pay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.backends import make_backend
+from repro.monitor.backends.bitset import BitsetZoneBackend
+from repro.monitor.backends.index import MultiIndexHammingIndex
+
+
+def _forced_index_backend(width):
+    """A bitset backend whose heuristic always chooses the index."""
+    backend = BitsetZoneBackend(width, indexed=True)
+    backend._INDEX_MIN_WORK = 0
+    backend._INDEX_MIN_BAND_BITS = 1
+    return backend
+
+
+def _brute_expected(visited, probes, gamma):
+    distances = (probes[:, None, :] != visited[None, :, :]).sum(axis=2)
+    return distances.min(axis=1) <= gamma
+
+
+def _pattern_matrix(draw, width, max_rows):
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=width, max_size=width),
+            min_size=1,
+            max_size=max_rows,
+        )
+    )
+    return np.asarray(rows, dtype=np.uint8)
+
+
+@st.composite
+def indexed_zone_and_probes(draw):
+    # Width from "several bands of a few bits" up to multi-word rows so
+    # both the single-word and the word-summing kernels are exercised.
+    width = draw(st.sampled_from([6, 8, 12, 16, 64, 96]))
+    visited = _pattern_matrix(draw, width, max_rows=16)
+    probes = _pattern_matrix(draw, width, max_rows=24)
+    gamma = draw(st.integers(min_value=0, max_value=min(4, width - 1)))
+    return width, visited, probes, gamma
+
+
+@settings(max_examples=120, deadline=None)
+@given(indexed_zone_and_probes())
+def test_indexed_matches_brute_and_bdd(case):
+    width, visited, probes, gamma = case
+    expected = _brute_expected(visited, probes, gamma)
+    indexed = _forced_index_backend(width)
+    indexed.add_patterns(visited)
+    np.testing.assert_array_equal(
+        indexed.contains_batch(probes, gamma), expected, err_msg="indexed"
+    )
+    for name in ("bitset", "bdd"):
+        backend = make_backend(name, width)
+        backend.add_patterns(visited)
+        np.testing.assert_array_equal(
+            backend.contains_batch(probes, gamma), expected, err_msg=name
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(indexed_zone_and_probes())
+def test_indexed_min_distances_match_brute(case):
+    """Exact distances stay on the exhaustive kernel and agree with the
+    brute bitset and BDD oracles regardless of the indexed flag."""
+    width, visited, probes, _gamma = case
+    expected = (probes[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
+    indexed = _forced_index_backend(width)
+    indexed.add_patterns(visited)
+    np.testing.assert_array_equal(indexed.min_distances(probes), expected)
+    bdd = make_backend("bdd", width)
+    bdd.add_patterns(visited)
+    np.testing.assert_array_equal(bdd.min_distances(probes), expected)
+
+
+@st.composite
+def band_collision_case(draw):
+    """Zones engineered to alias in the band index.
+
+    With bands of ``width // (γ+1)`` bits, every visited row keeps an
+    identical first band (maximal bucket collision) while the remaining
+    bits are random.  Probes are visited rows with exactly ``k`` flips
+    packed as tightly as possible into the fewest bands: ``k <= γ`` must
+    accept (pigeonhole: some band stays clean) and ``k = γ+1`` flips
+    spread one-per-band must reject unless another row is closer.
+    """
+    gamma = draw(st.integers(min_value=1, max_value=4))
+    bands = gamma + 1
+    band_bits = draw(st.integers(min_value=2, max_value=6))
+    width = bands * band_bits
+    shared_band = np.asarray(
+        draw(st.lists(st.integers(0, 1), min_size=band_bits, max_size=band_bits)),
+        dtype=np.uint8,
+    )
+    num_rows = draw(st.integers(min_value=2, max_value=10))
+    rest = np.asarray(
+        draw(
+            st.lists(
+                st.lists(st.integers(0, 1), min_size=width - band_bits,
+                         max_size=width - band_bits),
+                min_size=num_rows, max_size=num_rows,
+            )
+        ),
+        dtype=np.uint8,
+    )
+    visited = np.concatenate(
+        [np.tile(shared_band, (num_rows, 1)), rest], axis=1
+    )
+    probes = [visited[0]]
+    # k flips crammed into the leading bit positions (fewest bands).
+    for k in range(1, gamma + 2):
+        probe = visited[draw(st.integers(0, num_rows - 1))].copy()
+        probe[:k] ^= 1
+        probes.append(probe)
+    # γ+1 flips spread one per band: every band of the source row dirty.
+    spread = visited[draw(st.integers(0, num_rows - 1))].copy()
+    for b in range(bands):
+        spread[b * band_bits] ^= 1
+    probes.append(spread)
+    return width, visited, np.stack(probes), gamma
+
+
+@settings(max_examples=100, deadline=None)
+@given(band_collision_case())
+def test_band_collision_families(case):
+    """Adversarial aliasing: shared buckets and cross-band flip packing
+    must neither false-accept nor false-reject."""
+    width, visited, probes, gamma = case
+    expected = _brute_expected(visited, probes, gamma)
+    indexed = _forced_index_backend(width)
+    indexed.add_patterns(visited)
+    np.testing.assert_array_equal(indexed.contains_batch(probes, gamma), expected)
+    bdd = make_backend("bdd", width)
+    bdd.add_patterns(visited)
+    np.testing.assert_array_equal(bdd.contains_batch(probes, gamma), expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(indexed_zone_and_probes())
+def test_incremental_adds_rebuild_index(case):
+    """add_patterns must invalidate built indices: query, grow the zone,
+    re-query — verdicts must track the enlarged zone exactly."""
+    width, visited, probes, gamma = case
+    if len(visited) < 2:
+        return
+    half = len(visited) // 2
+    indexed = _forced_index_backend(width)
+    indexed.add_patterns(visited[:half])
+    np.testing.assert_array_equal(
+        indexed.contains_batch(probes, gamma),
+        _brute_expected(visited[:half], probes, gamma),
+    )
+    indexed.add_patterns(visited[half:])
+    np.testing.assert_array_equal(
+        indexed.contains_batch(probes, gamma),
+        _brute_expected(visited, probes, gamma),
+    )
+
+
+class TestFallbackHeuristic:
+    def test_small_zones_use_brute_kernel(self):
+        backend = BitsetZoneBackend(64, indexed=True)
+        backend.add_patterns(np.eye(64, dtype=np.uint8))
+        assert not backend._index_pays(2)  # 64 rows << _INDEX_MIN_WORK
+        backend.contains_batch(np.zeros((4, 64), dtype=np.uint8), 2)
+        assert backend._indices == {}  # no index was built
+
+    def test_large_gamma_narrow_bands_fall_back(self):
+        backend = BitsetZoneBackend(16, indexed=True)
+        rng = np.random.default_rng(0)
+        backend.add_patterns((rng.random((4096, 16)) < 0.5).astype(np.uint8))
+        assert backend._index_pays(1)      # 8-bit bands: fine
+        assert not backend._index_pays(2)  # 5-bit bands: too collision-prone
+
+    def test_gamma_zero_never_builds_an_index(self):
+        backend = _forced_index_backend(16)
+        backend.add_patterns(np.zeros((1, 16), dtype=np.uint8))
+        backend.contains_batch(np.zeros((2, 16), dtype=np.uint8), 0)
+        assert backend._indices == {}
+
+    def test_unindexed_backend_never_builds_an_index(self):
+        backend = BitsetZoneBackend(64)
+        rng = np.random.default_rng(1)
+        backend.add_patterns((rng.random((4096, 64)) < 0.5).astype(np.uint8))
+        backend.contains_batch((rng.random((8, 64)) < 0.5).astype(np.uint8), 2)
+        assert backend._indices == {}
+
+    def test_indices_cached_per_gamma_and_cleared_on_add(self):
+        backend = _forced_index_backend(32)
+        rng = np.random.default_rng(2)
+        backend.add_patterns((rng.random((64, 32)) < 0.5).astype(np.uint8))
+        probes = (rng.random((8, 32)) < 0.5).astype(np.uint8)
+        backend.contains_batch(probes, 1)
+        backend.contains_batch(probes, 2)
+        assert sorted(backend._indices) == [1, 2]
+        first = backend._indices[1]
+        backend.contains_batch(probes, 1)
+        assert backend._indices[1] is first  # cached, not rebuilt
+        backend.add_patterns((rng.random((4, 32)) < 0.5).astype(np.uint8))
+        assert backend._indices == {}
+
+
+class TestIndexUnit:
+    def test_rejects_more_bands_than_bits(self):
+        words = np.zeros((1, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="pigeonhole"):
+            MultiIndexHammingIndex(words, num_vars=3, gamma=3)
+
+    def test_rejects_empty_zone(self):
+        with pytest.raises(ValueError, match="empty"):
+            MultiIndexHammingIndex(
+                np.zeros((0, 1), dtype=np.uint64), num_vars=8, gamma=1
+            )
+
+    def test_statistics_track_pruning(self):
+        backend = _forced_index_backend(64)
+        rng = np.random.default_rng(3)
+        backend.add_patterns((rng.random((512, 64)) < 0.5).astype(np.uint8))
+        probes = (rng.random((32, 64)) < 0.5).astype(np.uint8)
+        backend.contains_batch(probes, 2)
+        stats = backend.statistics(2)
+        assert stats["indexed"] is True
+        assert stats["index_bands"] == 3
+        assert stats["index_queries"] == 32
+        assert 0.0 <= stats["index_scanned_fraction"] <= 1.0
+
+    def test_statistics_without_index_report_flag_only(self):
+        backend = BitsetZoneBackend(8, indexed=True)
+        backend.add_patterns(np.zeros((1, 8), dtype=np.uint8))
+        stats = backend.statistics(1)
+        assert stats["indexed"] is True
+        assert "index_bands" not in stats
+
+
+class TestMonitorPlumbing:
+    def test_indexed_flag_survives_save_load(self, tmp_path):
+        from repro.monitor import NeuronActivationMonitor
+
+        rng = np.random.default_rng(4)
+        monitor = NeuronActivationMonitor(
+            16, [0, 1], gamma=1, backend="bitset", indexed=True
+        )
+        patterns = (rng.random((30, 16)) < 0.5).astype(np.uint8)
+        labels = rng.integers(0, 2, 30)
+        monitor.record(patterns, labels, labels)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        restored = NeuronActivationMonitor.load(path)
+        assert restored.indexed
+        assert all(z.backend.indexed for z in restored.zones.values())
+        # Overriding to an engine that cannot index drops the flag.
+        as_bdd = NeuronActivationMonitor.load(path, backend="bdd")
+        assert not as_bdd.indexed
+        probes = (rng.random((50, 16)) < 0.5).astype(np.uint8)
+        classes = rng.integers(0, 2, 50)
+        np.testing.assert_array_equal(
+            restored.check(probes, classes), as_bdd.check(probes, classes)
+        )
+
+    def test_merge_propagates_indexed(self):
+        from repro.monitor import NeuronActivationMonitor
+
+        a = NeuronActivationMonitor(8, [0], backend="bitset", indexed=True)
+        b = NeuronActivationMonitor(8, [1], backend="bitset")
+        merged = NeuronActivationMonitor.merge([a, b])
+        assert merged.indexed
+
+    def test_indexed_rejected_off_bitset(self):
+        from repro.monitor import ComfortZone
+
+        with pytest.raises(ValueError, match="bitset"):
+            make_backend("bdd", 8, indexed=True)
+        with pytest.raises(ValueError, match="bitset"):
+            ComfortZone(8, backend="bdd", indexed=True)

@@ -333,6 +333,85 @@ class TestStreamServer:
         with pytest.raises(RuntimeError):
             asyncio.run(_run())
 
+    @pytest.mark.parametrize("submit", ["bulk", "per_request"])
+    def test_submit_modes_agree_with_monolith(self, submit):
+        """Both producer shapes — vectorised bulk blocks and one check()
+        per row — must return the monolithic monitor's verdicts."""
+        monitor = _monitor()
+        router = ShardRouter.partition(monitor, 3)
+        patterns, classes = _queries(monitor, n=250)
+        result = run_stream(router, patterns, classes, submit=submit)
+        np.testing.assert_array_equal(
+            result.verdicts, monitor.check(patterns, classes)
+        )
+
+    def test_invalid_submit_mode_rejected(self):
+        router = ShardRouter.partition(_monitor(), 2)
+        with pytest.raises(ValueError, match="submit"):
+            run_stream(router, np.zeros((1, 16), dtype=np.uint8), [0], submit="?")
+
+    def test_inline_execution_matches_offloaded(self):
+        """executor_threads=0 (kernels inline on the loop) and the default
+        thread pool must serve identical verdicts."""
+        monitor = _monitor()
+        router = ShardRouter.partition(monitor, 2)
+        patterns, classes = _queries(monitor, n=200)
+        inline = run_stream(router, patterns, classes, executor_threads=0)
+        pooled = run_stream(router, patterns, classes, executor_threads=2)
+        np.testing.assert_array_equal(inline.verdicts, pooled.verdicts)
+        np.testing.assert_array_equal(
+            inline.verdicts, monitor.check(patterns, classes)
+        )
+        assert all(row["offloaded_batches"] == 0 for row in inline.stats)
+
+    def test_negative_executor_threads_rejected(self):
+        with pytest.raises(ValueError, match="executor_threads"):
+            StreamServer(ShardRouter.partition(_monitor(), 2), executor_threads=-1)
+
+    def test_bulk_blocks_never_exceed_max_batch(self):
+        """Block coalescing must respect the kernel row budget even when
+        bulk blocks and single-row requests interleave (the carry path)."""
+        monitor = _monitor(num_classes=2)
+        router = ShardRouter.partition(monitor, 1)
+        patterns, classes = _queries(monitor, n=500, extra_classes=0)
+        result = run_stream(
+            router, patterns, classes, max_batch=48, max_delay_ms=2.0
+        )
+        assert all(row["max_batch"] <= 48 for row in result.stats)
+        np.testing.assert_array_equal(
+            result.verdicts, monitor.check(patterns, classes)
+        )
+
+    def test_mixed_check_and_check_many_callers(self):
+        """Single-row check() callers and a bulk check_many() caller share
+        queues and workers without disturbing each other's verdicts."""
+        monitor = _monitor()
+        router = ShardRouter.partition(monitor, 2)
+        patterns, classes = _queries(monitor, n=120)
+        expected = monitor.check(patterns, classes)
+
+        async def _run():
+            async with StreamServer(router, max_batch=16) as server:
+                singles = [
+                    server.check(patterns[i], classes[i]) for i in range(40)
+                ]
+                bulk = server.check_many(patterns[40:], classes[40:])
+                single_verdicts = await asyncio.gather(*singles)
+                return np.asarray(single_verdicts, dtype=bool), await bulk
+
+        single_verdicts, bulk_verdicts = asyncio.run(_run())
+        np.testing.assert_array_equal(single_verdicts, expected[:40])
+        np.testing.assert_array_equal(bulk_verdicts, expected[40:])
+
+    def test_check_many_outside_running_server_raises(self):
+        server = StreamServer(ShardRouter.partition(_monitor(), 2))
+
+        async def _call():
+            await server.check_many(np.zeros((2, 16), dtype=np.uint8), [0, 1])
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(_call())
+
 
 class TestDistanceShiftDetector:
     def test_no_alarm_on_baseline_stream(self):

@@ -17,16 +17,25 @@ ways:
   blocks, one future per block, kernels on the shared thread pool;
 * ``async / 4 shards (per-req)``  — every row as its own concurrent
   ``StreamServer.check`` call (queueing, coalescing, backpressure and
-  per-shard latency accounting all on the per-row path).
+  per-shard latency accounting all on the per-row path);
+* ``proc pool / W workers (bulk)`` — the same bulk stream with
+  ``executor="process"``: every coalesced block crosses a pipe as a
+  pickled packed-bit array to a shared-nothing worker process that
+  rehydrated its shard subset from the portable payloads
+  (``REPRO_BENCH_WORKERS`` overrides the worker count; the CI smoke job
+  pins it to 2).  Pool spawn + warm-up handshake happen before timing,
+  so the figure is steady-state serving rate.
 
 The asserted invariants: bit-identical verdicts on every path, genuine
 coalescing (mean batch far above 1), the per-request open-stream path
-within a small constant of the synchronous loop, and — the PR-3
-acceptance criterion — bulk 4-shard serving **faster than 1.5x the
-synchronous per-request loop** (the pre-PR server managed 0.98x).  All
-timings also land in ``BENCH_perf.json``.
+within a small constant of the synchronous loop, and — the PR-3/PR-4
+acceptance criteria — bulk thread-pool serving at 4 shards **and** bulk
+proc-pool serving both **faster than 1.5x the synchronous per-request
+loop**.  All timings also land in ``BENCH_perf.json`` (the proc-pool
+rows under ``serving.proc_pool``).
 """
 
+import os
 import time
 
 import numpy as np
@@ -57,7 +66,7 @@ def _workload(seed=0, num_requests=NUM_REQUESTS):
     return patterns, labels, queries.astype(np.uint8), labels[picks]
 
 
-def _best_stream(router, queries, query_classes, submit, runs=3):
+def _best_stream(router, queries, query_classes, submit, runs=3, **server_kw):
     """Best-of-N replay (one run warms the asyncio machinery; the best
     filters out GC pauses, the PR-1 best-of convention)."""
     result = None
@@ -65,7 +74,7 @@ def _best_stream(router, queries, query_classes, submit, runs=3):
         attempt = run_stream(
             router, queries, query_classes,
             max_batch=MAX_BATCH, max_delay_ms=MAX_DELAY_MS,
-            max_pending=MAX_PENDING, submit=submit,
+            max_pending=MAX_PENDING, submit=submit, **server_kw,
         )
         if result is None or attempt.elapsed < result.elapsed:
             result = attempt
@@ -127,6 +136,19 @@ def test_sharded_async_vs_synchronous_loop():
         [row["mean_batch"] for row in per_request.stats]
     )
 
+    # Shared-nothing process pool: every block crosses a pipe to a worker
+    # that rehydrated its shards from the portable payloads.
+    num_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or scaled(4, 2)
+    proc_pool = _best_stream(
+        ShardRouter.partition(monitors["bitset"], max(num_workers, 4)),
+        queries, query_classes, submit="bulk",
+        executor="process", workers=num_workers,
+    )
+    np.testing.assert_array_equal(proc_pool.verdicts, full_batch)
+    proc_requeued = sum(r["requeued_blocks"] for r in proc_pool.worker_stats)
+    assert proc_requeued == 0  # a healthy run never exercises requeue
+    assert sum(r["requests"] for r in proc_pool.worker_stats) == num_requests
+
     np.testing.assert_array_equal(sync_bdd, sync_bitset)
     np.testing.assert_array_equal(sync_bitset, full_batch)
 
@@ -161,6 +183,13 @@ def test_sharded_async_vs_synchronous_loop():
             f"mean batch {per_request_mean_batch:.0f}, per-row queue hop",
         )
     )
+    table_rows.append(
+        row(
+            f"proc pool / {num_workers} workers (bulk)",
+            proc_pool.elapsed,
+            "shared-nothing processes, pickled packed-bit blocks over pipes",
+        )
+    )
     table = format_table(
         ["path", "stream", "per request", "throughput", "vs sync loop", "notes"],
         table_rows,
@@ -175,8 +204,9 @@ def test_sharded_async_vs_synchronous_loop():
         f"max_pending={MAX_PENDING}\n"
         "bulk = one check_many call (vectorised routing, block enqueue); "
         "per-req = one concurrent check call per row;\n"
-        "kernels run off-loop on the shared thread pool; verdicts are "
-        "bit-identical across all paths",
+        "async kernels run off-loop on the shared thread pool; the proc "
+        "pool ships blocks to shared-nothing worker processes;\n"
+        "verdicts are bit-identical across all paths",
     )
     record_perf(
         "serving",
@@ -200,6 +230,16 @@ def test_sharded_async_vs_synchronous_loop():
                 "elapsed_s": per_request.elapsed,
                 "throughput": per_request.throughput,
                 "vs_sync_loop": t_sync_bitset / per_request.elapsed,
+            },
+            "proc_pool": {
+                "workers": num_workers,
+                "elapsed_s": proc_pool.elapsed,
+                "throughput": proc_pool.throughput,
+                "vs_sync_loop": t_sync_bitset / proc_pool.elapsed,
+                "requeued_blocks": int(proc_requeued),
+                "per_worker_requests": [
+                    int(r["requests"]) for r in proc_pool.worker_stats
+                ],
             },
         },
     )
@@ -226,6 +266,14 @@ def test_sharded_async_vs_synchronous_loop():
         f"4-shard bulk serving ({four_shard.elapsed:.3f}s) is only "
         f"{t_sync_bitset/four_shard.elapsed:.2f}x the synchronous loop "
         f"({t_sync_bitset:.3f}s); acceptance floor is 1.5x"
+    )
+    # 4. PR-4 acceptance: bulk serving through the shared-nothing process
+    #    pool also beats the synchronous per-request loop by >1.5x — the
+    #    per-block pipe/pickle cost must amortise, not dominate.
+    assert proc_pool.elapsed * 1.5 <= t_sync_bitset, (
+        f"{num_workers}-worker proc-pool serving ({proc_pool.elapsed:.3f}s) "
+        f"is only {t_sync_bitset/proc_pool.elapsed:.2f}x the synchronous "
+        f"loop ({t_sync_bitset:.3f}s); acceptance floor is 1.5x"
     )
 
 

@@ -18,7 +18,13 @@ Commands
     Shard the monitor per class and replay the validation stream through
     the asyncio micro-batching :class:`~repro.serving.server.StreamServer`;
     prints sustained throughput, per-shard queue/batch/latency statistics
-    and the inline distribution-shift verdict.
+    and the inline distribution-shift verdict.  ``--workers N`` moves
+    execution to N shared-nothing worker *processes*
+    (:class:`~repro.serving.procpool.ProcessShardPool`) and adds a
+    per-worker statistics table, e.g.::
+
+        python -m repro serve --system mnist --workers 4
+        python -m repro stream --system gtsrb --workers 2 --distances
 
 All heavy lifting is delegated to :mod:`repro.analysis`; the CLI is a thin,
 scriptable veneer used by the examples and CI.
@@ -169,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         "one concurrent check call per row (per_request) — throughputs "
         "are not comparable across modes",
     )
+    serve_p.add_argument(
+        "--workers", type=int, default=0,
+        help="serve from N shared-nothing worker processes (each "
+        "rehydrates its shard subset from the portable visited-pattern "
+        "payloads; crashed workers respawn with in-flight blocks "
+        "requeued); 0 = in-process thread-pool execution",
+    )
     return parser
 
 
@@ -267,6 +280,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             monitor.min_distances(patterns, predictions)
         )
 
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be non-negative, got {args.workers}")
+    # --workers 0 leaves the executor choice to the server defaults (and
+    # the REPRO_SERVING_EXECUTOR override) rather than forcing a mode or
+    # pinning the pool to one worker.
+    executor_kwargs = (
+        {"executor": "process", "workers": args.workers} if args.workers else {}
+    )
     result = run_stream(
         router,
         stream_patterns,
@@ -277,9 +298,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shift_detector=shift_detector,
         distance_detector=distance_detector,
         submit=args.submit,
+        **executor_kwargs,
+    )
+    # Label what actually served the stream: a non-empty worker table
+    # means a process pool ran, whatever selected it (flag or env).
+    executor_label = (
+        f"process({len(result.worker_stats)})"
+        if result.worker_stats else "in-process"
     )
     print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}  "
-          f"submit={args.submit}")
+          f"submit={args.submit}  executor={executor_label}")
     print(f"shards:   {len(router)}  "
           f"(classes per shard: {[len(s.classes) for s in router.shards]})")
     print(f"requests: {len(result.verdicts)}  elapsed {result.elapsed*1e3:.1f}ms  "
@@ -293,6 +321,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for row in result.stats
     ]
     print(format_table(keys, table_rows))
+    if result.worker_stats:
+        worker_keys = ["worker", "pid", "requests", "batches", "mean_batch",
+                       "respawns", "requeued_blocks", "p50_ms", "p99_ms"]
+        worker_rows = [
+            [f"{row[k]:.2f}" if isinstance(row[k], float) else str(row[k])
+             for k in worker_keys]
+            for row in result.worker_stats
+        ]
+        print("worker processes:")
+        print(format_table(worker_keys, worker_rows))
     shift_state = shift_detector.peek()
     print(f"shift detector: window rate {percent(shift_state.window_rate)}, "
           f"z={shift_state.z_score:.2f}, cusum={shift_state.cusum:.2f}, "

@@ -19,7 +19,7 @@ and γ (enforced by ``tests/test_backend_equivalence.py``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,7 +61,9 @@ class ZoneBackend(ABC):
         return bool(self.contains_batch(row, gamma)[0])
 
     @abstractmethod
-    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
+    def min_distances(
+        self, patterns: np.ndarray, cap: Optional[int] = None
+    ) -> np.ndarray:
         """Per-row minimum Hamming distance from ``(N, num_vars)`` queries
         to the visited set ``Z^0``.
 
@@ -69,7 +71,15 @@ class ZoneBackend(ABC):
         achievable distance), so ``min_distances(Q) <= gamma`` is always
         equivalent to ``contains_batch(Q, gamma)``.  Exact distances feed
         the serving layer's distance histograms — a sharper shift signal
-        than the binary verdict stream (paper §V)."""
+        than the binary verdict stream (paper §V).
+
+        ``cap=k`` asks the bounded question "exact distance, or > k": the
+        result must equal ``min(true_distance, k+1)`` elementwise.
+        Backends may answer the bounded form much more cheaply (the
+        indexed bitset engine serves it from the γ = k pigeonhole
+        shortlist instead of scanning all M rows; the BDD engine stops
+        its γ-sweep at k), and ``min_distances(Q, cap=k) <= gamma`` stays
+        equivalent to ``contains_batch(Q, gamma)`` for every gamma ≤ k."""
 
     @abstractmethod
     def is_empty(self) -> bool:

@@ -102,7 +102,9 @@ class BDDZoneBackend(ZoneBackend):
     #: are finished exactly with one vectorised sweep over ``Z^0``.
     max_expand_gamma = 4
 
-    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
+    def min_distances(
+        self, patterns: np.ndarray, cap: Optional[int] = None
+    ) -> np.ndarray:
         """Per-row minimum Hamming distance to the visited set.
 
         The diagram answers membership, not distance, so distances are
@@ -116,29 +118,44 @@ class BDDZoneBackend(ZoneBackend):
         monitor serves) are resolved exactly against the enumerated
         visited set instead of materialising enormous γ-balls.
         Empty store: ``num_vars + 1`` for every row.
+
+        ``cap=k`` (the bounded form, "exact distance, or > k") truncates
+        the γ-sweep at k and stamps unresolved rows ``k + 1`` — for
+        k within the expansion budget no explicit enumeration of ``Z^0``
+        is ever needed, the natural bounded query for a diagram.
         """
         patterns = self._validate(patterns)
-        out = np.full(len(patterns), self.num_vars + 1, dtype=np.int64)
+        if cap is not None and cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        sentinel = self.num_vars + 1
+        if cap is not None:
+            sentinel = min(sentinel, cap + 1)
+        out = np.full(len(patterns), sentinel, dtype=np.int64)
         if len(patterns) == 0 or self.is_empty():
             return out
         unresolved = np.arange(len(patterns))
         cached_max = max(self._zone_cache, default=0)
         stop_gamma = min(max(self.max_expand_gamma, cached_max), self.num_vars)
+        if cap is not None:
+            stop_gamma = min(stop_gamma, cap)
         for gamma in range(stop_gamma + 1):
             hit = self.contains_batch(patterns[unresolved], gamma)
             out[unresolved[hit]] = gamma
             unresolved = unresolved[~hit]
             if len(unresolved) == 0:
                 return out
+        if cap is not None and stop_gamma == cap:
+            # Bounded sweep exhausted: the rows left are provably > cap
+            # and already hold the cap + 1 sentinel.
+            return out
         # Exact tail: one vectorised Hamming sweep of the remaining rows
         # against Z^0 (the explicit pattern matrix every backend can emit).
         if self._visited_matrix is None:
             self._visited_matrix = self.visited_patterns()
         visited = self._visited_matrix
         rest = patterns[unresolved]
-        out[unresolved] = (
-            (rest[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
-        )
+        tail = (rest[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
+        out[unresolved] = tail if cap is None else np.minimum(tail, cap + 1)
         return out
 
     def is_empty(self) -> bool:

@@ -18,7 +18,7 @@ queries sub-linear in the number of stored patterns.
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -123,8 +123,33 @@ class BitsetZoneBackend(ZoneBackend):
         fresh = ~self._member_mask(words)
         if fresh.any():
             self._words = np.concatenate([self._words, words[fresh]], axis=0)
-            self._sorted_void = np.sort(self._words.view(self._void).ravel())
+            self._sorted_void = self._merge_sorted(words[fresh])
             self._indices.clear()
+
+    def _merge_sorted(self, fresh_words: np.ndarray) -> np.ndarray:
+        """Merge new (already-deduplicated) rows into the sorted void array.
+
+        An incremental add used to re-sort the full dedup array —
+        O(M log M) per call however small the batch.  The stored array is
+        already sorted, so merging is one ``searchsorted`` of the K new
+        rows plus one linear scatter: O(M + K log K), which is what makes
+        high-frequency fleet merges cheap (ROADMAP "Indexed merge/rebuild
+        cost").  Note ``np.unique(..., axis=0)`` sorts by uint64 *column*
+        order, which differs from void byte order on little-endian hosts,
+        so the small batch is re-sorted as void rows first.
+        """
+        new_sorted = np.sort(fresh_words.view(self._void).ravel())
+        old = self._sorted_void
+        if not len(old):
+            return new_sorted
+        pos = np.searchsorted(old, new_sorted)
+        out = np.empty(len(old) + len(new_sorted), dtype=self._void)
+        new_slots = pos + np.arange(len(new_sorted))
+        out[new_slots] = new_sorted
+        keep = np.ones(len(out), dtype=bool)
+        keep[new_slots] = False
+        out[keep] = old
+        return out
 
     # ------------------------------------------------------------------
     # queries
@@ -161,15 +186,42 @@ class BitsetZoneBackend(ZoneBackend):
             return self._index_for(gamma).contains(words)
         return self._min_distances_packed(words) <= gamma
 
-    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
+    def min_distances(
+        self, patterns: np.ndarray, cap: Optional[int] = None
+    ) -> np.ndarray:
         """Per-row minimum Hamming distance to the visited set
         (``num_vars + 1`` when nothing was recorded).
 
-        Always the brute kernel: the band index can only bound distances
-        by its γ (beyond the shortlist the true minimum is unknowable), so
-        the exact-distance workload stays on the exhaustive scan.
+        ``cap=None`` (exact distances everywhere) always runs the brute
+        kernel: the band index can only bound distances by its γ (beyond
+        the shortlist the true minimum is unknowable), so the unbounded
+        workload stays on the exhaustive scan.
+
+        ``cap=k`` answers the bounded question "exact distance, or > k":
+        rows within distance k get their exact distance, rows farther get
+        ``k + 1``, i.e. the result is exactly ``min(true_distance, k+1)``.
+        The bounded query *can* use the multi-index shortlist for γ = k —
+        the pigeonhole candidate set provably contains every stored
+        pattern within k, so the shortlist minimum equals the true
+        minimum whenever it is ≤ k — which is what lets the serving
+        layer's distance histograms ride the sub-linear index
+        (ROADMAP "Index-accelerated distances").
         """
-        return self._min_distances_packed(self._pack_words(self._validate(patterns)))
+        words = self._pack_words(self._validate(patterns))
+        if cap is None:
+            return self._min_distances_packed(words)
+        if cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        n = len(words)
+        if not len(self._words):
+            return np.full(n, min(self.num_vars + 1, cap + 1), dtype=np.int64)
+        if cap == 0:
+            out = np.ones(n, dtype=np.int64)
+            out[self._member_mask(words)] = 0
+            return out
+        if self._index_pays(cap):
+            return self._index_for(cap).bounded_min_distances(words)
+        return np.minimum(self._min_distances_packed(words), cap + 1)
 
     def _min_distances_packed(self, words: np.ndarray) -> np.ndarray:
         """The workhorse: XOR every query row against every stored row,

@@ -117,12 +117,25 @@ class MultiIndexHammingIndex:
     def contains(self, qwords: np.ndarray) -> np.ndarray:
         """γ-membership verdict per packed query row — bit-identical to
         ``min_distances(q) <= gamma`` on the brute kernel."""
+        return self.bounded_min_distances(qwords) <= self.gamma
+
+    def bounded_min_distances(self, qwords: np.ndarray) -> np.ndarray:
+        """``min(true_distance, γ+1)`` per packed query row.
+
+        Sound by the same pigeonhole argument as :meth:`contains`: the
+        band shortlist contains *every* stored pattern within distance γ
+        of the query, so whenever the shortlist minimum is ≤ γ it equals
+        the true minimum; when the shortlist is empty or its minimum
+        exceeds γ, the true distance provably exceeds γ and the ``γ+1``
+        sentinel is exact-bounded.  This is the engine behind the
+        bitset backend's ``min_distances(patterns, cap=γ)``.
+        """
         n = len(qwords)
         self.queries += n
-        out = np.zeros(n, dtype=bool)
+        gamma = self.gamma
+        out = np.full(n, gamma + 1, dtype=np.int64)
         if n == 0:
             return out
-        gamma = self.gamma
         words = self._words
 
         # Vectorized ring pre-filter: a query whose distance ring
@@ -179,7 +192,8 @@ class MultiIndexHammingIndex:
                     .sum(axis=1, dtype=np.int64)
                     .min()
                 )
-            out[i] = dist <= gamma
+            if dist <= gamma:
+                out[i] = dist
         return out
 
     # ------------------------------------------------------------------

@@ -197,7 +197,12 @@ class NeuronActivationMonitor:
                 supported[mask] = zone.contains_batch(projected[mask])
         return supported
 
-    def min_distances(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+    def min_distances(
+        self,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        cap: Optional[int] = None,
+    ) -> np.ndarray:
         """Exact per-row Hamming distance to the predicted class's ``Z^0``.
 
         The distance refines :meth:`check`'s binary verdict into "how far
@@ -205,6 +210,10 @@ class NeuronActivationMonitor:
         supported.  Rows predicted as an unmonitored class get distance 0
         (the monitor has no opinion, mirroring ``check``'s ``True``); an
         empty zone yields the ``d + 1`` sentinel of the backends.
+
+        ``cap=k`` bounds every answer at ``k + 1`` ("exact distance, or
+        > k"), which lets the indexed bitset backend serve the query from
+        its pigeonhole shortlist instead of scanning all stored rows.
         """
         patterns = np.atleast_2d(patterns)
         predicted_classes = np.asarray(predicted_classes)
@@ -213,7 +222,7 @@ class NeuronActivationMonitor:
         for c, zone in self.zones.items():
             mask = predicted_classes == c
             if mask.any():
-                distances[mask] = zone.min_distances(projected[mask])
+                distances[mask] = zone.min_distances(projected[mask], cap=cap)
         return distances
 
     def monitors_class(self, class_index: int) -> bool:

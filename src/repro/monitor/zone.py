@@ -133,9 +133,15 @@ class ComfortZone:
         """Vectorised membership for a ``(N, d)`` pattern array."""
         return self.backend.contains_batch(patterns, self.gamma)
 
-    def min_distances(self, patterns: np.ndarray) -> np.ndarray:
-        """Exact per-row Hamming distance to ``Z^0`` (γ-independent)."""
-        return self.backend.min_distances(patterns)
+    def min_distances(
+        self, patterns: np.ndarray, cap: Optional[int] = None
+    ) -> np.ndarray:
+        """Exact per-row Hamming distance to ``Z^0`` (γ-independent).
+
+        ``cap=k`` bounds the answer: exact distance when ≤ k, else
+        ``k + 1`` — cheaper on every backend (see
+        :meth:`ZoneBackend.min_distances`)."""
+        return self.backend.min_distances(patterns, cap=cap)
 
     def is_empty(self) -> bool:
         """True when no pattern was ever added."""

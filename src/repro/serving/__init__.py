@@ -11,11 +11,18 @@ this package turns one monitor into a serving fleet:
   micro-batching queue coalescing concurrent ``check``/``classify``
   requests into vectorised backend calls, with backpressure, per-shard
   stats, and inline distribution-shift detection from exact Hamming
-  distances.
+  distances.  Batches execute on a pluggable executor: inline on the
+  loop, a shared thread pool, or the multiprocess shard pool;
+* :mod:`repro.serving.procpool` — :class:`ProcessShardPool`,
+  shared-nothing worker *processes* each rehydrating a disjoint subset
+  of the shards from portable visited-pattern payloads, with warm-up
+  handshake, graceful drain, and crash detection with automatic respawn
+  and in-flight block requeue.
 
-See the serving section of ``monitor/backends/README.md`` for the
-sharding model and tuning knobs, and ``python -m repro serve`` for the
-CLI entry point.
+See the serving sections of ``monitor/backends/README.md`` for the
+sharding and process execution models and tuning knobs, and
+``python -m repro serve`` (``--workers N`` for the process pool) for
+the CLI entry point.
 """
 
 from repro.serving.shard import MonitorShard, ShardRouter, shard_detection_monitor
@@ -25,6 +32,7 @@ from repro.serving.server import (
     StreamServer,
     run_stream,
 )
+from repro.serving.procpool import ProcessShardPool, WorkerCrashError
 
 __all__ = [
     "MonitorShard",
@@ -34,4 +42,6 @@ __all__ = [
     "StreamResult",
     "StreamServer",
     "run_stream",
+    "ProcessShardPool",
+    "WorkerCrashError",
 ]

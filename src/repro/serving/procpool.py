@@ -1,0 +1,720 @@
+"""Shared-nothing multiprocess shard workers.
+
+PR 3 moved shard kernels off the asyncio loop onto threads; this module
+takes the next scale step from the ROADMAP: **processes**.  A
+:class:`ProcessShardPool` spawns N worker processes, each hosting a
+disjoint subset of :class:`~repro.serving.shard.MonitorShard`\\ s.  The
+design is strictly shared-nothing:
+
+* **Rehydration, not inheritance.**  Workers never receive live backend
+  objects.  Each shard crosses the process boundary as the portable
+  payload of :meth:`MonitorShard.to_payload` — metadata plus bit-packed
+  deduplicated ``visited_patterns()`` matrices, the same exchange format
+  used by save/load and ``NeuronActivationMonitor.merge`` — and the
+  worker rebuilds its own local bitset/BDD/indexed backend from it.
+  Nothing engine-internal (BDD node tables, sorted word arrays, band
+  indices) is ever pickled, so a pool can rehydrate shards recorded by
+  any backend into any process, even across hosts in principle.
+
+* **Block wire format.**  Requests travel over ``multiprocessing`` pipes
+  as pickled tuples ``("req", req_id, shard_id, mode, packed, rows,
+  width, classes, cap)`` where ``packed`` is the ``np.packbits`` form of
+  the block's pattern rows (8 neurons per byte; ``width`` is the true
+  row width so wrong-width blocks fail their own future instead of
+  silently gaining padding bits — one block, one future, mirroring
+  PR 3's in-process block protocol).  ``mode`` selects the
+  kernel: ``"check"`` (verdicts), ``"both"`` (one combined distance
+  kernel for verdicts + exact distances, the detector-serving path) or
+  ``"dist"`` (``min_distances``, optionally ``cap``-bounded).  Workers
+  answer ``("ok", req_id, (verdicts, distances))`` or ``("err", req_id,
+  exception)``; a bad block fails its own future, never the worker.
+
+* **Lifecycle.**  ``start()`` spawns workers and performs a warm-up
+  handshake (init payload down, ``("ready", shard_count)`` back) so a
+  pool that returns from ``start()`` is fully rehydrated.  ``stop()``
+  drains gracefully: the ``("stop",)`` sentinel is FIFO-ordered behind
+  every in-flight block, so workers answer everything queued before
+  exiting.  A per-worker pump thread resolves futures and doubles as the
+  crash detector: on pipe EOF / worker death, every unanswered block is
+  requeued onto an automatically respawned replacement (rebuilt from the
+  parent's retained payloads, current γ re-applied before replay), so
+  callers see a latency blip instead of an error.  A worker that crashes
+  more than ``max_respawns`` times fails its pending futures with
+  :class:`WorkerCrashError` instead of looping forever.
+
+The pool exposes both an executor-shaped API (``submit`` → one
+``concurrent.futures.Future`` per block, used by
+:class:`~repro.serving.server.StreamServer` with ``executor="process"``)
+and synchronous routed ``check`` / ``min_distances`` mirroring
+:class:`~repro.serving.shard.ShardRouter` — the cross-process
+equivalence suite (``tests/test_serving_procpool.py``) proves both
+bit-identical to the in-process router and the BDD engine.
+
+Start method: ``"fork"`` where available (fast, Linux), else
+``"spawn"``; pass ``context="spawn"`` explicitly for maximum isolation —
+rehydration is exercised identically either way because the payloads
+always travel through the init pipe message, never through fork memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.monitor.patterns import pack_patterns, unpack_patterns
+from repro.serving.server import ShardServingStats
+from repro.serving.shard import MonitorShard
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died more times than the respawn budget allows."""
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn) -> None:
+    """Entry point of one shard worker process.
+
+    Owns a private ``shard_id -> MonitorShard`` map rehydrated from the
+    init payloads and answers block requests until the ``("stop",)``
+    sentinel (graceful: replies ``("bye",)`` so the parent can tell a
+    drain from a crash) or pipe EOF (parent died: exit quietly).
+    """
+    shards: Dict[int, MonitorShard] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = msg[0]
+            if kind == "req":
+                _, req_id, shard_id, mode, packed, rows, width, classes, cap = msg
+                try:
+                    shard = shards[shard_id]
+                    # Unpack at the *sender's* row width: a wrong-width
+                    # block then fails the monitor's own validation (its
+                    # future gets the ValueError) instead of silently
+                    # gaining or losing padding bits.
+                    patterns = unpack_patterns(packed, width)[:rows]
+                    if mode == "check":
+                        result = (shard.check(patterns, classes), None)
+                    elif mode == "both":
+                        result = shard.check_batch(
+                            patterns, classes, with_distances=True,
+                            distance_cap=cap,
+                        )
+                    elif mode == "dist":
+                        result = (
+                            None,
+                            shard.min_distances(patterns, classes, cap=cap),
+                        )
+                    else:
+                        raise ValueError(f"unknown request mode {mode!r}")
+                    conn.send(("ok", req_id, result))
+                except Exception as exc:  # noqa: BLE001 — shipped to caller
+                    try:
+                        conn.send(("err", req_id, exc))
+                    except Exception:  # unpicklable exception: degrade
+                        conn.send(("err", req_id, RuntimeError(repr(exc))))
+            elif kind == "init":
+                for payload in msg[1]:
+                    shard = MonitorShard.from_payload(payload)
+                    shards[shard.shard_id] = shard
+                # A respawned worker inherits the pool's *current* γ as
+                # part of the handshake — atomically before any block can
+                # reach it — not the payloads' construction-time γ.
+                if msg[2] is not None:
+                    for shard in shards.values():
+                        shard.monitor.set_gamma(msg[2])
+                conn.send(("ready", len(shards)))
+            elif kind == "gamma":
+                for shard in shards.values():
+                    shard.monitor.set_gamma(msg[1])
+                conn.send(("gamma_ok", msg[2]))
+            elif kind == "stop":
+                conn.send(("bye",))
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# parent-side bookkeeping
+# ----------------------------------------------------------------------
+class _Pending:
+    """One in-flight block: the request (kept verbatim for crash requeue)
+    plus the caller's future."""
+
+    __slots__ = (
+        "req_id", "shard_id", "mode", "packed", "rows", "width",
+        "classes", "cap", "future", "enqueued_at",
+    )
+
+    def __init__(self, req_id, shard_id, mode, packed, rows, width, classes, cap):
+        self.req_id = req_id
+        self.shard_id = shard_id
+        self.mode = mode
+        self.packed = packed
+        self.rows = rows
+        self.width = width
+        self.classes = classes
+        self.cap = cap
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+    def wire(self):
+        return (
+            "req", self.req_id, self.shard_id, self.mode,
+            self.packed, self.rows, self.width, self.classes, self.cap,
+        )
+
+
+class _WorkerHandle:
+    """Parent-side view of one live worker process."""
+
+    __slots__ = (
+        "index", "process", "conn", "send_lock",
+        "pump", "inflight", "acks", "dead", "stopped",
+    )
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.pump: Optional[threading.Thread] = None
+        self.inflight: Dict[int, _Pending] = {}
+        self.acks: Dict[int, threading.Event] = {}
+        self.dead = False
+        self.stopped = False
+
+
+class ProcessShardPool:
+    """N worker processes serving a disjoint partition of monitor shards.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`MonitorShard` slices to distribute (round-robin) over
+        the workers.  Only their portable payloads are retained by the
+        parent — the pool never touches the live monitors again, so the
+        caller may discard them.
+    num_workers:
+        Worker process count (capped at the shard count).
+    context:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); default is ``"fork"`` where available, else
+        ``"spawn"``.
+    max_respawns:
+        Crash budget per worker slot before pending futures fail with
+        :class:`WorkerCrashError`.
+    ready_timeout:
+        Seconds to wait for a worker's warm-up handshake.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[MonitorShard],
+        num_workers: int = 2,
+        context: Optional[str] = None,
+        max_respawns: int = 5,
+        ready_timeout: float = 120.0,
+    ):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("pool needs at least one shard")
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = min(num_workers, len(shards))
+        self.max_respawns = max_respawns
+        self.ready_timeout = ready_timeout
+        if context is None:
+            context = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(context)
+
+        self._payloads: List[List[dict]] = [[] for _ in range(self.num_workers)]
+        self._worker_of: Dict[int, int] = {}
+        self._classes_of: Dict[int, np.ndarray] = {}
+        owner_of_class: Dict[int, int] = {}
+        for position, shard in enumerate(shards):
+            if shard.shard_id in self._worker_of:
+                raise ValueError(f"duplicate shard id {shard.shard_id}")
+            slot = position % self.num_workers
+            payload = shard.to_payload()
+            self._payloads[slot].append(payload)
+            self._worker_of[shard.shard_id] = slot
+            self._classes_of[shard.shard_id] = np.asarray(
+                payload["classes"], dtype=np.int64
+            )
+            for c in payload["classes"]:
+                if c in owner_of_class:
+                    raise ValueError(f"class {c} is owned by two shards")
+                owner_of_class[c] = shard.shard_id
+        self._owner_of_class = owner_of_class
+
+        self._lock = threading.Lock()
+        self._req_ids = itertools.count()
+        self._ack_ids = itertools.count()
+        self._workers: List[Optional[_WorkerHandle]] = [None] * self.num_workers
+        self._stats = [ShardServingStats(shard_id=i) for i in range(self.num_workers)]
+        self._crashes = [0] * self.num_workers
+        self._requeued = [0] * self.num_workers
+        self._gamma: Optional[int] = None
+        self._running = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every worker and complete its warm-up handshake
+        (idempotent); returning means all shards are rehydrated."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+            self._stopping = False
+        for index in range(self.num_workers):
+            self._workers[index] = self._spawn(index)
+
+    def stop(self) -> None:
+        """Graceful drain: the stop sentinel queues FIFO behind every
+        in-flight block, so workers answer everything before exiting."""
+        with self._lock:
+            if not self._running:
+                return
+            self._stopping = True
+        for worker in self._workers:
+            if worker is None or worker.dead:
+                continue
+            try:
+                with worker.send_lock:
+                    worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        # Re-read each slot at join time: a crash handler racing this
+        # shutdown may have installed a replacement after the sentinel
+        # sweep above (the handler sends that replacement its own stop
+        # sentinel when it observes _stopping).
+        for index in range(self.num_workers):
+            worker = self._workers[index]
+            if worker is None:
+                continue
+            worker.process.join(timeout=self.ready_timeout)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            if worker.pump is not None:
+                worker.pump.join(timeout=self.ready_timeout)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        with self._lock:
+            self._running = False
+            self._stopping = False
+
+    def __enter__(self) -> "ProcessShardPool":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name=f"repro-shard-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(index, process, parent_conn)
+        with self._lock:
+            gamma = self._gamma
+        try:
+            parent_conn.send(("init", self._payloads[index], gamma))
+            if not parent_conn.poll(self.ready_timeout):
+                raise RuntimeError("warm-up handshake timed out")
+            msg = parent_conn.recv()
+            if msg[0] != "ready":
+                raise RuntimeError(f"unexpected handshake reply {msg[0]!r}")
+        except (EOFError, OSError, RuntimeError) as exc:
+            process.kill()
+            process.join(timeout=5)
+            raise WorkerCrashError(
+                f"worker {index} failed its warm-up handshake: {exc}"
+            ) from exc
+        handle.pump = threading.Thread(
+            target=self._pump,
+            args=(handle,),
+            daemon=True,
+            name=f"repro-shard-pump-{index}",
+        )
+        handle.pump.start()
+        return handle
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        shard_id: int,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        with_distances: bool = False,
+        distance_cap: Optional[int] = None,
+    ) -> Future:
+        """Ship one row block to the worker owning ``shard_id``.
+
+        Returns a :class:`concurrent.futures.Future` resolving to the
+        ``(verdicts, distances | None)`` pair of
+        :meth:`MonitorShard.check_batch` — the executor-shaped call the
+        :class:`~repro.serving.server.StreamServer` awaits per coalesced
+        batch (``asyncio.wrap_future``).  ``distance_cap`` is forwarded
+        to the worker's combined kernel (bounded distances; verdicts
+        stay exact for any cap).
+        """
+        return self._enqueue(
+            shard_id, "both" if with_distances else "check",
+            patterns, predicted_classes, distance_cap,
+        )
+
+    def submit_distances(
+        self,
+        shard_id: int,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        cap: Optional[int] = None,
+    ) -> Future:
+        """Block future resolving to ``(None, min_distances)`` —
+        ``cap``-bounded when requested (see
+        :meth:`ZoneBackend.min_distances`)."""
+        return self._enqueue(shard_id, "dist", patterns, predicted_classes, cap)
+
+    def _enqueue(self, shard_id, mode, patterns, classes, cap) -> Future:
+        if shard_id not in self._worker_of:
+            raise KeyError(f"no shard {shard_id} in this pool")
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.uint8))
+        pending = _Pending(
+            req_id=next(self._req_ids),
+            shard_id=shard_id,
+            mode=mode,
+            packed=pack_patterns(patterns),
+            rows=len(patterns),
+            width=patterns.shape[1],
+            classes=np.atleast_1d(np.asarray(classes)),
+            cap=cap,
+        )
+        self._dispatch(pending)
+        return pending.future
+
+    def _dispatch(self, pending: _Pending) -> None:
+        """Register + send one block, surviving worker-death races.
+
+        The pending entry is registered in the target worker's in-flight
+        map under the pool lock *before* the pipe send, so the crash
+        handler's drain always sees it; if the send itself fails, either
+        the handler already requeued the entry (it is gone from the map)
+        or this thread retries on the respawned worker.
+        """
+        slot = self._worker_of[pending.shard_id]
+        deadline = time.monotonic() + self.ready_timeout
+        while True:
+            with self._lock:
+                if not self._running or self._stopping:
+                    raise RuntimeError("pool is not running")
+                worker = self._workers[slot]
+                registered = worker is not None and not worker.dead
+                if registered:
+                    worker.inflight[pending.req_id] = pending
+                    stats = self._stats[slot]
+                    depth = len(worker.inflight)
+                    stats.queue_depth = depth
+                    if depth > stats.max_queue_depth:
+                        stats.max_queue_depth = depth
+                elif worker is None and self._crashes[slot] > self.max_respawns:
+                    raise WorkerCrashError(
+                        f"worker {slot} exceeded its respawn budget "
+                        f"({self.max_respawns})"
+                    )
+            if registered:
+                try:
+                    with worker.send_lock:
+                        worker.conn.send(pending.wire())
+                    return
+                except (OSError, ValueError):
+                    self._on_worker_death(worker)
+                    with self._lock:
+                        if worker.inflight.pop(pending.req_id, None) is None:
+                            return  # crash handler requeued it already
+                    # else: retry on the replacement
+            elif time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"worker {slot} did not come back within "
+                    f"{self.ready_timeout}s"
+                )
+            else:
+                time.sleep(0.01)  # respawn in progress
+
+    # ------------------------------------------------------------------
+    # response pump + crash handling
+    # ------------------------------------------------------------------
+    def _pump(self, worker: _WorkerHandle) -> None:
+        conn = worker.conn
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind in ("ok", "err"):
+                with self._lock:
+                    pending = worker.inflight.pop(msg[1], None)
+                    if pending is not None:
+                        stats = self._stats[worker.index]
+                        stats.requests += pending.rows
+                        stats.batches += 1
+                        if pending.rows > stats.max_batch:
+                            stats.max_batch = pending.rows
+                        stats.queue_depth = len(worker.inflight)
+                        stats.latencies.append(
+                            time.perf_counter() - pending.enqueued_at
+                        )
+                if pending is not None and not pending.future.done():
+                    if kind == "ok":
+                        pending.future.set_result(msg[2])
+                    else:
+                        pending.future.set_exception(msg[2])
+            elif kind == "gamma_ok":
+                event = worker.acks.pop(msg[1], None)
+                if event is not None:
+                    event.set()
+            elif kind == "bye":
+                worker.stopped = True
+                break
+        if not worker.stopped:
+            self._on_worker_death(worker)
+
+    def _on_worker_death(self, worker: _WorkerHandle) -> None:
+        """Crash path: drain the dead worker's in-flight blocks, respawn
+        a replacement from the retained payloads, re-apply γ, requeue."""
+        with self._lock:
+            if worker.dead or worker.stopped:
+                return
+            worker.dead = True
+            slot = worker.index
+            pending = list(worker.inflight.values())
+            worker.inflight.clear()
+            acks = list(worker.acks.values())
+            worker.acks.clear()
+            self._crashes[slot] += 1
+            exhausted = self._crashes[slot] > self.max_respawns
+            stopping = self._stopping or not self._running
+            self._workers[slot] = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=5)
+        for event in acks:  # unblock any set_gamma broadcaster
+            event.set()
+        if stopping or exhausted:
+            error = WorkerCrashError(
+                f"shard worker {worker.index} died"
+                + ("" if not exhausted else
+                   f" and exceeded its respawn budget ({self.max_respawns})")
+            )
+            for entry in pending:
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+            return
+        try:
+            replacement = self._spawn(slot)
+        except WorkerCrashError as exc:
+            with self._lock:
+                # The slot is known-unrecoverable: burn the remaining
+                # respawn budget so later dispatches fail fast with
+                # WorkerCrashError instead of spinning out the full
+                # come-back deadline waiting for a replacement that will
+                # never be installed.
+                self._crashes[slot] = self.max_respawns + 1
+            for entry in pending:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            return
+        # The current γ travelled inside the replacement's init handshake
+        # (see _spawn), so it is applied before the slot is even published
+        # — no block, requeued or fresh, can race ahead of it.
+        with self._lock:
+            self._workers[slot] = replacement
+            self._requeued[slot] += len(pending)
+            stop_now = self._stopping
+        if stop_now:
+            # stop() may have started while we were spawning and already
+            # passed this slot (it was None then): deliver the sentinel
+            # ourselves so the replacement drains instead of leaking.
+            try:
+                with replacement.send_lock:
+                    replacement.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for entry in pending:
+            try:
+                self._dispatch(entry)
+            except (RuntimeError, KeyError) as exc:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # synchronous routed queries (ShardRouter mirror)
+    # ------------------------------------------------------------------
+    def _route(self, predicted_classes: np.ndarray) -> Dict[int, np.ndarray]:
+        predicted_classes = np.asarray(predicted_classes)
+        groups: Dict[int, np.ndarray] = {}
+        for shard_id, classes in self._classes_of.items():
+            mask = np.isin(predicted_classes, classes)
+            if mask.any():
+                groups[shard_id] = np.flatnonzero(mask)
+        return groups
+
+    def owns(self, predicted_class: int) -> bool:
+        """Whether any shard of this pool monitors the class."""
+        return predicted_class in self._owner_of_class
+
+    def check(
+        self, patterns: np.ndarray, predicted_classes: np.ndarray
+    ) -> np.ndarray:
+        """Synchronous routed check across the worker fleet — the
+        process-level mirror of :meth:`ShardRouter.check` (unmonitored
+        classes are trusted ``True``)."""
+        patterns = np.atleast_2d(np.asarray(patterns))
+        predicted_classes = np.asarray(predicted_classes)
+        out = np.ones(len(patterns), dtype=bool)
+        blocks = [
+            (rows, self.submit(shard_id, patterns[rows], predicted_classes[rows]))
+            for shard_id, rows in self._route(predicted_classes).items()
+        ]
+        for rows, future in blocks:
+            verdicts, _ = future.result(timeout=self.ready_timeout)
+            out[rows] = verdicts
+        return out
+
+    def min_distances(
+        self,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        cap: Optional[int] = None,
+    ) -> np.ndarray:
+        """Synchronous routed distances (0 for unmonitored classes),
+        ``cap``-bounded when requested."""
+        patterns = np.atleast_2d(np.asarray(patterns))
+        predicted_classes = np.asarray(predicted_classes)
+        out = np.zeros(len(patterns), dtype=np.int64)
+        blocks = [
+            (
+                rows,
+                self.submit_distances(
+                    shard_id, patterns[rows], predicted_classes[rows], cap=cap
+                ),
+            )
+            for shard_id, rows in self._route(predicted_classes).items()
+        ]
+        for rows, future in blocks:
+            _, distances = future.result(timeout=self.ready_timeout)
+            out[rows] = distances
+        return out
+
+    def set_gamma(self, gamma: int) -> None:
+        """Broadcast a γ change to every worker and wait for the acks
+        (the process-level mirror of :meth:`ShardRouter.set_gamma`)."""
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        with self._lock:
+            if not self._running:
+                raise RuntimeError("pool is not running")
+            self._gamma = int(gamma)
+            targets = []
+            for worker in self._workers:
+                if worker is None or worker.dead:
+                    continue
+                ack_id = next(self._ack_ids)
+                event = threading.Event()
+                worker.acks[ack_id] = event
+                targets.append((worker, ack_id, event))
+        for worker, ack_id, _event in targets:
+            try:
+                with worker.send_lock:
+                    worker.conn.send(("gamma", self._gamma, ack_id))
+            except (OSError, ValueError):
+                self._on_worker_death(worker)
+        for _worker, _ack_id, event in targets:
+            event.wait(timeout=self.ready_timeout)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> List[Dict[str, float]]:
+        """Per-worker serving rows: the familiar
+        :class:`ShardServingStats` counters keyed by worker slot, plus
+        crash/respawn/requeue accounting."""
+        rows = []
+        with self._lock:
+            for index, stats in enumerate(self._stats):
+                row = stats.as_dict()
+                row["worker"] = row.pop("shard")
+                worker = self._workers[index]
+                row["pid"] = (
+                    worker.process.pid if worker is not None else -1
+                )
+                row["respawns"] = self._crashes[index]
+                row["requeued_blocks"] = self._requeued[index]
+                rows.append(row)
+        return rows
+
+    @property
+    def total_respawns(self) -> int:
+        """How many times any worker slot has been respawned."""
+        return sum(self._crashes)
+
+    @property
+    def total_requeued(self) -> int:
+        """How many in-flight blocks were replayed after a crash."""
+        return sum(self._requeued)
+
+    def worker_pids(self) -> List[int]:
+        """Live worker PIDs (test/ops hook, e.g. for fault injection)."""
+        with self._lock:
+            return [
+                worker.process.pid
+                for worker in self._workers
+                if worker is not None and worker.process.is_alive()
+            ]
+
+    def __len__(self) -> int:
+        return self.num_workers
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessShardPool(workers={self.num_workers}, "
+            f"shards={len(self._worker_of)}, "
+            f"method={self._ctx.get_start_method()!r}, "
+            f"running={self._running})"
+        )

@@ -19,14 +19,19 @@ parallel:
   routes a whole matrix shard-by-shard with vectorised numpy indexing and
   enqueues ``max_batch``-row blocks directly — no per-row coroutine, no
   per-row array boxing, one future per block.
-* **Off-loop kernels.**  Workers ship each coalesced batch to a shared
-  :class:`~concurrent.futures.ThreadPoolExecutor`
-  (``loop.run_in_executor``).  The XOR/popcount and BDD kernels run
-  outside the event loop and release the GIL inside numpy, so shard
-  batches compute concurrently on multicore hosts and the loop stays free
-  to coalesce the next batches.  Tiny batches skip the executor hop
-  (``_EXECUTOR_MIN_ROWS``), and ``executor_threads=0`` restores fully
-  inline execution.
+* **Pluggable executors.**  Workers ship each coalesced batch to the
+  configured execution substrate (the ``executor`` knob): ``"thread"``
+  runs it on a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``loop.run_in_executor`` — the XOR/popcount and BDD kernels release
+  the GIL inside numpy, so shard batches compute concurrently on
+  multicore hosts while the loop coalesces the next batches; tiny
+  batches skip the executor hop, ``_EXECUTOR_MIN_ROWS``); ``"process"``
+  ships every batch as one pickled packed-bit block to a shared-nothing
+  :class:`~repro.serving.procpool.ProcessShardPool` of worker processes
+  (escapes the GIL for the Python routing too, survives worker crashes
+  via respawn + requeue); ``"inline"`` runs kernels on the loop.  The
+  queueing/coalescing/backpressure/stats layer is identical across all
+  three — the executor only changes where ``check_batch`` executes.
 
 Two request shapes are served:
 
@@ -164,11 +169,35 @@ class StreamServer:
         (raw inputs micro-batched through the network first).
     shift_detector / distance_detector:
         Optional shift detectors fed inline from the served stream.
+    executor:
+        Where coalesced batches execute — the coalescing, backpressure
+        and stats layer above is identical for all three:
+
+        * ``"inline"`` — kernels run on the event loop (single-threaded,
+          the pre-PR-3 behaviour);
+        * ``"thread"`` — shared :class:`ThreadPoolExecutor`; numpy
+          releases the GIL inside the kernels, so shard batches compute
+          concurrently in one process (the PR-3 model, default);
+        * ``"process"`` — a shared-nothing
+          :class:`~repro.serving.procpool.ProcessShardPool`: ``workers``
+          processes each rehydrate a disjoint subset of the shards from
+          their portable visited-pattern payloads, and every batch
+          crosses a pipe as one pickled packed-bit block (crashed
+          workers respawn with in-flight blocks requeued).
+
+        ``None`` derives the mode from ``executor_threads`` (``0`` →
+        inline, else thread), honouring the ``REPRO_SERVING_EXECUTOR``
+        environment override when neither knob is set (this is how CI
+        forces the whole serving suite through the process executor).
     executor_threads:
-        Size of the shared kernel thread pool.  ``None`` (default) sizes
-        it to ``min(num_shards + 1, cpu_count)``; ``0`` disables
-        off-loop execution entirely (kernels run inline on the loop,
-        the pre-PR behaviour).
+        Size of the shared kernel thread pool (``executor="thread"``).
+        ``None`` (default) sizes it to ``min(num_shards + 1,
+        cpu_count)``; ``0`` selects inline execution.
+    workers:
+        Worker process count for ``executor="process"``.
+    pool_context:
+        ``multiprocessing`` start method for the process pool (default:
+        fork where available, else spawn).
     """
 
     def __init__(
@@ -181,6 +210,9 @@ class StreamServer:
         shift_detector: Optional[DistributionShiftDetector] = None,
         distance_detector: Optional[DistanceShiftDetector] = None,
         executor_threads: Optional[int] = None,
+        executor: Optional[str] = None,
+        workers: int = 2,
+        pool_context: Optional[str] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -192,6 +224,20 @@ class StreamServer:
             raise ValueError(
                 f"executor_threads must be non-negative, got {executor_threads}"
             )
+        if executor is None:
+            if executor_threads == 0:
+                executor = "inline"
+            elif executor_threads is not None:
+                executor = "thread"
+            else:
+                executor = os.environ.get("REPRO_SERVING_EXECUTOR") or "thread"
+        if executor not in ("inline", "thread", "process"):
+            raise ValueError(
+                f"executor must be 'inline', 'thread' or 'process', "
+                f"got {executor!r}"
+            )
+        if executor == "process" and workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
         self.router = router
         self.max_batch = max_batch
         self.max_delay = max_delay_ms / 1e3
@@ -199,8 +245,23 @@ class StreamServer:
         self.classifier = classifier
         self.shift_detector = shift_detector
         self.distance_detector = distance_detector
+        self.executor_mode = executor
         self.executor_threads = executor_threads
+        self.workers = workers
+        self.pool_context = pool_context
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool = None  # ProcessShardPool when executor == "process"
+        # Bounded-distance cap for the combined detector kernel: one bin
+        # past the histogram's overflow threshold.  min(true, cap+1) then
+        # clips to the same overflow bin as the exact distance, so the
+        # served histogram/divergence/alarm stream is bit-identical while
+        # the indexed bitset backend answers from its pigeonhole
+        # shortlist instead of scanning all M rows (window_mean saturates
+        # at cap+1 for far-out rows — the one knowingly bounded stat).
+        self._distance_cap = (
+            None if distance_detector is None
+            else distance_detector.max_distance + 1
+        )
         self._queues: Dict[int, "asyncio.Queue[Optional[_CheckRequest]]"] = {}
         self._classify_queue: Optional["asyncio.Queue[Optional[_ClassifyRequest]]"] = None
         self._workers: List["asyncio.Task"] = []
@@ -219,12 +280,31 @@ class StreamServer:
         if self._running:
             return
         self._running = True
-        threads = self.executor_threads
-        if threads is None:
-            threads = min(len(self.router.shards) + 1, os.cpu_count() or 1)
-        if threads > 0:
-            self._executor = ThreadPoolExecutor(
-                max_workers=threads, thread_name_prefix="repro-serving"
+        if self.executor_mode == "thread":
+            threads = self.executor_threads
+            if threads is None:
+                threads = min(len(self.router.shards) + 1, os.cpu_count() or 1)
+            if threads > 0:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=threads, thread_name_prefix="repro-serving"
+                )
+        elif self.executor_mode == "process":
+            from repro.serving.procpool import ProcessShardPool
+
+            def _build_and_start():
+                pool = ProcessShardPool(
+                    self.router.shards,
+                    num_workers=self.workers,
+                    context=self.pool_context,
+                )
+                pool.start()  # blocks until every worker is rehydrated
+                return pool
+
+            # Payload packing + spawn + per-worker warm-up handshakes can
+            # take seconds for large zones; on an already-busy loop that
+            # must not freeze every other coroutine.
+            self._pool = await asyncio.get_running_loop().run_in_executor(
+                None, _build_and_start
             )
         for shard in self.router.shards:
             queue: "asyncio.Queue[Optional[_CheckRequest]]" = asyncio.Queue(
@@ -256,6 +336,12 @@ class StreamServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            # Off-loop: the pool's graceful drain joins worker processes.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.stop
+            )
+            self._pool = None
 
     async def __aenter__(self) -> "StreamServer":
         await self.start()
@@ -421,14 +507,38 @@ class StreamServer:
         return batch, total, None, False
 
     async def _run_kernel(self, shard, patterns, classes, rows, stats):
-        """Execute one coalesced batch — off-loop when it pays."""
+        """Execute one coalesced batch — off-loop when it pays.
+
+        Process mode ships *every* batch to the worker fleet (no inline
+        small-batch shortcut): the workers own the only live backends in
+        that mode, so all traffic stays shared-nothing and crash/requeue
+        semantics cover the whole stream.
+        """
         want_distances = self.distance_detector is not None
+        if self._pool is not None:
+            stats.offloaded_batches += 1
+            pool = self._pool
+            # Submit from the loop's default thread pool, not the loop
+            # itself: if the target worker just crashed, submit() blocks
+            # on the respawn handshake, and only the crashed shard's
+            # traffic should feel that — the loop must stay free to
+            # coalesce every other shard's batches.
+            block_future = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: pool.submit(
+                    shard.shard_id, patterns, classes,
+                    with_distances=want_distances,
+                    distance_cap=self._distance_cap,
+                ),
+            )
+            return await asyncio.wrap_future(block_future)
         if self._executor is not None and rows >= _EXECUTOR_MIN_ROWS:
             stats.offloaded_batches += 1
             return await asyncio.get_running_loop().run_in_executor(
-                self._executor, shard.check_batch, patterns, classes, want_distances
+                self._executor, shard.check_batch, patterns, classes,
+                want_distances, self._distance_cap,
             )
-        return shard.check_batch(patterns, classes, want_distances)
+        return shard.check_batch(patterns, classes, want_distances, self._distance_cap)
 
     async def _check_worker(
         self, shard, queue: "asyncio.Queue[Optional[_CheckRequest]]"
@@ -542,6 +652,15 @@ class StreamServer:
             rows.append(self._classify_stats.as_dict())
         return rows
 
+    def worker_stats(self) -> List[Dict[str, float]]:
+        """Per-worker-process rows (``executor="process"`` only): the
+        :class:`ShardServingStats` counters aggregated per worker, plus
+        pid / respawn / requeued-block accounting.  Empty for in-process
+        executors."""
+        if self._pool is None:
+            return []
+        return self._pool.stats()
+
 
 @dataclass
 class StreamResult:
@@ -550,6 +669,7 @@ class StreamResult:
     verdicts: np.ndarray
     elapsed: float
     stats: List[Dict[str, float]]
+    worker_stats: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -567,11 +687,18 @@ def run_stream(
     shift_detector: Optional[DistributionShiftDetector] = None,
     distance_detector: Optional[DistanceShiftDetector] = None,
     executor_threads: Optional[int] = None,
+    executor: Optional[str] = None,
+    workers: int = 2,
+    pool_context: Optional[str] = None,
     submit: str = "bulk",
 ) -> StreamResult:
     """Replay a pattern stream through a server; return verdicts + stats.
 
     Convenience synchronous entry point for the CLI and benchmarks.
+    ``executor`` / ``workers`` select the execution model (see
+    :class:`StreamServer`); timing starts after the server (and, in
+    process mode, the worker fleet's warm-up handshake) is up, so the
+    elapsed figure is steady-state serving rate, not spawn cost.
     ``submit`` selects the producer shape:
 
     * ``"bulk"`` (default) — one :meth:`StreamServer.check_many` call:
@@ -594,6 +721,9 @@ def run_stream(
             shift_detector=shift_detector,
             distance_detector=distance_detector,
             executor_threads=executor_threads,
+            executor=executor,
+            workers=workers,
+            pool_context=pool_context,
         )
         async with server:
             t0 = time.perf_counter()
@@ -611,7 +741,10 @@ def run_stream(
                 )
             elapsed = time.perf_counter() - t0
             return StreamResult(
-                verdicts=verdicts, elapsed=elapsed, stats=server.stats()
+                verdicts=verdicts,
+                elapsed=elapsed,
+                stats=server.stats(),
+                worker_stats=server.worker_stats(),
             )
 
     return asyncio.run(_run())

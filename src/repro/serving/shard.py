@@ -18,12 +18,13 @@ complete per-class monitor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.monitor.detection import DetectionMonitor
 from repro.monitor.monitor import NeuronActivationMonitor
+from repro.monitor.patterns import pack_patterns, unpack_patterns
 
 
 class MonitorShard:
@@ -32,6 +33,11 @@ class MonitorShard:
     Thin, stateless wrapper pairing a shard id with the slice's monitor;
     all storage and vectorised querying stays in the monitor's zone
     backends, so a shard can live in its own worker, process or host.
+    :meth:`to_payload` / :meth:`from_payload` are the wire form for the
+    "own host" case: a picklable dict of packed visited-pattern matrices
+    plus metadata, from which any process can rebuild a bit-identical
+    shard with its own local backends (shared-nothing rehydration — see
+    :class:`~repro.serving.procpool.ProcessShardPool`).
     """
 
     def __init__(self, shard_id: int, monitor: NeuronActivationMonitor):
@@ -48,25 +54,98 @@ class MonitorShard:
         return self.monitor.check(patterns, predicted_classes)
 
     def min_distances(
-        self, patterns: np.ndarray, predicted_classes: np.ndarray
+        self,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        cap: Optional[int] = None,
     ) -> np.ndarray:
-        """Exact Hamming distances for rows owned by this shard."""
-        return self.monitor.min_distances(patterns, predicted_classes)
+        """Exact (or ``cap``-bounded) Hamming distances for owned rows."""
+        return self.monitor.min_distances(patterns, predicted_classes, cap=cap)
 
-    def check_batch(self, patterns, predicted_classes, with_distances=False):
+    # ------------------------------------------------------------------
+    # portable exchange (process/host boundary)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Serialise this shard to a plain picklable dict.
+
+        The zone contents travel as the backend-portable deduplicated
+        ``visited_patterns()`` matrices (bit-packed along the row axis,
+        the same exchange format as save/load and ``merge``), so the
+        receiving process rebuilds its own backend of the recorded kind —
+        nothing engine-internal (BDD nodes, sorted word arrays, band
+        indices) ever crosses the pipe.
+        """
+        monitor = self.monitor
+        zones = {}
+        for c, zone in monitor.zones.items():
+            visited = zone.backend.visited_patterns()
+            zones[int(c)] = (pack_patterns(visited), int(visited.shape[0]))
+        return {
+            "shard_id": int(self.shard_id),
+            "layer_width": int(monitor.layer_width),
+            "classes": [int(c) for c in monitor.classes],
+            "gamma": int(monitor.gamma),
+            "monitored_neurons": np.asarray(monitor.monitored_neurons),
+            "pattern_width": int(len(monitor.monitored_neurons)),
+            "backend": monitor.backend_name,
+            "indexed": bool(monitor.indexed),
+            "zones": zones,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "MonitorShard":
+        """Rebuild a shard from :meth:`to_payload` output (exact inverse).
+
+        The rebuilt shard owns fresh local backends seeded with the
+        payload's visited sets — verdicts and distances are bit-identical
+        to the source shard's by the backend-equivalence guarantee.
+        """
+        monitor = NeuronActivationMonitor(
+            layer_width=int(payload["layer_width"]),
+            classes=payload["classes"],
+            gamma=int(payload["gamma"]),
+            monitored_neurons=payload["monitored_neurons"],
+            backend=payload["backend"],
+            indexed=bool(payload["indexed"]),
+        )
+        width = int(payload["pattern_width"])
+        for c, (packed, count) in payload["zones"].items():
+            if count:
+                monitor.zones[int(c)].add_patterns(
+                    unpack_patterns(packed, width)[:count]
+                )
+        return cls(int(payload["shard_id"]), monitor)
+
+    def check_batch(
+        self, patterns, predicted_classes, with_distances=False,
+        distance_cap=None,
+    ):
         """One-kernel-pass combined query: ``(verdicts, distances | None)``.
 
-        When the caller also wants exact distances (the serving layer's
-        inline histogram detector), deriving verdicts from the distance
-        kernel halves the backend work: ``min_distances(Q) <= gamma`` is
+        When the caller also wants distances (the serving layer's inline
+        histogram detector), deriving verdicts from the distance kernel
+        halves the backend work: ``min_distances(Q) <= gamma`` is
         protocol-equivalent to ``contains_batch(Q, gamma)``.  This is the
         single callable the :class:`~repro.serving.server.StreamServer`
-        ships to its thread pool, so a whole micro-batch runs off the
-        event loop (numpy releases the GIL inside the kernels).
+        ships to its thread pool or worker processes, so a whole
+        micro-batch runs off the event loop (numpy releases the GIL
+        inside the kernels).
+
+        ``distance_cap=k`` requests the *bounded* distance form
+        (``min(true, k+1)`` per row — index-accelerated on the indexed
+        bitset backend).  The effective cap is clamped to at least the
+        monitor's γ, so verdicts stay exact for any requested cap; the
+        serving layer passes the attached detector's overflow bin, which
+        keeps the histogram/alarm stream bit-identical too.
         """
         if not with_distances:
             return self.monitor.check(patterns, predicted_classes), None
-        distances = self.monitor.min_distances(patterns, predicted_classes)
+        cap = None
+        if distance_cap is not None:
+            cap = max(int(distance_cap), self.monitor.gamma)
+        distances = self.monitor.min_distances(
+            patterns, predicted_classes, cap=cap
+        )
         return distances <= self.monitor.gamma, distances
 
     def __repr__(self) -> str:
@@ -172,7 +251,10 @@ class ShardRouter:
         return supported
 
     def min_distances(
-        self, patterns: np.ndarray, predicted_classes: np.ndarray
+        self,
+        patterns: np.ndarray,
+        predicted_classes: np.ndarray,
+        cap: Optional[int] = None,
     ) -> np.ndarray:
         """Synchronous routed distances (0 for unmonitored classes)."""
         patterns = np.atleast_2d(patterns)
@@ -181,7 +263,7 @@ class ShardRouter:
         for shard_id, rows in self.route(predicted_classes).items():
             shard = self._shard_by_id[shard_id]
             distances[rows] = shard.min_distances(
-                patterns[rows], predicted_classes[rows]
+                patterns[rows], predicted_classes[rows], cap=cap
             )
         return distances
 

@@ -261,3 +261,114 @@ class TestMonitorPlumbing:
         )
         for monitor in det.monitors.values():
             assert monitor.backend_name == backend
+
+
+class TestMergeInsert:
+    """Incremental add_patterns must *merge* into the sorted dedup array
+    (searchsorted + scatter), not re-sort the world — and stay exactly
+    equivalent to one bulk insert."""
+
+    def test_incremental_adds_equal_bulk_insert(self):
+        rng = np.random.default_rng(0)
+        patterns = (rng.random((300, 24)) < 0.5).astype(np.uint8)
+        bulk = BitsetZoneBackend(24)
+        bulk.add_patterns(patterns)
+        incremental = BitsetZoneBackend(24)
+        for start in range(0, len(patterns), 17):  # ragged batch sizes
+            incremental.add_patterns(patterns[start : start + 17])
+        assert incremental.num_visited() == bulk.num_visited()
+        probes = (rng.random((100, 24)) < 0.5).astype(np.uint8)
+        for gamma in range(3):
+            np.testing.assert_array_equal(
+                incremental.contains_batch(probes, gamma),
+                bulk.contains_batch(probes, gamma),
+            )
+        np.testing.assert_array_equal(
+            incremental.min_distances(probes), bulk.min_distances(probes)
+        )
+
+    def test_sorted_invariant_survives_interleaved_adds(self):
+        """The γ=0 fast path and dedup both rely on the void array being
+        sorted; every merge step must preserve it bit-exactly."""
+        rng = np.random.default_rng(1)
+        backend = BitsetZoneBackend(96)  # multi-word rows
+        for _ in range(12):
+            backend.add_patterns((rng.random((23, 96)) < 0.3).astype(np.uint8))
+            resorted = np.sort(backend._words.view(backend._void).ravel())
+            np.testing.assert_array_equal(backend._sorted_void, resorted)
+            assert backend.num_visited() == len(
+                np.unique(backend.visited_patterns(), axis=0)
+            )
+
+    def test_duplicate_only_batch_is_a_no_op(self):
+        backend = BitsetZoneBackend(16)
+        rows = np.eye(16, dtype=np.uint8)[:4]
+        backend.add_patterns(rows)
+        before = backend._sorted_void.copy()
+        backend.add_patterns(rows)  # all duplicates: no merge, no growth
+        np.testing.assert_array_equal(backend._sorted_void, before)
+        assert backend.num_visited() == 4
+
+
+class TestBoundedMinDistances:
+    """`min_distances(patterns, cap=k)` answers "exact distance, or > k"
+    — elementwise `min(true_distance, k+1)` on every backend."""
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_matches_clipped_exact_distances(self, backend):
+        rng = np.random.default_rng(2)
+        visited = (rng.random((60, 20)) < 0.4).astype(np.uint8)
+        engine = make_backend(backend, 20)
+        engine.add_patterns(visited)
+        probes = (rng.random((80, 20)) < 0.4).astype(np.uint8)
+        exact = (
+            (probes[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
+        )
+        np.testing.assert_array_equal(engine.min_distances(probes), exact)
+        for cap in range(6):
+            np.testing.assert_array_equal(
+                engine.min_distances(probes, cap=cap),
+                np.minimum(exact, cap + 1),
+            )
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_empty_store_bounded_sentinel(self, backend):
+        engine = make_backend(backend, 12)
+        probes = np.zeros((3, 12), dtype=np.uint8)
+        assert (engine.min_distances(probes, cap=4) == 5).all()
+        # cap beyond the width: sentinel is the usual num_vars + 1.
+        assert (engine.min_distances(probes, cap=40) == 13).all()
+
+    @pytest.mark.parametrize("backend", ["bdd", "bitset"])
+    def test_negative_cap_rejected(self, backend):
+        engine = make_backend(backend, 8)
+        engine.add_patterns(np.zeros((1, 8), dtype=np.uint8))
+        with pytest.raises(ValueError, match="cap"):
+            engine.min_distances(np.zeros((1, 8), dtype=np.uint8), cap=-1)
+
+    def test_cap_zero_is_exact_membership(self):
+        backend = BitsetZoneBackend(16)
+        rows = np.eye(16, dtype=np.uint8)[:3]
+        backend.add_patterns(rows)
+        probes = np.concatenate([rows[:1], np.ones((1, 16), dtype=np.uint8)])
+        np.testing.assert_array_equal(
+            backend.min_distances(probes, cap=0), [0, 1]
+        )
+
+    def test_monitor_and_zone_plumbing(self):
+        rng = np.random.default_rng(3)
+        monitor = NeuronActivationMonitor(16, [0, 1], gamma=1, backend="bitset")
+        patterns = (rng.random((40, 16)) < 0.5).astype(np.uint8)
+        labels = rng.integers(0, 2, 40)
+        monitor.record(patterns, labels, labels)
+        probes = (rng.random((30, 16)) < 0.5).astype(np.uint8)
+        classes = rng.integers(0, 4, 30)  # includes unmonitored rows
+        exact = monitor.min_distances(probes, classes)
+        bounded = monitor.min_distances(probes, classes, cap=2)
+        np.testing.assert_array_equal(bounded, np.minimum(exact, 3))
+        # check-equivalence holds for every gamma under the cap
+        for gamma in range(3):
+            monitor.set_gamma(gamma)
+            np.testing.assert_array_equal(
+                bounded <= gamma, monitor.check(probes, classes)
+            )

@@ -110,3 +110,22 @@ class TestCommands:
             ["stream", "--system", "mnist", "--requests", "40"]
         ) == 0
         assert "throughput" in capsys.readouterr().out
+
+    def test_serve_with_worker_processes(self, tiny_systems, capsys):
+        """--workers N routes execution through the shared-nothing
+        process pool and prints the per-worker stats table."""
+        assert cli.main(
+            ["serve", "--system", "mnist", "--gamma", "1", "--shards", "4",
+             "--requests", "80", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executor=process(2)" in out
+        assert "worker processes:" in out
+        assert "respawns" in out
+
+    def test_serve_rejects_negative_workers(self, tiny_systems):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["serve", "--system", "mnist", "--requests", "10",
+                 "--workers", "-1"]
+            )

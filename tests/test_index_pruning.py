@@ -97,6 +97,38 @@ def test_indexed_min_distances_match_brute(case):
     np.testing.assert_array_equal(bdd.min_distances(probes), expected)
 
 
+@settings(max_examples=80, deadline=None)
+@given(indexed_zone_and_probes())
+def test_bounded_min_distances_served_from_shortlist(case):
+    """``min_distances(Q, cap=k)`` answered by the pigeonhole shortlist
+    must equal the clipped brute-force oracle ``min(true, k+1)`` — the
+    shortlist provably contains every pattern within k, so a shortlist
+    minimum ≤ k is the true minimum and anything else is provably > k."""
+    width, visited, probes, gamma = case
+    exact = (probes[:, None, :] != visited[None, :, :]).sum(axis=2).min(axis=1)
+    indexed = _forced_index_backend(width)
+    indexed.add_patterns(visited)
+    brute = make_backend("bitset", width)
+    brute.add_patterns(visited)
+    bdd = make_backend("bdd", width)
+    bdd.add_patterns(visited)
+    for cap in (gamma, gamma + 1):
+        expected = np.minimum(exact, cap + 1)
+        got = indexed.min_distances(probes, cap=cap)
+        np.testing.assert_array_equal(got, expected, err_msg=f"indexed cap={cap}")
+        if cap > 0:
+            # The bounded query really rides the index (built for γ=cap).
+            assert cap in indexed._indices
+        np.testing.assert_array_equal(
+            brute.min_distances(probes, cap=cap), expected,
+            err_msg=f"brute cap={cap}",
+        )
+        np.testing.assert_array_equal(
+            bdd.min_distances(probes, cap=cap), expected,
+            err_msg=f"bdd cap={cap}",
+        )
+
+
 @st.composite
 def band_collision_case(draw):
     """Zones engineered to alias in the band index.

@@ -253,6 +253,61 @@ class TestStreamServer:
         # only statistically (order is batch-dependent); check totals.
         np.testing.assert_array_equal(result.verdicts, sync_supported)
 
+    def test_check_batch_distance_cap_bounds_but_never_bends_verdicts(self):
+        """The combined kernel's cap must clip distances to min(true, cap+1)
+        while verdicts stay exact — even for a cap below γ (clamped)."""
+        monitor = _monitor(gamma=2)
+        shard = ShardRouter.partition(monitor, 1).shards[0]
+        patterns, classes = _queries(monitor, n=120, extra_classes=0)
+        exact_verdicts, exact_distances = shard.check_batch(
+            patterns, classes, with_distances=True
+        )
+        for cap in (0, 1, 2, 5):  # 0 and 1 are below gamma: clamp to gamma
+            verdicts, distances = shard.check_batch(
+                patterns, classes, with_distances=True, distance_cap=cap
+            )
+            np.testing.assert_array_equal(verdicts, exact_verdicts)
+            np.testing.assert_array_equal(
+                distances, np.minimum(exact_distances, max(cap, 2) + 1)
+            )
+
+    def test_capped_detector_stream_is_alarm_identical(self):
+        """Serving feeds the histogram detector bounded distances; the
+        histogram, divergence and alarm must match an exact-fed twin on a
+        stream with rows far beyond the overflow bin."""
+        monitor = _monitor(gamma=1)
+        router = ShardRouter.partition(monitor, 2)
+        patterns, classes = _queries(monitor, n=200, extra_classes=0)
+        exact_distances = monitor.min_distances(patterns, classes)
+        baseline = exact_distances[:50]
+        # A tight overflow bin (max_distance=1 → serving cap 2) that much
+        # of the stream exceeds, so the bounded kernel genuinely clips.
+        assert (exact_distances > 3).any()
+
+        # window == stream length: the compared histograms cover the whole
+        # stream as a multiset, so shard-interleaved arrival order (which
+        # legitimately differs from sequential order) cannot matter.
+        served = DistanceShiftDetector(
+            baseline, max_distance=1, window=len(patterns)
+        )
+        exact_fed = DistanceShiftDetector(
+            baseline, max_distance=1, window=len(patterns)
+        )
+        result = run_stream(
+            router, patterns, classes, distance_detector=served
+        )
+        # Feed the twin in served order-independence terms: histograms are
+        # multiset statistics, so bulk order differences cannot matter.
+        exact_fed.update_many(exact_distances)
+        np.testing.assert_array_equal(
+            result.verdicts, monitor.check(patterns, classes)
+        )
+        a, b = served.peek(), exact_fed.peek()
+        assert a.samples_seen == b.samples_seen == len(patterns)
+        np.testing.assert_allclose(a.histogram, b.histogram)
+        assert a.divergence == pytest.approx(b.divergence)
+        assert a.alarm == b.alarm
+
     def test_classify_path_matches_sync_classifier(self):
         from repro.monitor import MonitoredClassifier
         from repro.nn.layers import Linear, ReLU, Sequential

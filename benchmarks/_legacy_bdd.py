@@ -1,0 +1,523 @@
+"""Frozen copy of the PR-4 hash-consed ROBDD manager.
+
+This is the pre-complement-edge engine, kept verbatim as the baseline the
+``bdd_engine`` benchmark row races against (node counts and construction +
+batched-query time).  It is imported only by the benchmark harness - the
+production engine lives in ``src/repro/bdd/manager.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class BDDManager:
+    """Owns and deduplicates ROBDD nodes over a fixed set of variables.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of boolean variables.  The paper's practical guidance is that
+        a few hundred variables is the comfortable limit for monitors; the
+        manager itself enforces no hard cap.
+    var_names:
+        Optional human-readable names, used by the DOT exporter.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars: int, var_names: Optional[Sequence[str]] = None):
+        if num_vars < 0:
+            raise ValueError(f"num_vars must be non-negative, got {num_vars}")
+        if var_names is not None and len(var_names) != num_vars:
+            raise ValueError(
+                f"var_names has {len(var_names)} entries for {num_vars} variables"
+            )
+        self.num_vars = num_vars
+        self.var_names = list(var_names) if var_names is not None else [
+            f"x{i}" for i in range(num_vars)
+        ]
+        # Terminal nodes live at the level *below* all variables.
+        terminal_level = num_vars
+        self._level: List[int] = [terminal_level, terminal_level]
+        self._low: List[int] = [0, 1]    # self-loops; never traversed
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self._ite_calls = 0
+        self._ite_cache_hits = 0
+        self._exists_calls = 0
+        self._exists_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # node primitives
+    # ------------------------------------------------------------------
+    def level_of(self, ref: int) -> int:
+        """Return the level of ``ref`` (``num_vars`` for terminals)."""
+        return self._level[ref]
+
+    def low_of(self, ref: int) -> int:
+        """Return the negative cofactor child of an internal node."""
+        return self._low[ref]
+
+    def high_of(self, ref: int) -> int:
+        """Return the positive cofactor child of an internal node."""
+        return self._high[ref]
+
+    def is_terminal(self, ref: int) -> bool:
+        """True for the two constant nodes."""
+        return ref <= 1
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Return the canonical node ``(level, low, high)``, creating it if new."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        ref = self._unique.get(key)
+        if ref is None:
+            ref = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = ref
+        return ref
+
+    def var(self, index: int) -> int:
+        """Return the BDD of the single variable ``index``."""
+        self._check_var(index)
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def nvar(self, index: int) -> int:
+        """Return the BDD of the negated variable ``index``."""
+        self._check_var(index)
+        return self._mk(index, self.TRUE, self.FALSE)
+
+    def _check_var(self, index: int) -> None:
+        if not 0 <= index < self.num_vars:
+            raise IndexError(
+                f"variable index {index} out of range for {self.num_vars} variables"
+            )
+
+    def __len__(self) -> int:
+        """Total number of live nodes (including the two terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # core operator: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """Return the BDD of ``(f AND g) OR (NOT f AND h)``.
+
+        All binary boolean operations reduce to ``ite``; results are
+        memoised, so repeated queries are amortised constant time.
+        """
+        # Terminal shortcuts.
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        self._ite_calls += 1
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self._ite_cache_hits += 1
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, ref: int, level: int) -> Tuple[int, int]:
+        """Negative/positive cofactors of ``ref`` with respect to ``level``."""
+        if self._level[ref] == level:
+            return self._low[ref], self._high[ref]
+        return ref, ref
+
+    # ------------------------------------------------------------------
+    # derived boolean connectives
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        """Logical negation."""
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Logical conjunction."""
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Logical disjunction (the paper's ``bdd.or``)."""
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Logical exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Logical implication ``f -> g``."""
+        return self.ite(f, g, self.TRUE)
+
+    def apply_iff(self, f: int, g: int) -> int:
+        """Logical equivalence."""
+        return self.ite(f, g, self.apply_not(g))
+
+    # ------------------------------------------------------------------
+    # quantification and restriction
+    # ------------------------------------------------------------------
+    def exists(self, f: int, index: int) -> int:
+        """Existentially quantify variable ``index`` (the paper's ``bdd.exists``).
+
+        The result treats variable ``index`` as a don't-care:
+        ``exists(x, f) = f[x:=0] OR f[x:=1]``.  Applied to a set of
+        bit-vectors this adds every vector reachable by flipping bit
+        ``index`` — the building block of the Hamming-distance enlargement
+        in Algorithm 1, line 12.
+        """
+        self._check_var(index)
+        return self._exists_rec(f, index)
+
+    def _exists_rec(self, f: int, index: int) -> int:
+        level = self._level[f]
+        if level > index:
+            # f does not depend on variables at or above `index`'s level.
+            return f
+        self._exists_calls += 1
+        key = (f, index)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            self._exists_cache_hits += 1
+            return cached
+        if level == index:
+            result = self.apply_or(self._low[f], self._high[f])
+        else:
+            low = self._exists_rec(self._low[f], index)
+            high = self._exists_rec(self._high[f], index)
+            result = self._mk(level, low, high)
+        self._exists_cache[key] = result
+        return result
+
+    def exists_many(self, f: int, indices: Iterable[int]) -> int:
+        """Existentially quantify a set of variables, innermost first."""
+        result = f
+        for index in sorted(set(indices), reverse=True):
+            result = self.exists(result, index)
+        return result
+
+    def forall(self, f: int, index: int) -> int:
+        """Universally quantify variable ``index``."""
+        return self.apply_not(self.exists(self.apply_not(f), index))
+
+    def restrict(self, f: int, index: int, value: bool) -> int:
+        """Return the cofactor ``f[index := value]``."""
+        self._check_var(index)
+        return self._restrict_rec(f, index, bool(value))
+
+    def _restrict_rec(self, f: int, index: int, value: bool) -> int:
+        level = self._level[f]
+        if level > index:
+            return f
+        if level == index:
+            return self._high[f] if value else self._low[f]
+        low = self._restrict_rec(self._low[f], index, value)
+        high = self._restrict_rec(self._high[f], index, value)
+        return self._mk(level, low, high)
+
+    # ------------------------------------------------------------------
+    # set-of-patterns interface (what the monitor uses)
+    # ------------------------------------------------------------------
+    def empty_set(self) -> int:
+        """The empty pattern set (the paper's ``bdd.emptySet``)."""
+        return self.FALSE
+
+    def universal_set(self) -> int:
+        """The set of all 2^n patterns."""
+        return self.TRUE
+
+    def from_pattern(self, pattern: Sequence[int]) -> int:
+        """Encode one bit-vector as a cube (the paper's ``bdd.encode``).
+
+        ``pattern`` must have exactly ``num_vars`` entries, each 0 or 1.
+        Built bottom-up so it allocates exactly ``num_vars`` nodes in the
+        worst case and costs no ``ite`` calls.
+        """
+        if len(pattern) != self.num_vars:
+            raise ValueError(
+                f"pattern has {len(pattern)} bits, expected {self.num_vars}"
+            )
+        result = self.TRUE
+        for index in range(self.num_vars - 1, -1, -1):
+            bit = pattern[index]
+            if bit not in (0, 1, True, False):
+                raise ValueError(f"pattern bit {index} is {bit!r}, expected 0 or 1")
+            if bit:
+                result = self._mk(index, self.FALSE, result)
+            else:
+                result = self._mk(index, result, self.FALSE)
+        return result
+
+    def from_patterns(self, patterns: Iterable[Sequence[int]]) -> int:
+        """Encode a collection of bit-vectors as the union of their cubes.
+
+        Bulk construction: the patterns are deduplicated and sorted
+        lexicographically, then the BDD is built top-down by splitting the
+        sorted block on each variable in turn.  Every ``_mk`` call lands on
+        a node of the final diagram, so the cost is proportional to the
+        result size — no ``ite`` calls and no intermediate diagrams, unlike
+        the naive ``OR`` of N cubes which rebuilds the accumulated union N
+        times.
+        """
+        items = patterns if isinstance(patterns, np.ndarray) else list(patterns)
+        if len(items) == 0:
+            return self.FALSE
+        rows = np.atleast_2d(np.asarray(items, dtype=np.uint8))
+        if rows.shape[1] != self.num_vars:
+            raise ValueError(
+                f"patterns have {rows.shape[1]} bits, expected {self.num_vars}"
+            )
+        if self.num_vars == 0:
+            return self.TRUE
+        if rows.max(initial=0) > 1:
+            raise ValueError("pattern bits must be 0 or 1")
+
+        from bisect import bisect_left
+
+        num_vars = self.num_vars
+        rows = np.unique(rows, axis=0)  # lexicographic sort + dedup, C speed
+        # Per-level columns as plain lists: inside any block that agrees on
+        # the bits above `level`, the column is 0s-then-1s, so the split is
+        # a C-speed binary search bounded to the block.
+        columns = rows.T.tolist()
+
+        # Iterative post-order over the block tree (an explicit stack keeps
+        # arbitrary variable counts clear of Python's recursion limit).
+        # Each block of rows agrees on all bits above `level`; its split on
+        # bit `level` yields the two child blocks.  Depth-first order means
+        # a parent's child refs are exactly the top of `results` when its
+        # expanded entry is popped: low last (pushed low-then-high, so the
+        # high subtree finishes first).
+        results: List[int] = []
+        stack: List[Tuple[int, int, int, bool, int]] = [(0, 0, len(rows), False, 0)]
+        while stack:
+            level, lo, hi, expanded, split = stack.pop()
+            if level == num_vars:
+                results.append(self.TRUE)
+                continue
+            if not expanded:
+                split = bisect_left(columns[level], 1, lo, hi)
+                stack.append((level, lo, hi, True, split))
+                if split > lo:   # some rows have bit `level` == 0
+                    stack.append((level + 1, lo, split, False, 0))
+                if split < hi:   # some rows have bit `level` == 1
+                    stack.append((level + 1, split, hi, False, 0))
+            else:
+                low = results.pop() if split > lo else self.FALSE
+                high = results.pop() if split < hi else self.FALSE
+                results.append(self._mk(level, low, high))
+        return results[0]
+
+    def contains(self, f: int, pattern: Sequence[int]) -> bool:
+        """Membership query: is ``pattern`` in the set ``f``?
+
+        Runs in time linear in the number of variables — the runtime
+        guarantee the paper relies on for deployment.
+        """
+        if len(pattern) != self.num_vars:
+            raise ValueError(
+                f"pattern has {len(pattern)} bits, expected {self.num_vars}"
+            )
+        ref = f
+        while not self.is_terminal(ref):
+            level = self._level[ref]
+            ref = self._high[ref] if pattern[level] else self._low[ref]
+        return ref == self.TRUE
+
+    def contains_batch(self, f: int, patterns: "np.ndarray") -> "np.ndarray":
+        """Membership queries for a whole ``(N, num_vars)`` pattern matrix.
+
+        One shared validation plus a tight per-row walk over local list
+        bindings; each row costs at most ``num_vars`` node hops.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns))
+        if patterns.shape[1] != self.num_vars:
+            raise ValueError(
+                f"patterns have {patterns.shape[1]} bits, expected {self.num_vars}"
+            )
+        level, low, high = self._level, self._low, self._high
+        result = np.empty(len(patterns), dtype=bool)
+        rows = patterns.tolist()
+        for i, row in enumerate(rows):
+            ref = f
+            while ref > 1:
+                ref = high[ref] if row[level[ref]] else low[ref]
+            result[i] = ref == self.TRUE
+        return result
+
+    def hamming_expand(self, f: int, monitored: Optional[Sequence[int]] = None) -> int:
+        """One Hamming-distance enlargement step (Algorithm 1, lines 9-14).
+
+        Returns the union of ``exists(j, f)`` over every monitored variable
+        ``j``.  Because ``exists(j, f)`` is a superset of ``f``, the result
+        contains ``f`` plus every pattern at Hamming distance exactly 1 from
+        it (with respect to the monitored variables).
+        """
+        indices = range(self.num_vars) if monitored is None else monitored
+        result = self.FALSE
+        for index in indices:
+            result = self.apply_or(result, self.exists(f, index))
+        # Guard against an empty `monitored` list: the zone never shrinks.
+        return self.apply_or(result, f)
+
+    def hamming_ball(
+        self,
+        f: int,
+        radius: int,
+        monitored: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Enlarge ``f`` to all patterns within Hamming distance ``radius``."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        result = f
+        for _ in range(radius):
+            expanded = self.hamming_expand(result, monitored)
+            if expanded == result:
+                break  # saturated: further expansion is a no-op
+            result = expanded
+        return result
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    def function(self, ref: int) -> "BDDFunction":
+        """Wrap a ref in a :class:`BDDFunction` for operator syntax."""
+        return BDDFunction(self, ref)
+
+    def false(self) -> "BDDFunction":
+        """The constant-false function, wrapped."""
+        return BDDFunction(self, self.FALSE)
+
+    def true(self) -> "BDDFunction":
+        """The constant-true function, wrapped."""
+        return BDDFunction(self, self.TRUE)
+
+    def variable(self, index: int) -> "BDDFunction":
+        """The single-variable function, wrapped."""
+        return BDDFunction(self, self.var(index))
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (the unique table is kept: refs stay valid)."""
+        self._ite_cache.clear()
+        self._exists_cache.clear()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Apply/ite and exists cache statistics plus table sizes.
+
+        Hit rates expose how much memoisation is doing for a workload —
+        the number the DateSAT-style batch-construction optimisations are
+        judged against.
+        """
+        ite_rate = self._ite_cache_hits / self._ite_calls if self._ite_calls else 0.0
+        exists_rate = (
+            self._exists_cache_hits / self._exists_calls if self._exists_calls else 0.0
+        )
+        return {
+            "nodes": len(self._level),
+            "ite_calls": self._ite_calls,
+            "ite_cache_hits": self._ite_cache_hits,
+            "ite_hit_rate": ite_rate,
+            "ite_cache_entries": len(self._ite_cache),
+            "exists_calls": self._exists_calls,
+            "exists_cache_hits": self._exists_cache_hits,
+            "exists_hit_rate": exists_rate,
+            "exists_cache_entries": len(self._exists_cache),
+        }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the call/hit counters (cache contents are untouched)."""
+        self._ite_calls = self._ite_cache_hits = 0
+        self._exists_calls = self._exists_cache_hits = 0
+
+
+class BDDFunction:
+    """A boolean function bound to its manager, with operator overloading.
+
+    Thin value-type wrapper: equality is canonical-ref equality, so two
+    wrappers compare equal iff they denote the same boolean function.
+    """
+
+    __slots__ = ("manager", "ref")
+
+    def __init__(self, manager: BDDManager, ref: int):
+        self.manager = manager
+        self.ref = ref
+
+    def _coerce(self, other: "BDDFunction") -> int:
+        if not isinstance(other, BDDFunction):
+            raise TypeError(f"expected BDDFunction, got {type(other).__name__}")
+        if other.manager is not self.manager:
+            raise ValueError("cannot combine functions from different managers")
+        return other.ref
+
+    def __and__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager, self.manager.apply_and(self.ref, self._coerce(other)))
+
+    def __or__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager, self.manager.apply_or(self.ref, self._coerce(other)))
+
+    def __xor__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager, self.manager.apply_xor(self.ref, self._coerce(other)))
+
+    def __invert__(self) -> "BDDFunction":
+        return BDDFunction(self.manager, self.manager.apply_not(self.ref))
+
+    def implies(self, other: "BDDFunction") -> "BDDFunction":
+        """The function ``self -> other``."""
+        return BDDFunction(self.manager, self.manager.apply_implies(self.ref, self._coerce(other)))
+
+    def iff(self, other: "BDDFunction") -> "BDDFunction":
+        """The function ``self <-> other``."""
+        return BDDFunction(self.manager, self.manager.apply_iff(self.ref, self._coerce(other)))
+
+    def exists(self, index: int) -> "BDDFunction":
+        """Existential quantification over variable ``index``."""
+        return BDDFunction(self.manager, self.manager.exists(self.ref, index))
+
+    def restrict(self, index: int, value: bool) -> "BDDFunction":
+        """Cofactor with variable ``index`` fixed to ``value``."""
+        return BDDFunction(self.manager, self.manager.restrict(self.ref, index, value))
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """Membership query for one bit-vector."""
+        return self.manager.contains(self.ref, pattern)
+
+    def is_false(self) -> bool:
+        """True iff this is the constant-false function."""
+        return self.ref == BDDManager.FALSE
+
+    def is_true(self) -> bool:
+        """True iff this is the constant-true function."""
+        return self.ref == BDDManager.TRUE
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BDDFunction)
+            and other.manager is self.manager
+            and other.ref == self.ref
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.ref))
+
+    def __repr__(self) -> str:
+        return f"BDDFunction(ref={self.ref})"

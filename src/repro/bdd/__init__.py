@@ -4,9 +4,12 @@ This subpackage is a from-scratch replacement for the ``dd`` package used in
 the paper.  It provides the exact primitives Algorithm 1 of the paper needs —
 ``emptySet`` (the ``false`` constant), ``or``, ``encode`` (cube encoding of a
 bit-vector) and ``exists`` (existential quantification over one variable) —
-plus the usual ROBDD toolbox: canonical hash-consed nodes, the ``ite``
-operator, restriction, model counting and enumeration, Hamming-ball
-expansion, and DOT export.
+plus the usual ROBDD toolbox: canonical hash-consed nodes with
+*complement edges* (negation is an O(1) edge-bit flip; ``f`` and
+``NOT f`` share storage), the ``ite`` operator, restriction, model
+counting and enumeration, Hamming-ball expansion, mark-and-sweep
+garbage collection of the unique table, dynamic variable reordering by
+sifting, and DOT export.
 
 Quick example::
 

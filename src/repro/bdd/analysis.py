@@ -5,6 +5,15 @@ paper illustrates: ``sat_count`` measures how many activation patterns a
 comfort zone contains, ``node_count`` measures how much memory the BDD needs,
 and :func:`zone_statistics` bundles both with the density relative to the
 full pattern space.
+
+All walks go through the manager's parity-aware accessors
+(``low_of``/``high_of`` apply the complement bit), so a complemented ref
+behaves exactly like the negated function.  Structural counts
+(:func:`node_count`, :func:`support`) count *physical* nodes — under
+complement edges ``f`` and ``NOT f`` share storage, so they report the
+same size — and :func:`enumerate_models` honours the manager's current
+variable order: output rows are always in variable-index order however
+the levels have been permuted by reordering.
 """
 
 from __future__ import annotations
@@ -21,7 +30,9 @@ def sat_count(manager: BDDManager, ref: int) -> int:
     200-variable monitors the paper considers, where counts exceed 2**100.
     """
     # Iterative post-order (wide monitors exceed the recursion limit).
-    # cache[node] is the count over variables strictly below its level.
+    # cache[ref] is the count over variables strictly below its level;
+    # refs of opposite parity are cached separately (they denote the
+    # complementary functions).
     cache: Dict[int, int] = {BDDManager.FALSE: 0, BDDManager.TRUE: 1}
     stack = [ref]
     while stack:
@@ -46,42 +57,59 @@ def sat_count(manager: BDDManager, ref: int) -> int:
 def enumerate_models(manager: BDDManager, ref: int) -> Iterator[Tuple[int, ...]]:
     """Yield every satisfying bit-vector of ``ref`` (full assignments).
 
-    Intended for tests and small zones; the count grows exponentially with
+    Rows are emitted in variable-index order whatever the current level
+    permutation, so enumeration is stable across reorders — the property
+    the pattern-payload serialisation round-trip relies on.  Intended
+    for tests and small zones; the count grows exponentially with
     don't-care variables, so production code should prefer :func:`sat_count`.
     """
     num_vars = manager.num_vars
+    order = manager.var_order()
 
-    def walk(node: int, index: int, prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+    def emit(prefix: List[int]) -> Tuple[int, ...]:
+        row = [0] * num_vars
+        for level, bit in enumerate(prefix):
+            row[order[level]] = bit
+        return tuple(row)
+
+    def walk(node: int, level: int, prefix: List[int]) -> Iterator[Tuple[int, ...]]:
         if node == BDDManager.FALSE:
             return
-        if index == num_vars:
-            yield tuple(prefix)
+        if level == num_vars:
+            yield emit(prefix)
             return
-        level = manager.level_of(node)
-        if level > index:
-            # Variable `index` is a don't-care here: branch on both values.
+        node_level = manager.level_of(node)
+        if node_level > level:
+            # The variable at `level` is a don't-care here: branch on both.
             for bit in (0, 1):
                 prefix.append(bit)
-                yield from walk(node, index + 1, prefix)
+                yield from walk(node, level + 1, prefix)
                 prefix.pop()
             return
         for bit, child in ((0, manager.low_of(node)), (1, manager.high_of(node))):
             prefix.append(bit)
-            yield from walk(child, index + 1, prefix)
+            yield from walk(child, level + 1, prefix)
             prefix.pop()
 
     yield from walk(ref, 0, [])
 
 
 def node_count(manager: BDDManager, ref: int) -> int:
-    """Number of distinct internal nodes reachable from ``ref``."""
+    """Number of distinct *physical* internal nodes reachable from ``ref``.
+
+    Complement edges make ``node_count(f) == node_count(NOT f)`` — the
+    storage-sharing the engine overhaul banks on.
+    """
     seen = set()
     stack = [ref]
     while stack:
         node = stack.pop()
-        if node in seen or manager.is_terminal(node):
+        if manager.is_terminal(node):
             continue
-        seen.add(node)
+        index = manager.node_index(node)
+        if index in seen:
+            continue
+        seen.add(index)
         stack.append(manager.low_of(node))
         stack.append(manager.high_of(node))
     return len(seen)
@@ -94,10 +122,13 @@ def support(manager: BDDManager, ref: int) -> List[int]:
     stack = [ref]
     while stack:
         node = stack.pop()
-        if node in seen or manager.is_terminal(node):
+        if manager.is_terminal(node):
             continue
-        seen.add(node)
-        variables.add(manager.level_of(node))
+        index = manager.node_index(node)
+        if index in seen:
+            continue
+        seen.add(index)
+        variables.add(manager.var_of(node))
         stack.append(manager.low_of(node))
         stack.append(manager.high_of(node))
     return sorted(variables)

@@ -3,6 +3,15 @@
 Purely textual — no graphviz dependency.  Solid edges are the ``high`` (1)
 branch, dashed edges the ``low`` (0) branch, matching the usual BDD drawing
 convention.
+
+Two views of a complement-edge diagram:
+
+* the default *semantic* view expands each (node, parity) pair into its
+  own drawn node, so the picture shows the plain two-terminal ROBDD the
+  function denotes — what the paper's figures draw;
+* ``shared=True`` draws the *physical* table: one ``1`` terminal,
+  complemented edges rendered dotted with an odot arrowhead, making the
+  storage sharing between ``f`` and ``NOT f`` visible.
 """
 
 from __future__ import annotations
@@ -12,8 +21,11 @@ from typing import List
 from repro.bdd.manager import BDDManager
 
 
-def to_dot(manager: BDDManager, ref: int, name: str = "bdd") -> str:
+def to_dot(manager: BDDManager, ref: int, name: str = "bdd",
+           shared: bool = False) -> str:
     """Render the BDD rooted at ``ref`` as a DOT digraph string."""
+    if shared:
+        return _to_dot_shared(manager, ref, name)
     lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
     lines.append('  node0 [label="0", shape=box];')
     lines.append('  node1 [label="1", shape=box];')
@@ -24,7 +36,7 @@ def to_dot(manager: BDDManager, ref: int, name: str = "bdd") -> str:
         if node in seen or manager.is_terminal(node):
             continue
         seen.add(node)
-        label = manager.var_names[manager.level_of(node)]
+        label = manager.var_names[manager.var_of(node)]
         lines.append(f'  node{node} [label="{label}", shape=circle];')
         low, high = manager.low_of(node), manager.high_of(node)
         lines.append(f"  node{node} -> node{low} [style=dashed];")
@@ -35,5 +47,44 @@ def to_dot(manager: BDDManager, ref: int, name: str = "bdd") -> str:
         # Point out which terminal the whole function is.
         lines.append(f'  root [label="f", shape=plaintext];')
         lines.append(f"  root -> node{ref};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _to_dot_shared(manager: BDDManager, ref: int, name: str) -> str:
+    """Physical rendering: node indices, complement edges marked."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  node0 [label="1", shape=box];')
+    root_style = (
+        " [style=dotted, arrowhead=odot]" if manager.is_complemented(ref) else ""
+    )
+    lines.append('  root [label="f", shape=plaintext];')
+    lines.append(f"  root -> node{manager.node_index(ref)}{root_style};")
+    seen = set()
+    stack = [ref]
+    while stack:
+        node = stack.pop()
+        if manager.is_terminal(node):
+            continue
+        index = manager.node_index(node)
+        if index in seen:
+            continue
+        seen.add(index)
+        label = manager.var_names[manager.var_of(node)]
+        lines.append(f'  node{index} [label="{label}", shape=circle];')
+        # Draw the stored (regular-sense) edges so complement bits are
+        # visible: dashed = low branch, solid = high branch, dotted+odot
+        # marks a complemented edge.
+        regular = (index << 1) | 1
+        for child, style in (
+            (manager.low_of(regular), "dashed"),
+            (manager.high_of(regular), "solid"),
+        ):
+            mark = ", arrowhead=odot" if manager.is_complemented(child) else ""
+            lines.append(
+                f"  node{index} -> node{manager.node_index(child)} "
+                f"[style={style}{mark}];"
+            )
+            stack.append(child)
     lines.append("}")
     return "\n".join(lines)

@@ -1,42 +1,95 @@
-"""Hash-consed ROBDD manager.
+"""Hash-consed ROBDD manager with complement edges, GC and reordering.
 
-The manager owns every node.  A node is identified by a small integer
-(``ref``); node 0 is the ``false`` terminal and node 1 is the ``true``
-terminal.  Internal nodes are triples ``(level, low, high)`` stored in
-parallel lists, deduplicated through a unique table, which makes every
-boolean function canonical: two functions are equal iff their refs are equal
-(Bryant 1992).
+The manager owns every node.  A *node* is a physical entry in three
+parallel lists (``_var``, ``_low``, ``_high``); a *ref* is what clients
+hold: ``ref = node_index * 2 + 1`` for the regular sense of a node and
+``ref = node_index * 2`` for its complement (negation is the O(1) bit
+flip ``ref ^ 1``).  There is one terminal node (index 0, the constant
+``true``); ``TRUE == 1`` is its regular ref and ``FALSE == 0`` its
+complement, so the two constants keep their historical values.
 
-Variables are addressed by *index* ``0 .. num_vars-1``; with the default
-identity ordering, index equals level.  The public API works on refs or on
-:class:`BDDFunction` wrappers, which add operator overloading for readable
-client code.
+Canonical form (Brace–Rudell–Bryant): the stored *high* edge of every
+node is regular.  ``_mk`` hoists a complemented high edge onto the
+result ref, which — together with the usual ``low == high`` collapse and
+hash-consing — keeps functions canonical: two functions are equal iff
+their refs are equal, and ``f`` / ``NOT f`` share every node.
+
+Variables are addressed by *index* ``0 .. num_vars-1``; the *level* a
+variable occupies in the diagram is a permutation maintained by the
+manager (``set_order`` seeds it on an empty table, ``reorder`` sifts a
+live one).  The public API works on refs or on :class:`BDDFunction`
+wrappers, which add operator overloading and — unlike raw refs — are
+tracked as GC roots and remapped in place when the node table compacts.
+
+Garbage collection is mark-and-sweep over the pinned roots
+(:meth:`incref`/:meth:`decref`), the live :class:`BDDFunction` handles
+and any explicit extra roots: dead nodes are dropped, the node arrays
+compact, and the unique table and operation caches are rewritten to the
+new indices.  An automatic collection triggers inside ``_mk`` once the
+table passes ``gc_threshold`` — it runs only at the *end* of a public
+operation (with the operation's result as an extra root), so raw refs
+held across operation boundaries must be pinned or wrapped.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+import weakref
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    value = os.environ.get(name, "").strip().lower()
+    if not value:
+        return default
+    return value in ("1", "true", "yes", "on")
+
+
 class BDDManager:
-    """Owns and deduplicates ROBDD nodes over a fixed set of variables.
+    """Owns and deduplicates complement-edge ROBDD nodes.
 
     Parameters
     ----------
     num_vars:
-        Number of boolean variables.  The paper's practical guidance is that
-        a few hundred variables is the comfortable limit for monitors; the
-        manager itself enforces no hard cap.
+        Number of boolean variables.  The paper's practical guidance is
+        that a few hundred variables is the comfortable limit for
+        monitors; the manager itself enforces no hard cap.
     var_names:
         Optional human-readable names, used by the DOT exporter.
+    gc_threshold:
+        Physical node count past which ``_mk`` requests an automatic
+        mark-and-sweep collection (run at the end of the current public
+        operation).  ``0`` / ``None`` disables auto-GC — the safe
+        default for bare managers whose clients hold raw refs; the zone
+        backend enables it because it pins every ref it keeps.
+    auto_reorder:
+        Run a sifting pass automatically whenever the live table doubles
+        past ``auto_reorder_threshold`` (same safe-point rules as
+        auto-GC).
     """
 
     FALSE = 0
     TRUE = 1
 
-    def __init__(self, num_vars: int, var_names: Optional[Sequence[str]] = None):
+    def __init__(
+        self,
+        num_vars: int,
+        var_names: Optional[Sequence[str]] = None,
+        gc_threshold: Optional[int] = None,
+        auto_reorder: bool = False,
+    ):
         if num_vars < 0:
             raise ValueError(f"num_vars must be non-negative, got {num_vars}")
         if var_names is not None and len(var_names) != num_vars:
@@ -47,51 +100,137 @@ class BDDManager:
         self.var_names = list(var_names) if var_names is not None else [
             f"x{i}" for i in range(num_vars)
         ]
-        # Terminal nodes live at the level *below* all variables.
-        terminal_level = num_vars
-        self._level: List[int] = [terminal_level, terminal_level]
-        self._low: List[int] = [0, 1]    # self-loops; never traversed
-        self._high: List[int] = [0, 1]
+        # Physical node 0 is the single terminal (constant true).  Its
+        # var is the `num_vars` sentinel — one past every real variable —
+        # and its children are self-loops that are never traversed.
+        self._var: List[int] = [num_vars]
+        self._low: List[int] = [1]
+        self._high: List[int] = [1]
         self._unique: Dict[Tuple[int, int, int], int] = {}
+        # level <-> variable permutation (identity until reordered); the
+        # trailing sentinel entry keeps terminal level arithmetic branchless.
+        self._level_to_var: List[int] = list(range(num_vars)) + [num_vars]
+        self._var_to_level: List[int] = list(range(num_vars)) + [num_vars]
+        # Operation caches (semantically order-independent: entries map
+        # function identities, which reordering preserves).
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self._expand_cache: Dict[int, int] = {}
         self._ite_calls = 0
         self._ite_cache_hits = 0
         self._exists_calls = 0
         self._exists_cache_hits = 0
+        self._expand_calls = 0
+        self._expand_cache_hits = 0
+        # GC state: external pins (ref -> count), tracked function
+        # handles, compaction listeners, counters.
+        self.gc_threshold = int(gc_threshold) if gc_threshold else 0
+        self._gc_pending = False
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._pins: Dict[int, int] = {}
+        self._functions: "weakref.WeakSet[BDDFunction]" = weakref.WeakSet()
+        self._remap_listeners: List[object] = []
+        # Reordering state.
+        self.auto_reorder = bool(auto_reorder)
+        self.auto_reorder_threshold = 2048
+        self._in_reorder = False
+        self._reorder_count = 0
+        self._reorder_swaps = 0
+        # Numpy mirrors of the node arrays for the vectorized batch walk;
+        # invalidated (by version bump) on any structural change.
+        self._np_version = 0
+        self._np_cache: Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
+        # Root-set generation (pins/handles) + memoised live-node count so
+        # cache_stats() stays O(1) on repeated calls (per-class statistics
+        # sweeps share one manager and would otherwise re-mark the whole
+        # table per class per gamma).
+        self._roots_version = 0
+        self._live_count_cache: Optional[Tuple[int, int, int]] = None
 
     # ------------------------------------------------------------------
     # node primitives
     # ------------------------------------------------------------------
+    def node_index(self, ref: int) -> int:
+        """Physical node index behind ``ref`` (0 for both terminals)."""
+        return ref >> 1
+
+    def is_complemented(self, ref: int) -> bool:
+        """True when ``ref`` is the complemented sense of its node."""
+        return not (ref & 1)
+
+    def var_of(self, ref: int) -> int:
+        """Variable index tested by ``ref`` (``num_vars`` for terminals)."""
+        return self._var[ref >> 1]
+
     def level_of(self, ref: int) -> int:
         """Return the level of ``ref`` (``num_vars`` for terminals)."""
-        return self._level[ref]
+        return self._var_to_level[self._var[ref >> 1]]
 
     def low_of(self, ref: int) -> int:
-        """Return the negative cofactor child of an internal node."""
-        return self._low[ref]
+        """Negative cofactor of ``ref`` (complement parity applied)."""
+        return self._low[ref >> 1] ^ ((ref & 1) ^ 1)
 
     def high_of(self, ref: int) -> int:
-        """Return the positive cofactor child of an internal node."""
-        return self._high[ref]
+        """Positive cofactor of ``ref`` (complement parity applied)."""
+        return self._high[ref >> 1] ^ ((ref & 1) ^ 1)
 
     def is_terminal(self, ref: int) -> bool:
-        """True for the two constant nodes."""
+        """True for the two constant refs."""
         return ref <= 1
 
-    def _mk(self, level: int, low: int, high: int) -> int:
-        """Return the canonical node ``(level, low, high)``, creating it if new."""
+    def var_order(self) -> Tuple[int, ...]:
+        """Current variable order: ``order[level] == variable index``."""
+        return tuple(self._level_to_var[: self.num_vars])
+
+    def set_order(self, order: Sequence[int]) -> None:
+        """Seed the variable order of an *empty* manager.
+
+        ``order[level]`` names the variable placed at BDD level
+        ``level`` — the hook the static heuristics in
+        :mod:`repro.bdd.ordering` use to seed sifting.  Raises once any
+        internal node exists (use :meth:`reorder` on a live table).
+        """
+        order = [int(x) for x in order]
+        if sorted(order) != list(range(self.num_vars)):
+            raise ValueError("order must be a permutation of the variable indices")
+        if len(self._var) > 1:
+            raise ValueError(
+                "set_order requires an empty manager; use reorder() on a live table"
+            )
+        self._level_to_var = order + [self.num_vars]
+        inverse = [0] * self.num_vars
+        for level, v in enumerate(order):
+            inverse[v] = level
+        self._var_to_level = inverse + [self.num_vars]
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Canonical node ``(var, low, high)`` (complement-edge normal form)."""
         if low == high:
             return low
-        key = (level, low, high)
-        ref = self._unique.get(key)
-        if ref is None:
-            ref = len(self._level)
-            self._level.append(level)
+        if not (high & 1):
+            # Complemented high edge: store the complemented node (whose
+            # high edge is regular) and hoist the complement to the ref.
+            return self._mk_raw(var, low ^ 1, high ^ 1) ^ 1
+        return self._mk_raw(var, low, high)
+
+    def _mk_raw(self, var: int, low: int, high: int) -> int:
+        key = (var, low, high)
+        index = self._unique.get(key)
+        if index is None:
+            index = len(self._var)
+            self._var.append(var)
             self._low.append(low)
             self._high.append(high)
-            self._unique[key] = ref
-        return ref
+            self._unique[key] = index
+            self._np_version += 1
+            if (
+                self.gc_threshold
+                and not self._in_reorder
+                and index + 1 >= self.gc_threshold
+            ):
+                self._gc_pending = True
+        return (index << 1) | 1
 
     def var(self, index: int) -> int:
         """Return the BDD of the single variable ``index``."""
@@ -100,8 +239,7 @@ class BDDManager:
 
     def nvar(self, index: int) -> int:
         """Return the BDD of the negated variable ``index``."""
-        self._check_var(index)
-        return self._mk(index, self.TRUE, self.FALSE)
+        return self.var(index) ^ 1
 
     def _check_var(self, index: int) -> None:
         if not 0 <= index < self.num_vars:
@@ -110,8 +248,36 @@ class BDDManager:
             )
 
     def __len__(self) -> int:
-        """Total number of live nodes (including the two terminals)."""
-        return len(self._level)
+        """Physical node count (terminal included; may contain garbage
+        between collections — ``cache_stats()['live_nodes']`` is exact)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # GC safe points
+    # ------------------------------------------------------------------
+    def _checkpoint(self, ref: int) -> int:
+        """End-of-operation safe point: run a pending auto-GC (and an
+        auto-reorder when armed) with ``ref`` as an extra root, and
+        return the possibly-remapped ref."""
+        if self._gc_pending and not self._in_reorder:
+            self._gc_pending = False
+            if self.gc_threshold and len(self._var) >= self.gc_threshold:
+                remap = self.collect_garbage(extra_roots=(ref,))
+                ref = remap(ref)
+                # Back off when most of the table is genuinely live, so a
+                # steadily growing workload is not re-collected every _mk.
+                if len(self._var) * 4 >= self.gc_threshold * 3:
+                    self.gc_threshold = max(self.gc_threshold, 2 * len(self._var))
+        if (
+            self.auto_reorder
+            and not self._in_reorder
+            and self.num_vars > 1
+            and len(self._var) >= self.auto_reorder_threshold
+        ):
+            _, remap = self._sift(extra_roots=(ref,))
+            ref = remap(ref)
+            self.auto_reorder_threshold = max(2 * len(self._var), 2048)
+        return ref
 
     # ------------------------------------------------------------------
     # core operator: if-then-else
@@ -122,63 +288,100 @@ class BDDManager:
         All binary boolean operations reduce to ``ite``; results are
         memoised, so repeated queries are amortised constant time.
         """
+        return self._checkpoint(self._ite(f, g, h))
+
+    def _ite(self, f: int, g: int, h: int) -> int:
         # Terminal shortcuts.
-        if f == self.TRUE:
+        if f == 1:
             return g
-        if f == self.FALSE:
+        if f == 0:
             return h
         if g == h:
             return g
-        if g == self.TRUE and h == self.FALSE:
+        if g == 1 and h == 0:
             return f
+        if g == 0 and h == 1:
+            return f ^ 1
+        # Arguments sharing the guard collapse to constants.
+        if g == f:
+            g = 1
+        elif g == (f ^ 1):
+            g = 0
+        if h == f:
+            h = 0
+        elif h == (f ^ 1):
+            h = 1
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        if g == 0 and h == 1:
+            return f ^ 1
+        # Commutative re-rooting (OR / AND) for cache friendliness.
+        if g == 1 and f > h:
+            f, h = h, f
+        elif h == 0 and f > g:
+            f, g = g, f
+        # Complement normal form: regular guard, regular then-branch.
+        if not (f & 1):
+            f ^= 1
+            g, h = h, g
+        if not (g & 1):
+            return self._ite(f, g ^ 1, h ^ 1) ^ 1
         self._ite_calls += 1
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
             self._ite_cache_hits += 1
             return cached
-        level = min(self._level[f], self._level[g], self._level[h])
+        vtl = self._var_to_level
+        var_arr = self._var
+        level = min(
+            vtl[var_arr[f >> 1]], vtl[var_arr[g >> 1]], vtl[var_arr[h >> 1]]
+        )
         f0, f1 = self._cofactors(f, level)
         g0, g1 = self._cofactors(g, level)
         h0, h1 = self._cofactors(h, level)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
-        result = self._mk(level, low, high)
+        low = self._ite(f0, g0, h0)
+        high = self._ite(f1, g1, h1)
+        result = self._mk(self._level_to_var[level], low, high)
         self._ite_cache[key] = result
         return result
 
     def _cofactors(self, ref: int, level: int) -> Tuple[int, int]:
         """Negative/positive cofactors of ``ref`` with respect to ``level``."""
-        if self._level[ref] == level:
-            return self._low[ref], self._high[ref]
+        index = ref >> 1
+        if self._var_to_level[self._var[index]] == level:
+            flip = (ref & 1) ^ 1
+            return self._low[index] ^ flip, self._high[index] ^ flip
         return ref, ref
 
     # ------------------------------------------------------------------
     # derived boolean connectives
     # ------------------------------------------------------------------
     def apply_not(self, f: int) -> int:
-        """Logical negation."""
-        return self.ite(f, self.FALSE, self.TRUE)
+        """Logical negation — an O(1) edge-bit flip under complement edges."""
+        return f ^ 1
 
     def apply_and(self, f: int, g: int) -> int:
         """Logical conjunction."""
-        return self.ite(f, g, self.FALSE)
+        return self._checkpoint(self._ite(f, g, 0))
 
     def apply_or(self, f: int, g: int) -> int:
         """Logical disjunction (the paper's ``bdd.or``)."""
-        return self.ite(f, self.TRUE, g)
+        return self._checkpoint(self._ite(f, 1, g))
 
     def apply_xor(self, f: int, g: int) -> int:
-        """Logical exclusive or."""
-        return self.ite(f, self.apply_not(g), g)
+        """Logical exclusive or (one ``ite`` — negation is free)."""
+        return self._checkpoint(self._ite(f, g ^ 1, g))
 
     def apply_implies(self, f: int, g: int) -> int:
         """Logical implication ``f -> g``."""
-        return self.ite(f, g, self.TRUE)
+        return self._checkpoint(self._ite(f, g, 1))
 
     def apply_iff(self, f: int, g: int) -> int:
         """Logical equivalence."""
-        return self.ite(f, g, self.apply_not(g))
+        return self._checkpoint(self._ite(f, g, g ^ 1))
 
     # ------------------------------------------------------------------
     # quantification and restriction
@@ -193,11 +396,12 @@ class BDDManager:
         in Algorithm 1, line 12.
         """
         self._check_var(index)
-        return self._exists_rec(f, index)
+        return self._checkpoint(self._exists_rec(f, index))
 
     def _exists_rec(self, f: int, index: int) -> int:
-        level = self._level[f]
-        if level > index:
+        target = self._var_to_level[index]
+        node = f >> 1
+        if self._var_to_level[self._var[node]] > target:
             # f does not depend on variables at or above `index`'s level.
             return f
         self._exists_calls += 1
@@ -206,40 +410,56 @@ class BDDManager:
         if cached is not None:
             self._exists_cache_hits += 1
             return cached
-        if level == index:
-            result = self.apply_or(self._low[f], self._high[f])
+        flip = (f & 1) ^ 1
+        low = self._low[node] ^ flip
+        high = self._high[node] ^ flip
+        if self._var[node] == index:
+            result = self._ite(low, 1, high)
         else:
-            low = self._exists_rec(self._low[f], index)
-            high = self._exists_rec(self._high[f], index)
-            result = self._mk(level, low, high)
+            result = self._mk(
+                self._var[node],
+                self._exists_rec(low, index),
+                self._exists_rec(high, index),
+            )
         self._exists_cache[key] = result
         return result
 
     def exists_many(self, f: int, indices: Iterable[int]) -> int:
         """Existentially quantify a set of variables, innermost first."""
         result = f
-        for index in sorted(set(indices), reverse=True):
-            result = self.exists(result, index)
-        return result
+        unique = set(indices)
+        for index in unique:
+            self._check_var(index)
+        vtl = self._var_to_level
+        for index in sorted(unique, key=lambda i: -vtl[i]):
+            result = self._exists_rec(result, index)
+        return self._checkpoint(result)
 
     def forall(self, f: int, index: int) -> int:
         """Universally quantify variable ``index``."""
-        return self.apply_not(self.exists(self.apply_not(f), index))
+        self._check_var(index)
+        return self._checkpoint(self._exists_rec(f ^ 1, index) ^ 1)
 
     def restrict(self, f: int, index: int, value: bool) -> int:
         """Return the cofactor ``f[index := value]``."""
         self._check_var(index)
-        return self._restrict_rec(f, index, bool(value))
+        return self._checkpoint(self._restrict_rec(f, index, bool(value)))
 
     def _restrict_rec(self, f: int, index: int, value: bool) -> int:
-        level = self._level[f]
-        if level > index:
+        target = self._var_to_level[index]
+        node = f >> 1
+        if self._var_to_level[self._var[node]] > target:
             return f
-        if level == index:
-            return self._high[f] if value else self._low[f]
-        low = self._restrict_rec(self._low[f], index, value)
-        high = self._restrict_rec(self._high[f], index, value)
-        return self._mk(level, low, high)
+        flip = (f & 1) ^ 1
+        low = self._low[node] ^ flip
+        high = self._high[node] ^ flip
+        if self._var[node] == index:
+            return high if value else low
+        return self._mk(
+            self._var[node],
+            self._restrict_rec(low, index, value),
+            self._restrict_rec(high, index, value),
+        )
 
     # ------------------------------------------------------------------
     # set-of-patterns interface (what the monitor uses)
@@ -256,15 +476,16 @@ class BDDManager:
         """Encode one bit-vector as a cube (the paper's ``bdd.encode``).
 
         ``pattern`` must have exactly ``num_vars`` entries, each 0 or 1.
-        Built bottom-up so it allocates exactly ``num_vars`` nodes in the
-        worst case and costs no ``ite`` calls.
+        Built bottom-up along the current variable order, so it allocates
+        at most ``num_vars`` nodes and costs no ``ite`` calls.
         """
         if len(pattern) != self.num_vars:
             raise ValueError(
                 f"pattern has {len(pattern)} bits, expected {self.num_vars}"
             )
         result = self.TRUE
-        for index in range(self.num_vars - 1, -1, -1):
+        for level in range(self.num_vars - 1, -1, -1):
+            index = self._level_to_var[level]
             bit = pattern[index]
             if bit not in (0, 1, True, False):
                 raise ValueError(f"pattern bit {index} is {bit!r}, expected 0 or 1")
@@ -272,18 +493,18 @@ class BDDManager:
                 result = self._mk(index, self.FALSE, result)
             else:
                 result = self._mk(index, result, self.FALSE)
-        return result
+        return self._checkpoint(result)
 
     def from_patterns(self, patterns: Iterable[Sequence[int]]) -> int:
         """Encode a collection of bit-vectors as the union of their cubes.
 
         Bulk construction: the patterns are deduplicated and sorted
-        lexicographically, then the BDD is built top-down by splitting the
-        sorted block on each variable in turn.  Every ``_mk`` call lands on
-        a node of the final diagram, so the cost is proportional to the
-        result size — no ``ite`` calls and no intermediate diagrams, unlike
-        the naive ``OR`` of N cubes which rebuilds the accumulated union N
-        times.
+        lexicographically *in level order*, then the BDD is built
+        top-down by splitting the sorted block on each level in turn.
+        Every ``_mk`` call lands on a node of the final diagram, so the
+        cost is proportional to the result size — no ``ite`` calls and
+        no intermediate diagrams, unlike the naive ``OR`` of N cubes
+        which rebuilds the accumulated union N times.
         """
         items = patterns if isinstance(patterns, np.ndarray) else list(patterns)
         if len(items) == 0:
@@ -301,7 +522,10 @@ class BDDManager:
         from bisect import bisect_left
 
         num_vars = self.num_vars
-        rows = np.unique(rows, axis=0)  # lexicographic sort + dedup, C speed
+        order = self._level_to_var[:num_vars]
+        # Column k of the permuted matrix is the variable at level k, so
+        # the lexicographic sort groups rows by their level-order prefix.
+        rows = np.unique(rows[:, order], axis=0)
         # Per-level columns as plain lists: inside any block that agrees on
         # the bits above `level`, the column is 0s-then-1s, so the split is
         # a C-speed binary search bounded to the block.
@@ -331,8 +555,8 @@ class BDDManager:
             else:
                 low = results.pop() if split > lo else self.FALSE
                 high = results.pop() if split < hi else self.FALSE
-                results.append(self._mk(level, low, high))
-        return results[0]
+                results.append(self._mk(order[level], low, high))
+        return self._checkpoint(results[0])
 
     def contains(self, f: int, pattern: Sequence[int]) -> bool:
         """Membership query: is ``pattern`` in the set ``f``?
@@ -344,47 +568,117 @@ class BDDManager:
             raise ValueError(
                 f"pattern has {len(pattern)} bits, expected {self.num_vars}"
             )
+        var_arr, low, high = self._var, self._low, self._high
         ref = f
-        while not self.is_terminal(ref):
-            level = self._level[ref]
-            ref = self._high[ref] if pattern[level] else self._low[ref]
+        while ref > 1:
+            index = ref >> 1
+            flip = (ref & 1) ^ 1
+            child = high[index] if pattern[var_arr[index]] else low[index]
+            ref = child ^ flip
         return ref == self.TRUE
+
+    def _numpy_nodes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cache = self._np_cache
+        if cache is None or cache[0] != self._np_version:
+            cache = (
+                self._np_version,
+                np.asarray(self._var, dtype=np.int64),
+                np.asarray(self._low, dtype=np.int64),
+                np.asarray(self._high, dtype=np.int64),
+            )
+            self._np_cache = cache
+        return cache[1], cache[2], cache[3]
 
     def contains_batch(self, f: int, patterns: "np.ndarray") -> "np.ndarray":
         """Membership queries for a whole ``(N, num_vars)`` pattern matrix.
 
-        One shared validation plus a tight per-row walk over local list
-        bindings; each row costs at most ``num_vars`` node hops.
+        The walk is vectorized across rows: one gather per level advances
+        every still-active query by one node hop (complement parity is a
+        single XOR on the ref vector), so the per-row cost is numpy work
+        instead of a Python loop — the difference between the batched BDD
+        path and the bitset kernel being in the same league.
         """
         patterns = np.atleast_2d(np.asarray(patterns))
         if patterns.shape[1] != self.num_vars:
             raise ValueError(
                 f"patterns have {patterns.shape[1]} bits, expected {self.num_vars}"
             )
-        level, low, high = self._level, self._low, self._high
-        result = np.empty(len(patterns), dtype=bool)
-        rows = patterns.tolist()
-        for i, row in enumerate(rows):
-            ref = f
-            while ref > 1:
-                ref = high[ref] if row[level[ref]] else low[ref]
-            result[i] = ref == self.TRUE
-        return result
+        n = len(patterns)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if f <= 1:
+            return np.full(n, f == self.TRUE, dtype=bool)
+        var_arr, low_arr, high_arr = self._numpy_nodes()
+        bits = patterns.astype(bool, copy=False)
+        refs = np.full(n, f, dtype=np.int64)
+        active = np.arange(n)
+        for _ in range(self.num_vars + 1):
+            still = refs[active] > 1
+            active = active[still]
+            if not len(active):
+                break
+            cur = refs[active]
+            nodes = cur >> 1
+            flip = (cur & 1) ^ 1
+            bit = bits[active, var_arr[nodes]]
+            child = np.where(bit, high_arr[nodes], low_arr[nodes])
+            refs[active] = child ^ flip
+        return refs == self.TRUE
 
     def hamming_expand(self, f: int, monitored: Optional[Sequence[int]] = None) -> int:
         """One Hamming-distance enlargement step (Algorithm 1, lines 9-14).
 
-        Returns the union of ``exists(j, f)`` over every monitored variable
-        ``j``.  Because ``exists(j, f)`` is a superset of ``f``, the result
-        contains ``f`` plus every pattern at Hamming distance exactly 1 from
-        it (with respect to the monitored variables).
+        Returns ``f`` plus every pattern at Hamming distance exactly 1
+        from it (with respect to the monitored variables) — semantically
+        the union of ``exists(j, f)`` over every monitored ``j``.
+
+        The full-variable case (``monitored=None``) runs a single
+        recursive pass instead of the paper's ``num_vars`` separate
+        ``exists``/``or`` sweeps: with ``f = ite(x, f1, f0)``, a pattern
+        is within distance 1 of ``f`` iff its tail is within distance 1
+        of the matching cofactor (no flip at ``x``) or *exactly in* the
+        opposite cofactor (the one flip spent at ``x``), i.e.
+        ``E(f) = ite(x, E(f1) OR f0, E(f0) OR f1)``, memoised per node.
+        That visits each node of ``f`` once — orders of magnitude less
+        work than materialising ``num_vars`` intermediate diagrams.
         """
-        indices = range(self.num_vars) if monitored is None else monitored
+        if monitored is None:
+            return self._checkpoint(self._expand_rec(f))
         result = self.FALSE
-        for index in indices:
-            result = self.apply_or(result, self.exists(f, index))
+        for index in monitored:
+            self._check_var(index)
+            result = self._ite(result, 1, self._exists_rec(f, index))
         # Guard against an empty `monitored` list: the zone never shrinks.
-        return self.apply_or(result, f)
+        return self._checkpoint(self._ite(result, 1, f))
+
+    def _expand_rec(self, f: int) -> int:
+        """Distance-1 ball of ``f`` over all variables (memoised).
+
+        Skipped (don't-care) variables need no special case: flipping a
+        don't-care bit maps every pattern of ``f`` to another pattern of
+        ``f``, contributing nothing new.  The cache is keyed by ``f``
+        alone — the result is a function of ``f``'s semantics, so
+        entries stay valid across reorders and are remapped by GC like
+        the other operation caches.
+        """
+        if f <= 1:
+            return f
+        self._expand_calls += 1
+        cached = self._expand_cache.get(f)
+        if cached is not None:
+            self._expand_cache_hits += 1
+            return cached
+        node = f >> 1
+        flip = (f & 1) ^ 1
+        low = self._low[node] ^ flip
+        high = self._high[node] ^ flip
+        result = self._mk(
+            self._var[node],
+            self._ite(self._expand_rec(low), 1, high),
+            self._ite(self._expand_rec(high), 1, low),
+        )
+        self._expand_cache[f] = result
+        return result
 
     def hamming_ball(
         self,
@@ -395,13 +689,349 @@ class BDDManager:
         """Enlarge ``f`` to all patterns within Hamming distance ``radius``."""
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        result = f
+        # The accumulator is held across hamming_expand safe points, so an
+        # auto-GC/reorder inside an expansion could renumber the table out
+        # from under a raw local; a tracked handle is remapped in place,
+        # keeping the saturation comparison within one numbering.
+        holder = BDDFunction(self, f)
         for _ in range(radius):
-            expanded = self.hamming_expand(result, monitored)
-            if expanded == result:
+            expanded = self.hamming_expand(holder.ref, monitored)
+            if expanded == holder.ref:
                 break  # saturated: further expansion is a no-op
-            result = expanded
-        return result
+            holder.ref = expanded
+        return holder.ref
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def incref(self, ref: int) -> int:
+        """Pin ``ref`` as an external GC root (counted; see :meth:`decref`).
+
+        Pinned refs survive :meth:`collect_garbage` and are remapped in
+        the manager's own pin table when the node arrays compact;
+        holders learn their new values through a remap listener
+        (:meth:`register_remap_listener`).  Returns ``ref`` unchanged.
+        """
+        self._pins[ref] = self._pins.get(ref, 0) + 1
+        self._roots_version += 1
+        return ref
+
+    def decref(self, ref: int) -> None:
+        """Drop one pin count of ``ref`` (erasing the root at zero)."""
+        count = self._pins.get(ref)
+        if count is None:
+            raise ValueError(f"ref {ref} is not pinned")
+        if count == 1:
+            del self._pins[ref]
+        else:
+            self._pins[ref] = count - 1
+        self._roots_version += 1
+
+    def register_remap_listener(self, callback: Callable[[Callable[[int], int]], None]) -> None:
+        """Register ``callback(remap)`` to fire after every compaction.
+
+        ``remap`` maps old live refs to their post-compaction values
+        (parity preserved); dead refs raise ``KeyError``.  Bound methods
+        are held weakly so a listener never keeps its owner alive.
+        """
+        if hasattr(callback, "__self__"):
+            self._remap_listeners.append(weakref.WeakMethod(callback))
+        else:
+            self._remap_listeners.append(lambda cb=callback: cb)
+
+    def collect_garbage(self, extra_roots: Sequence[int] = ()) -> Callable[[int], int]:
+        """Mark-and-sweep the node table and compact the arrays.
+
+        Roots are the pinned refs, every live :class:`BDDFunction`
+        handle and ``extra_roots``.  Dead nodes are reclaimed, the node
+        arrays compact in place, and the unique table, operation caches,
+        pin table and function handles are rewritten to the new indices.
+        Returns the remap callable (old live ref -> new ref).
+        """
+        roots: List[int] = list(self._pins)
+        roots.extend(fn.ref for fn in tuple(self._functions))
+        roots.extend(extra_roots)
+        low_arr, high_arr = self._low, self._high
+        live = {0}
+        stack = [ref >> 1 for ref in roots]
+        while stack:
+            index = stack.pop()
+            if index in live:
+                continue
+            live.add(index)
+            stack.append(low_arr[index] >> 1)
+            stack.append(high_arr[index] >> 1)
+        old_count = len(self._var)
+        index_map: Dict[int, int] = {}
+        new_var: List[int] = []
+        new_low: List[int] = []
+        new_high: List[int] = []
+        for old in range(old_count):
+            if old in live:
+                index_map[old] = len(new_var)
+                new_var.append(self._var[old])
+                new_low.append(self._low[old])
+                new_high.append(self._high[old])
+
+        def remap(ref: int) -> int:
+            return (index_map[ref >> 1] << 1) | (ref & 1)
+
+        for i in range(1, len(new_low)):
+            new_low[i] = remap(new_low[i])
+            new_high[i] = remap(new_high[i])
+        self._var, self._low, self._high = new_var, new_low, new_high
+        self._unique = {
+            (new_var[i], new_low[i], new_high[i]): i for i in range(1, len(new_var))
+        }
+        # Rewrite the operation caches instead of stranding entries that
+        # reference reclaimed nodes: live entries survive (remapped), the
+        # rest are dropped.
+        self._ite_cache = {
+            (remap(f), remap(g), remap(h)): remap(r)
+            for (f, g, h), r in self._ite_cache.items()
+            if f >> 1 in live and g >> 1 in live and h >> 1 in live and r >> 1 in live
+        }
+        self._exists_cache = {
+            (remap(f), index): remap(r)
+            for (f, index), r in self._exists_cache.items()
+            if f >> 1 in live and r >> 1 in live
+        }
+        self._expand_cache = {
+            remap(f): remap(r)
+            for f, r in self._expand_cache.items()
+            if f >> 1 in live and r >> 1 in live
+        }
+        new_pins: Dict[int, int] = {}
+        for ref, count in self._pins.items():
+            new_pins[remap(ref)] = new_pins.get(remap(ref), 0) + count
+        self._pins = new_pins
+        for fn in tuple(self._functions):
+            fn.ref = remap(fn.ref)
+        self._np_version += 1
+        self._gc_runs += 1
+        self._gc_reclaimed += old_count - len(new_var)
+        kept = []
+        for entry in self._remap_listeners:
+            callback = entry()
+            if callback is not None:
+                callback(remap)
+                kept.append(entry)
+        self._remap_listeners = kept
+        return remap
+
+    # ------------------------------------------------------------------
+    # dynamic variable reordering (Rudell sifting)
+    # ------------------------------------------------------------------
+    def reorder(self, method: str = "sift", max_growth: float = 1.2,
+                max_vars: Optional[int] = None) -> Dict[str, int]:
+        """Reorder the live table to shrink it; refs are remapped in place.
+
+        ``method="sift"`` is Rudell's algorithm: each variable (largest
+        level population first, optionally capped at ``max_vars``) is
+        moved through every level by adjacent swaps and parked where the
+        table was smallest; ``max_growth`` bounds the transient blow-up
+        tolerated while exploring.  Raw refs held by callers must be
+        pinned or wrapped in :class:`BDDFunction` handles — both are
+        remapped by the two compactions bracketing the sift.
+        Returns ``{"nodes_before", "nodes_after", "swaps", "vars_sifted"}``.
+        """
+        if method != "sift":
+            raise ValueError(f"unknown reorder method {method!r}; only 'sift'")
+        stats, _ = self._sift(max_growth=max_growth, max_vars=max_vars)
+        return stats
+
+    def _sift(
+        self,
+        max_growth: float = 1.2,
+        max_vars: Optional[int] = None,
+        extra_roots: Sequence[int] = (),
+    ) -> Tuple[Dict[str, int], Callable[[int], int]]:
+        if self.num_vars < 2 or len(self._var) <= 1:
+            before = len(self._var)
+            self._reorder_count += 1
+            return (
+                {"nodes_before": before, "nodes_after": before, "swaps": 0,
+                 "vars_sifted": 0},
+                lambda ref: ref,
+            )
+        self._in_reorder = True
+        try:
+            # Compact first so every physical node is live and the swap
+            # bookkeeping (reference counts, per-variable sets) is exact.
+            remap1 = self.collect_garbage(extra_roots=extra_roots)
+            mapped_roots = [remap1(ref) for ref in extra_roots]
+            nodes_before = len(self._var)
+            self._build_reorder_state(mapped_roots)
+            swaps = 0
+            populations = sorted(
+                (v for v in range(self.num_vars) if self._var_nodes[v]),
+                key=lambda v: -len(self._var_nodes[v]),
+            )
+            if max_vars is not None:
+                populations = populations[:max_vars]
+            for v in populations:
+                swaps += self._sift_one(v, max_growth)
+            remap2 = self.collect_garbage(extra_roots=mapped_roots)
+            nodes_after = len(self._var)
+            self._reorder_count += 1
+            self._reorder_swaps += swaps
+            del self._rc, self._var_nodes
+            stats = {
+                "nodes_before": nodes_before,
+                "nodes_after": nodes_after,
+                "swaps": swaps,
+                "vars_sifted": len(populations),
+            }
+            return stats, (lambda ref: remap2(remap1(ref)))
+        finally:
+            self._in_reorder = False
+
+    def _build_reorder_state(self, roots: Sequence[int]) -> None:
+        n = len(self._var)
+        rc = [0] * n
+        for i in range(1, n):
+            rc[self._low[i] >> 1] += 1
+            rc[self._high[i] >> 1] += 1
+        for ref, count in self._pins.items():
+            rc[ref >> 1] += count
+        for fn in tuple(self._functions):
+            rc[fn.ref >> 1] += 1
+        for ref in roots:
+            rc[ref >> 1] += 1
+        rc[0] += 1  # the terminal is immortal
+        var_nodes: List[set] = [set() for _ in range(self.num_vars)]
+        for i in range(1, n):
+            var_nodes[self._var[i]].add(i)
+        self._rc = rc
+        self._var_nodes = var_nodes
+        self._live = n
+
+    def _rc_inc(self, ref: int) -> None:
+        self._rc[ref >> 1] += 1
+
+    def _rc_dec(self, ref: int) -> None:
+        stack = [ref]
+        rc = self._rc
+        while stack:
+            index = stack.pop() >> 1
+            rc[index] -= 1
+            if index and not rc[index]:
+                # Dead: unlink from the unique table and level population;
+                # the array slot becomes junk until the closing compaction.
+                del self._unique[
+                    (self._var[index], self._low[index], self._high[index])
+                ]
+                self._var_nodes[self._var[index]].discard(index)
+                self._live -= 1
+                stack.append(self._low[index])
+                stack.append(self._high[index])
+
+    def _mk_rc(self, var: int, low: int, high: int) -> int:
+        """``_mk`` twin used during sifting: keeps reference counts and
+        per-variable populations consistent for nodes it creates."""
+        if low == high:
+            return low
+        if not (high & 1):
+            return self._mk_rc_raw(var, low ^ 1, high ^ 1) ^ 1
+        return self._mk_rc_raw(var, low, high)
+
+    def _mk_rc_raw(self, var: int, low: int, high: int) -> int:
+        key = (var, low, high)
+        index = self._unique.get(key)
+        if index is None:
+            index = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = index
+            self._rc.append(0)
+            self._rc_inc(low)
+            self._rc_inc(high)
+            self._var_nodes[var].add(index)
+            self._live += 1
+            self._np_version += 1
+        return (index << 1) | 1
+
+    def _swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Nodes at the upper level that depend on the lower variable are
+        re-expressed in place (same physical index, so every parent edge
+        and external root stays valid); their new children are found or
+        created one level down.  The stored high edge stays regular
+        automatically: the old high edge and *its* high edge were both
+        regular, so the new high cofactor is regular by construction.
+        """
+        ltv, vtl = self._level_to_var, self._var_to_level
+        va, vb = ltv[level], ltv[level + 1]
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        interacting = [
+            i
+            for i in self._var_nodes[va]
+            if (low_arr[i] > 1 and var_arr[low_arr[i] >> 1] == vb)
+            or (high_arr[i] > 1 and var_arr[high_arr[i] >> 1] == vb)
+        ]
+        for i in interacting:
+            f0, f1 = low_arr[i], high_arr[i]
+            j1 = f1 >> 1
+            if f1 > 1 and var_arr[j1] == vb:
+                f10, f11 = low_arr[j1], high_arr[j1]
+            else:
+                f10 = f11 = f1
+            j0 = f0 >> 1
+            if f0 > 1 and var_arr[j0] == vb:
+                flip = (f0 & 1) ^ 1
+                f00, f01 = low_arr[j0] ^ flip, high_arr[j0] ^ flip
+            else:
+                f00 = f01 = f0
+            new_low = self._mk_rc(va, f00, f10)
+            new_high = self._mk_rc(va, f01, f11)
+            self._rc_inc(new_low)
+            self._rc_inc(new_high)
+            del self._unique[(va, f0, f1)]
+            self._var_nodes[va].discard(i)
+            var_arr[i] = vb
+            low_arr[i] = new_low
+            high_arr[i] = new_high
+            self._unique[(vb, new_low, new_high)] = i
+            self._var_nodes[vb].add(i)
+            self._rc_dec(f0)
+            self._rc_dec(f1)
+        ltv[level], ltv[level + 1] = vb, va
+        vtl[va], vtl[vb] = level + 1, level
+        self._np_version += 1
+
+    def _sift_one(self, v: int, max_growth: float) -> int:
+        n = self.num_vars
+        limit = max(int(self._live * max_growth), self._live + 2)
+        pos = self._var_to_level[v]
+        best_size, best_pos = self._live, pos
+        swaps = 0
+        while pos < n - 1:  # explore downward
+            self._swap_levels(pos)
+            pos += 1
+            swaps += 1
+            if self._live < best_size:
+                best_size, best_pos = self._live, pos
+            if self._live > limit:
+                break
+        while pos > 0:  # explore upward, through the start position
+            self._swap_levels(pos - 1)
+            pos -= 1
+            swaps += 1
+            if self._live < best_size:
+                best_size, best_pos = self._live, pos
+            if self._live > limit:
+                break
+        while pos < best_pos:  # park at the best position seen
+            self._swap_levels(pos)
+            pos += 1
+            swaps += 1
+        while pos > best_pos:
+            self._swap_levels(pos - 1)
+            pos -= 1
+            swaps += 1
+        return swaps
 
     # ------------------------------------------------------------------
     # convenience wrappers
@@ -423,23 +1053,47 @@ class BDDManager:
         return BDDFunction(self, self.var(index))
 
     def clear_caches(self) -> None:
-        """Drop operation caches (the unique table is kept: refs stay valid)."""
+        """Drop the operation caches (the unique table is kept: refs stay
+        valid).
+
+        Cached ``ite``/``exists`` results keep their operand and result
+        nodes reachable only *from the cache* — after a collection
+        rewrites the caches those entries are dropped with their nodes,
+        so nothing is stranded; calling ``clear_caches()`` first simply
+        releases every cache-held node for the next
+        :meth:`collect_garbage` pass.
+        """
         self._ite_cache.clear()
         self._exists_cache.clear()
+        self._expand_cache.clear()
 
     def cache_stats(self) -> Dict[str, float]:
-        """Apply/ite and exists cache statistics plus table sizes.
+        """Engine counters: node/table sizes, cache hit rates, GC and
+        reorder activity.
 
-        Hit rates expose how much memoisation is doing for a workload —
-        the number the DateSAT-style batch-construction optimisations are
-        judged against.
+        ``nodes`` is the physical array length (may include garbage
+        between collections); ``live_nodes`` is a mark from the current
+        roots (pins + function handles; cache entries are *not* roots —
+        a number lower than ``nodes`` is reclaimable).  The mark is
+        memoised per (table, root-set) generation so repeated stats
+        calls are O(1); a handle released between generations may be
+        counted until the next table or root change.
         """
         ite_rate = self._ite_cache_hits / self._ite_calls if self._ite_calls else 0.0
         exists_rate = (
             self._exists_cache_hits / self._exists_calls if self._exists_calls else 0.0
         )
         return {
-            "nodes": len(self._level),
+            "nodes": len(self._var),
+            "live_nodes": self._live_node_count(),
+            "unique_entries": len(self._unique),
+            "pinned_refs": len(self._pins),
+            "tracked_functions": len(self._functions),
+            "gc_threshold": self.gc_threshold,
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed_nodes": self._gc_reclaimed,
+            "reorder_count": self._reorder_count,
+            "reorder_swaps": self._reorder_swaps,
             "ite_calls": self._ite_calls,
             "ite_cache_hits": self._ite_cache_hits,
             "ite_hit_rate": ite_rate,
@@ -448,7 +1102,27 @@ class BDDManager:
             "exists_cache_hits": self._exists_cache_hits,
             "exists_hit_rate": exists_rate,
             "exists_cache_entries": len(self._exists_cache),
+            "expand_calls": self._expand_calls,
+            "expand_cache_hits": self._expand_cache_hits,
+            "expand_cache_entries": len(self._expand_cache),
         }
+
+    def _live_node_count(self) -> int:
+        cached = self._live_count_cache
+        if cached is not None and cached[:2] == (self._np_version, self._roots_version):
+            return cached[2]
+        live = {0}
+        stack = [ref >> 1 for ref in self._pins]
+        stack.extend(fn.ref >> 1 for fn in tuple(self._functions))
+        while stack:
+            index = stack.pop()
+            if index in live:
+                continue
+            live.add(index)
+            stack.append(self._low[index] >> 1)
+            stack.append(self._high[index] >> 1)
+        self._live_count_cache = (self._np_version, self._roots_version, len(live))
+        return len(live)
 
     def reset_cache_stats(self) -> None:
         """Zero the call/hit counters (cache contents are untouched)."""
@@ -461,13 +1135,20 @@ class BDDFunction:
 
     Thin value-type wrapper: equality is canonical-ref equality, so two
     wrappers compare equal iff they denote the same boolean function.
+    Handles are tracked (weakly) as GC roots: a function you hold keeps
+    its nodes alive across :meth:`BDDManager.collect_garbage` and
+    :meth:`BDDManager.reorder`, and its ``ref`` is rewritten in place
+    when the table compacts — which also means its hash can change, so
+    do not key long-lived dicts or sets by the wrapper itself.
     """
 
-    __slots__ = ("manager", "ref")
+    __slots__ = ("manager", "ref", "__weakref__")
 
     def __init__(self, manager: BDDManager, ref: int):
         self.manager = manager
         self.ref = ref
+        manager._functions.add(self)
+        manager._roots_version += 1
 
     def _coerce(self, other: "BDDFunction") -> int:
         if not isinstance(other, BDDFunction):

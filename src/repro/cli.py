@@ -185,6 +185,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_engine_stats(monitor) -> None:
+    """One line of BDD engine observability for evaluate/sweep/serve.
+
+    Surfaces the complement-edge engine's health counters (extended
+    ``BDDManager.cache_stats()``): live vs physical nodes, unique-table
+    load, GC collections and reclaimed nodes, sifting reorders, and the
+    ite/exists cache hit rates.  Prints nothing for non-BDD backends.
+    """
+    stats = monitor.engine_stats()
+    if not stats:
+        return
+    print(
+        f"bdd engine: {stats['live_nodes']} live nodes "
+        f"({stats['nodes']} allocated, {stats['unique_entries']} unique-table "
+        f"entries), gc: {stats['gc_runs']} collections / "
+        f"{stats['gc_reclaimed_nodes']} nodes reclaimed "
+        f"(threshold {stats['gc_threshold'] or 'off'}), "
+        f"reorders: {stats['reorder_count']} ({stats['reorder_swaps']} swaps), "
+        f"cache hits: ite {percent(stats['ite_hit_rate'])} / "
+        f"exists {percent(stats['exists_hit_rate'])}"
+    )
+
+
 def _cmd_info() -> int:
     print(f"repro {__version__}")
     print(f"registered models: {', '.join(available_models())}")
@@ -224,6 +247,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     rows = gamma_sweep(system, monitor, [args.gamma])
     print(render_table2(1, system.misclassification_rate, rows))
+    _print_engine_stats(monitor)
     return 0
 
 
@@ -247,6 +271,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\nchosen gamma: {chosen} "
           f"(silence target {percent(args.max_warning_rate)}, "
           f"precision floor {percent(args.min_precision)})")
+    _print_engine_stats(monitor)
     return 0
 
 
@@ -339,6 +364,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state = distance_detector.peek()
         print(f"distance histogram: mean {state.window_mean:.2f}, "
               f"divergence {state.divergence:.3f}, alarm={state.alarm}")
+    # The shards serve from their own rehydrated engines; this reports
+    # the build-time monitor the stream was partitioned from.
+    _print_engine_stats(monitor)
     return 0
 
 

@@ -4,45 +4,133 @@ Visited patterns are held as a canonical BDD (one shared
 :class:`~repro.bdd.manager.BDDManager` across the zones of one monitor).
 Upgrades over the seed implementation:
 
+* complement edges in the manager: negation is an O(1) edge flip and
+  ``Z`` / its complement share storage;
 * bulk construction: ``add_patterns`` funnels whole pattern matrices
   through ``BDDManager.from_patterns`` (sorted prefix splitting) instead
   of N sequential cube inserts;
 * γ as a query parameter with a per-γ cache of enlarged zones, built
   incrementally from the largest cached γ below the request;
-* batched membership via ``BDDManager.contains_batch``;
-* apply/ite cache statistics surfaced through :meth:`statistics`.
+* batched membership via the vectorized ``BDDManager.contains_batch``;
+* unique-table garbage collection: the backend *pins* its visited set
+  and every cached zone as GC roots (``incref``/``decref``) and
+  registers a remap listener, so automatic collections (armed via
+  ``gc_threshold`` / ``REPRO_BDD_GC_THRESHOLD``) and sifting reorders
+  (``auto_reorder`` / ``REPRO_BDD_AUTO_REORDER``) can compact the node
+  table mid-lifetime without invalidating the backend's refs;
+* engine statistics (GC, reorder, cache hit rates) surfaced through
+  :meth:`statistics`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.bdd import BDDManager
 from repro.bdd.analysis import enumerate_models, sat_count, zone_statistics
+from repro.bdd.manager import _env_flag, _env_int
 from repro.monitor.backends.base import ZoneBackend
+
+#: Default auto-GC trigger for backend-owned managers (physical nodes).
+#: Bare ``BDDManager()`` instances default to *disabled* because raw refs
+#: held by arbitrary callers are not GC roots; the backend pins every ref
+#: it keeps, so auto-GC is safe here.  ``REPRO_BDD_GC_THRESHOLD``
+#: overrides (0 disables), and tiny values are how the forced-GC
+#: equivalence suites shake the engine.
+DEFAULT_GC_THRESHOLD = 100_000
+
+
+def make_zone_manager(num_vars: int,
+                      gc_threshold: Optional[int] = None,
+                      auto_reorder: Optional[bool] = None) -> BDDManager:
+    """A :class:`BDDManager` configured for zone duty (env-overridable)."""
+    if gc_threshold is None:
+        gc_threshold = _env_int("REPRO_BDD_GC_THRESHOLD", DEFAULT_GC_THRESHOLD)
+    if auto_reorder is None:
+        auto_reorder = _env_flag("REPRO_BDD_AUTO_REORDER", False)
+    return BDDManager(
+        num_vars, gc_threshold=gc_threshold, auto_reorder=auto_reorder
+    )
 
 
 class BDDZoneBackend(ZoneBackend):
-    """Canonical BDD pattern store with γ-indexed enlargement cache."""
+    """Canonical BDD pattern store with γ-indexed enlargement cache.
+
+    Parameters
+    ----------
+    num_vars:
+        Pattern width.
+    manager:
+        Optionally share one :class:`BDDManager` across zones.  A fresh
+        manager (the default) is created through
+        :func:`make_zone_manager`, i.e. with auto-GC armed.
+    gc_threshold / auto_reorder:
+        Forwarded to :func:`make_zone_manager` when no shared manager is
+        given (``None`` = environment default).
+    order:
+        Optional initial variable order (level -> pattern column),
+        installed before any node exists — the static-heuristic seed for
+        sifting.  Only valid on an empty manager.
+    """
 
     name = "bdd"
 
-    def __init__(self, num_vars: int, manager: Optional[BDDManager] = None):
+    def __init__(
+        self,
+        num_vars: int,
+        manager: Optional[BDDManager] = None,
+        gc_threshold: Optional[int] = None,
+        auto_reorder: Optional[bool] = None,
+        order: Optional[Sequence[int]] = None,
+    ):
         super().__init__(num_vars)
         if manager is not None and manager.num_vars != num_vars:
             raise ValueError(
                 f"shared manager has {manager.num_vars} variables, need {num_vars}"
             )
-        self.manager = manager if manager is not None else BDDManager(num_vars)
-        self._visited = self.manager.empty_set()
+        if manager is None:
+            manager = make_zone_manager(
+                num_vars, gc_threshold=gc_threshold, auto_reorder=auto_reorder
+            )
+        self.manager = manager
+        if order is not None:
+            self.manager.set_order(order)
+        self._visited = self.manager.incref(self.manager.empty_set())
         # gamma -> ref of Z^gamma; gamma 0 is always the visited set itself.
+        # Every cached ref is pinned so GC/reorder can never reclaim or
+        # silently move a zone out from under the backend.
         self._zone_cache: Dict[int, int] = {}
         # Lazily enumerated Z^0 matrix (min_distances far-row fallback);
         # enumeration is a pure-Python diagram walk, so it is cached until
-        # the visited set changes.
+        # the visited set changes.  Rows are in variable order, so the
+        # cache is stable across reorders.
         self._visited_matrix: Optional[np.ndarray] = None
+        self.manager.register_remap_listener(self._on_remap)
+
+    # ------------------------------------------------------------------
+    # GC plumbing
+    # ------------------------------------------------------------------
+    def _on_remap(self, remap) -> None:
+        """Table compacted (GC or reorder): rewrite every held ref.
+
+        The manager remaps its own pin table; this listener keeps the
+        backend's copies in sync, which is what lets the zone cache
+        survive collections and mid-lifetime reorders.
+        """
+        self._visited = remap(self._visited)
+        self._zone_cache = {g: remap(r) for g, r in self._zone_cache.items()}
+
+    def _set_visited(self, ref: int) -> None:
+        self.manager.incref(ref)
+        self.manager.decref(self._visited)
+        self._visited = ref
+
+    def _drop_zone_cache(self) -> None:
+        for ref in self._zone_cache.values():
+            self.manager.decref(ref)
+        self._zone_cache.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -51,10 +139,18 @@ class BDDZoneBackend(ZoneBackend):
         patterns = self._validate(patterns)
         if len(patterns) == 0:
             return
+        # Both calls below are GC safe points: an automatic collection
+        # (or sift) inside them remaps `self._visited` through the
+        # listener and returns the (possibly remapped) result ref.
         block = self.manager.from_patterns(patterns)
-        self._visited = self.manager.apply_or(self._visited, block)
-        self._zone_cache.clear()
+        merged = self.manager.apply_or(self._visited, block)
+        self._set_visited(merged)
+        self._drop_zone_cache()
         self._visited_matrix = None
+
+    def reorder(self, method: str = "sift", **kwargs) -> Dict[str, int]:
+        """Sift the shared manager; all pinned zone refs survive in place."""
+        return self.manager.reorder(method=method, **kwargs)
 
     # ------------------------------------------------------------------
     # queries
@@ -73,16 +169,20 @@ class BDDZoneBackend(ZoneBackend):
         base_gamma = max(
             (g for g in self._zone_cache if g < gamma), default=0
         )
-        ref = self._zone_cache.get(base_gamma, self._visited)
         for g in range(base_gamma, gamma):
-            expanded = self.manager.hamming_expand(ref)
+            base = self._zone_cache.get(g, self._visited) if g else self._visited
+            expanded = self.manager.hamming_expand(base)
+            # A GC inside the expansion may have remapped our pinned
+            # refs; re-read the base for the saturation test.
+            base_now = self._zone_cache.get(g, self._visited) if g else self._visited
+            self.manager.incref(expanded)
             self._zone_cache[g + 1] = expanded
-            if expanded == ref:
+            if expanded == base_now:
                 # Saturated: every larger gamma is the same zone.
-                for extra in range(g + 1, gamma + 1):
+                for extra in range(g + 2, gamma + 1):
+                    self.manager.incref(expanded)
                     self._zone_cache[extra] = expanded
                 break
-            ref = expanded
         return self._zone_cache[gamma]
 
     @property

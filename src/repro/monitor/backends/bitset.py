@@ -51,6 +51,34 @@ def _popcount_words(words: np.ndarray) -> np.ndarray:
     )
 
 
+def merge_sorted_pair(
+    old_values: np.ndarray,
+    new_values: np.ndarray,
+    old_payload: Optional[np.ndarray] = None,
+    new_payload: Optional[np.ndarray] = None,
+):
+    """Merge two sorted value columns (and aligned payload) in O(M + K).
+
+    One ``searchsorted`` of the K new values plus two linear scatters —
+    the kernel behind the backend's incremental dedup-array merge and
+    the band-index / prototype-ring merges in ``index.py``.  Returns
+    ``(merged_values, merged_payload)`` (payload ``None`` when omitted).
+    """
+    pos = np.searchsorted(old_values, new_values)
+    slots = pos + np.arange(len(new_values))
+    merged = np.empty(len(old_values) + len(new_values), dtype=old_values.dtype)
+    merged[slots] = new_values
+    keep = np.ones(len(merged), dtype=bool)
+    keep[slots] = False
+    merged[keep] = old_values
+    if old_payload is None:
+        return merged, None
+    payload = np.empty(len(merged), dtype=old_payload.dtype)
+    payload[slots] = new_payload
+    payload[keep] = old_payload
+    return merged, payload
+
+
 class BitsetZoneBackend(ZoneBackend):
     """Deduplicated packed-pattern words + vectorized XOR/popcount queries.
 
@@ -58,10 +86,13 @@ class BitsetZoneBackend(ZoneBackend):
     (:class:`~repro.monitor.backends.index.MultiIndexHammingIndex`): γ > 0
     queries first shortlist candidates through γ+1 exact band lookups and
     a class-prototype distance ring, and only the shortlist reaches the
-    XOR/popcount kernel.  Indices are built lazily per γ on first query
-    and invalidated by :meth:`add_patterns`; when pruning would not pay
-    (few stored patterns, bands too narrow) the query silently falls back
-    to the brute kernel, so verdicts are always bit-identical.
+    XOR/popcount kernel.  Indices are built lazily per γ on first query;
+    :meth:`add_patterns` merges appended rows into each built index's
+    per-band sorted orders in place (dropping an index only when the
+    merge fraction is large enough that a rebuild recovers pruning
+    power); when pruning would not pay (few stored patterns, bands too
+    narrow) the query silently falls back to the brute kernel, so
+    verdicts are always bit-identical.
     """
 
     name = "bitset"
@@ -122,9 +153,20 @@ class BitsetZoneBackend(ZoneBackend):
         words = np.unique(self._pack_words(patterns), axis=0)
         fresh = ~self._member_mask(words)
         if fresh.any():
+            old_rows = len(self._words)
             self._words = np.concatenate([self._words, words[fresh]], axis=0)
             self._sorted_void = self._merge_sorted(words[fresh])
-            self._indices.clear()
+            # Built per-γ band indices absorb the appended rows in place
+            # (searchsorted + scatter per band); an index that declines —
+            # the merged rows would outnumber its build-time rows, so the
+            # frozen triage prototype has gone stale — is dropped and
+            # lazily rebuilt on the next query.
+            if self._indices:
+                self._indices = {
+                    gamma: index
+                    for gamma, index in self._indices.items()
+                    if index.merge(self._words, old_rows)
+                }
 
     def _merge_sorted(self, fresh_words: np.ndarray) -> np.ndarray:
         """Merge new (already-deduplicated) rows into the sorted void array.
@@ -142,14 +184,8 @@ class BitsetZoneBackend(ZoneBackend):
         old = self._sorted_void
         if not len(old):
             return new_sorted
-        pos = np.searchsorted(old, new_sorted)
-        out = np.empty(len(old) + len(new_sorted), dtype=self._void)
-        new_slots = pos + np.arange(len(new_sorted))
-        out[new_slots] = new_sorted
-        keep = np.ones(len(out), dtype=bool)
-        keep[new_slots] = False
-        out[keep] = old
-        return out
+        merged, _ = merge_sorted_pair(old, new_sorted)
+        return merged
 
     # ------------------------------------------------------------------
     # queries

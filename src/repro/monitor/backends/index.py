@@ -27,9 +27,18 @@ bit-identical to the brute scan by construction — the property suite
 (``tests/test_index_pruning.py``) drives this against the brute bitset
 and BDD engines, including adversarial band-collision families.
 
-Indices are immutable snapshots of the stored-word matrix: the backend
-builds them lazily per γ on first query and drops them on
-``add_patterns`` (see :class:`~repro.monitor.backends.bitset.BitsetZoneBackend`).
+Indices are snapshots of the stored-word matrix, built lazily per γ on
+first query.  Incremental inserts no longer drop them: :meth:`merge`
+absorbs freshly appended rows into each band's pre-sorted order (one
+``searchsorted`` + linear scatter per band, mirroring the backend's
+sorted-dedup merge) and extends the prototype-distance ring the same
+way, so high-frequency fleet merges keep a hot index.  The prototype
+itself is *frozen* at build time — any fixed reference pattern keeps the
+triangle-inequality triage exact, staleness only costs pruning power —
+and once the merged rows outnumber the rows the index was built over,
+:meth:`merge` declines and the backend rebuilds (refreshing the
+prototype).  See
+:class:`~repro.monitor.backends.bitset.BitsetZoneBackend.add_patterns`.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.monitor.backends.bitset import _popcount_words
+from repro.monitor.backends.bitset import _popcount_words, merge_sorted_pair
 
 
 def _pack_band(bits: np.ndarray) -> np.ndarray:
@@ -110,6 +119,60 @@ class MultiIndexHammingIndex:
         self.queries = 0
         self.ring_rejected = 0
         self.candidates_scanned = 0
+        # Incremental-merge bookkeeping: rows present at build time bound
+        # how much prototype staleness merge() tolerates.
+        self._built_rows = m
+        self.merged_batches = 0
+        self.merged_rows = 0
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def merge(self, words: np.ndarray, start: int) -> bool:
+        """Absorb rows ``words[start:]`` appended to the stored matrix.
+
+        ``words`` is the backend's *new* ``(M, W)`` matrix whose first
+        ``start`` rows are exactly the rows this index was built over
+        (appends never reorder existing rows).  Each band's sorted order
+        gains the new rows via one ``searchsorted`` + linear scatter, and
+        the new rows' distances to the frozen prototype extend the ring
+        arrays the same way — all exact, so verdicts stay bit-identical
+        to a fresh build over the full matrix.
+
+        Returns ``False`` (leaving the index untouched, for the caller
+        to drop) when the cumulative merged rows would exceed the rows
+        present at build time: past that point the frozen prototype is
+        majority-voted by a minority and a rebuild recovers pruning
+        power.
+        """
+        added = len(words) - start
+        if added < 0:
+            raise ValueError("merge expects the stored matrix to only grow")
+        if added == 0:
+            self._words = words
+            return True
+        if self.merged_rows + added > self._built_rows:
+            return False
+        bits = np.unpackbits(words[start:].view(np.uint8), axis=1)[:, : self.num_vars]
+        new_ids = np.arange(start, len(words), dtype=np.int64)
+        for b in range(self.num_bands):
+            values = _pack_band(bits[:, self._bounds[b] : self._bounds[b + 1]])
+            order = np.argsort(values, kind="stable")
+            self._band_sorted[b], self._band_order[b] = merge_sorted_pair(
+                self._band_sorted[b], values[order],
+                self._band_order[b], new_ids[order],
+            )
+        new_dists = _popcount_words(words[start:] ^ self._proto).sum(
+            axis=1, dtype=np.int64
+        )
+        self._proto_dists = np.concatenate([self._proto_dists, new_dists])
+        self._proto_sorted, _ = merge_sorted_pair(
+            self._proto_sorted, np.sort(new_dists)
+        )
+        self._words = words
+        self.merged_batches += 1
+        self.merged_rows += added
+        return True
 
     # ------------------------------------------------------------------
     # querying
@@ -212,6 +275,8 @@ class MultiIndexHammingIndex:
             "index_queries": self.queries,
             "index_ring_rejected": self.ring_rejected,
             "index_scanned_fraction": scanned_fraction,
+            "index_merged_batches": self.merged_batches,
+            "index_merged_rows": self.merged_rows,
         }
 
     def __repr__(self) -> str:

@@ -20,8 +20,8 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.bdd import BDDManager
 from repro.monitor.backends import DEFAULT_BACKEND
+from repro.monitor.backends.bdd import make_zone_manager
 from repro.monitor.patterns import extract_patterns, pack_patterns, unpack_patterns
 from repro.monitor.zone import ComfortZone
 from repro.nn.data import Dataset, stack_dataset
@@ -85,9 +85,11 @@ class NeuronActivationMonitor:
         self.gamma = gamma
         self.backend_name = backend
         self.indexed = bool(indexed)
-        # BDD zones share one manager: same variables, shared node table.
+        # BDD zones share one manager: same variables, shared node table,
+        # one GC/reorder policy (env-configurable via make_zone_manager).
         self._manager = (
-            BDDManager(len(self.monitored_neurons)) if backend == "bdd" else None
+            make_zone_manager(len(self.monitored_neurons))
+            if backend == "bdd" else None
         )
         self.zones: Dict[int, ComfortZone] = {
             c: ComfortZone(
@@ -240,6 +242,25 @@ class NeuronActivationMonitor:
     def statistics(self) -> Dict[int, Dict[str, float]]:
         """Per-class zone statistics."""
         return {c: zone.statistics() for c, zone in self.zones.items()}
+
+    def engine_stats(self) -> Optional[Dict[str, float]]:
+        """Shared BDD engine counters (``None`` for non-BDD monitors).
+
+        One dict for the whole monitor — all zones share one manager —
+        with live/physical node counts, unique-table size, GC and
+        reorder activity and the operation-cache hit rates (see
+        :meth:`repro.bdd.manager.BDDManager.cache_stats`).  The CLI's
+        ``evaluate``/``sweep``/``serve`` commands print this line.
+        """
+        if self._manager is None:
+            return None
+        return self._manager.cache_stats()
+
+    def reorder(self, method: str = "sift", **kwargs) -> Optional[Dict[str, int]]:
+        """Sift the shared BDD manager (no-op ``None`` for non-BDD)."""
+        if self._manager is None:
+            return None
+        return self._manager.reorder(method=method, **kwargs)
 
     def __repr__(self) -> str:
         return (

@@ -157,6 +157,23 @@ class ComfortZone:
         stats["gamma"] = self.gamma
         return stats
 
+    def engine_stats(self) -> Optional[Dict[str, float]]:
+        """BDD engine counters (``None`` on non-BDD backends): node and
+        unique-table sizes, GC collections, reorder count, cache hit
+        rates — the observability face of the complement-edge engine."""
+        manager = self.manager
+        return manager.cache_stats() if manager is not None else None
+
+    def reorder(self, method: str = "sift", **kwargs) -> Optional[Dict[str, int]]:
+        """Sift the BDD variable order in place (``None`` on non-BDD).
+
+        The backend pins ``Z^0`` and every cached ``Z^γ`` as GC roots,
+        so verdicts and distances are bit-identical across the reorder —
+        only the diagram's size changes."""
+        if not hasattr(self.backend, "reorder"):
+            return None
+        return self.backend.reorder(method=method, **kwargs)
+
     def __repr__(self) -> str:
         return (
             f"ComfortZone(neurons={self.num_neurons}, gamma={self.gamma}, "

@@ -1,0 +1,404 @@
+"""GC and dynamic-reordering suite for the complement-edge BDD engine.
+
+Three layers of guarantees:
+
+* **manager level** — mark-and-sweep collections reclaim exactly the
+  unreachable nodes, remap pinned refs / ``BDDFunction`` handles in
+  place, and preserve every function; sifting preserves functions while
+  (weakly) shrinking the table.
+* **backend level** — a :class:`BDDZoneBackend` under a *forced* tiny
+  ``gc_threshold`` and/or mid-lifetime ``reorder()`` calls between
+  ``add_patterns`` stays bit-identical to the bitset engine for
+  verdicts, exact ``min_distances`` and bounded distances across
+  γ ∈ {0..4} (hypothesis-driven).
+* **serialisation level** — ``visited_patterns()`` / shard
+  ``to_payload()`` round-trips are order- and complement-independent:
+  the payload carries raw patterns, so rehydrating under any other
+  variable order (or after GC) rebuilds the same zone.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, enumerate_models, node_count, sat_count
+from repro.bdd.ordering import seed_order
+from repro.monitor.backends.bdd import BDDZoneBackend
+from repro.monitor.backends.bitset import BitsetZoneBackend
+
+
+def _matrix(draw, width, max_rows, min_rows=0):
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=width, max_size=width),
+            min_size=min_rows,
+            max_size=max_rows,
+        )
+    )
+    if not rows:
+        return np.zeros((0, width), dtype=np.uint8)
+    return np.asarray(rows, dtype=np.uint8)
+
+
+@st.composite
+def zone_case(draw):
+    width = draw(st.sampled_from([5, 8, 12]))
+    visited = _matrix(draw, width, max_rows=14, min_rows=1)
+    probes = _matrix(draw, width, max_rows=20, min_rows=1)
+    gamma = draw(st.integers(min_value=0, max_value=4))
+    return width, visited, probes, gamma
+
+
+class TestManagerGC:
+    def test_collect_reclaims_unreachable_nodes(self):
+        mgr = BDDManager(8)
+        rng = np.random.default_rng(0)
+        keep = mgr.from_patterns((rng.random((30, 8)) < 0.5).astype(np.uint8))
+        mgr.incref(keep)
+        for _ in range(4):  # garbage: unions nobody roots
+            mgr.from_patterns((rng.random((25, 8)) < 0.5).astype(np.uint8))
+        before = len(mgr)
+        models = set(enumerate_models(mgr, keep))
+        remap = mgr.collect_garbage()
+        keep = remap(keep)
+        assert len(mgr) < before
+        assert set(enumerate_models(mgr, keep)) == models
+        stats = mgr.cache_stats()
+        assert stats["gc_runs"] == 1 and stats["gc_reclaimed_nodes"] > 0
+        # Post-compaction the table is exactly the live set.
+        assert stats["nodes"] == stats["live_nodes"]
+
+    def test_function_handles_are_roots_and_remapped(self):
+        mgr = BDDManager(6)
+        f = mgr.variable(0) & mgr.variable(3)
+        g = ~f
+        mgr.apply_or(mgr.var(1), mgr.var(2))  # cache/table noise
+        mgr.clear_caches()
+        mgr.collect_garbage()
+        assert f.contains([1, 0, 0, 1, 0, 0])
+        assert not f.contains([1, 0, 0, 0, 0, 0])
+        assert g.contains([1, 0, 0, 0, 0, 0])
+        assert (~g) == f  # canonicity survives compaction
+
+    def test_pin_counts_and_decref_errors(self):
+        mgr = BDDManager(4)
+        x = mgr.var(0)
+        mgr.incref(x)
+        mgr.incref(x)
+        mgr.decref(x)
+        mgr.collect_garbage()
+        stats = mgr.cache_stats()
+        assert stats["pinned_refs"] == 1
+        with pytest.raises(ValueError):
+            mgr.decref(12345)
+
+    def test_clear_caches_releases_cache_only_nodes(self):
+        """Cache entries are not GC roots: after clear_caches() a
+        collection reclaims nodes only the ite cache kept reachable —
+        nothing is stranded."""
+        mgr = BDDManager(10)
+        rng = np.random.default_rng(1)
+        a = mgr.from_patterns((rng.random((40, 10)) < 0.5).astype(np.uint8))
+        b = mgr.from_patterns((rng.random((40, 10)) < 0.5).astype(np.uint8))
+        mgr.apply_and(a, b)  # result only reachable through the cache
+        mgr.clear_caches()
+        mgr.collect_garbage()
+        assert mgr.cache_stats()["ite_cache_entries"] == 0
+        assert len(mgr) == 1  # just the terminal: everything was garbage
+
+    def test_auto_gc_triggers_inside_mk(self):
+        mgr = BDDManager(12, gc_threshold=64)
+        rng = np.random.default_rng(2)
+        zone = mgr.function(mgr.FALSE)
+        reference = set()
+        for _ in range(6):
+            batch = (rng.random((20, 12)) < 0.5).astype(np.uint8)
+            reference.update(tuple(int(b) for b in row) for row in batch)
+            zone = zone | mgr.function(mgr.from_patterns(batch))
+        assert mgr.cache_stats()["gc_runs"] >= 1
+        assert set(enumerate_models(mgr, zone.ref)) == reference
+        assert sat_count(mgr, zone.ref) == len(reference)
+
+    def test_hamming_ball_exact_under_forced_gc(self):
+        """Regression: hamming_ball's saturation test holds its
+        accumulator across hamming_expand safe points — a compaction
+        inside an expansion must not leave the comparison between refs
+        from two different numberings (undersized or looping balls)."""
+        rng = np.random.default_rng(8)
+        for radius in (2, 3, 9):
+            mgr = BDDManager(7, gc_threshold=8)
+            seeds = (rng.random((3, 7)) < 0.5).astype(np.uint8)
+            ball = mgr.function(
+                mgr.hamming_ball(mgr.from_patterns(seeds), radius)
+            )
+            probes = np.array(
+                list(itertools.product([0, 1], repeat=7)), dtype=np.uint8
+            )
+            expected = (
+                (probes[:, None, :] != seeds[None, :, :]).sum(axis=2).min(axis=1)
+                <= radius
+            )
+            np.testing.assert_array_equal(
+                mgr.contains_batch(ball.ref, probes), expected
+            )
+
+    def test_gc_threshold_backs_off_when_table_is_live(self):
+        mgr = BDDManager(12, gc_threshold=32)
+        rng = np.random.default_rng(3)
+        zone = mgr.function(
+            mgr.from_patterns((rng.random((200, 12)) < 0.5).astype(np.uint8))
+        )
+        assert len(mgr) > 32  # live data alone exceeds the initial threshold
+        assert mgr.gc_threshold > 32  # ...so the trigger moved up, no thrash
+        assert zone.ref  # still valid
+
+
+class TestManagerReorder:
+    def test_sift_preserves_semantics_and_never_grows(self):
+        rng = np.random.default_rng(4)
+        base = (rng.random((5, 14)) < 0.5).astype(np.uint8)
+        patterns = base[rng.integers(0, 5, 120)] ^ (
+            rng.random((120, 14)) < 0.04
+        )
+        patterns = patterns.astype(np.uint8)
+        mgr = BDDManager(14)
+        zone = mgr.function(mgr.from_patterns(patterns))
+        models = set(enumerate_models(mgr, zone.ref))
+        before = node_count(mgr, zone.ref)
+        stats = mgr.reorder("sift")
+        after = node_count(mgr, zone.ref)
+        assert after <= before
+        assert stats["nodes_after"] <= stats["nodes_before"]
+        assert set(enumerate_models(mgr, zone.ref)) == models
+        assert mgr.contains_batch(zone.ref, patterns).all()
+        assert mgr.cache_stats()["reorder_count"] == 1
+
+    def test_reorder_then_build_is_canonical(self):
+        """from_patterns after a reorder lands on the same canonical ref."""
+        rng = np.random.default_rng(5)
+        patterns = (rng.random((60, 10)) < 0.3).astype(np.uint8)
+        mgr = BDDManager(10)
+        zone = mgr.function(mgr.from_patterns(patterns))
+        mgr.reorder("sift")
+        assert mgr.from_patterns(patterns) == zone.ref
+
+    def test_seeded_order_then_sift(self):
+        rng = np.random.default_rng(6)
+        patterns = (rng.random((80, 12)) < 0.5).astype(np.uint8)
+        mgr = BDDManager(12)
+        order = seed_order(mgr, patterns, method="balance")
+        assert sorted(order.tolist()) == list(range(12))
+        zone = mgr.function(mgr.from_patterns(patterns))
+        expected = {tuple(int(b) for b in row) for row in patterns}
+        assert set(enumerate_models(mgr, zone.ref)) == expected
+        mgr.reorder("sift")
+        assert set(enumerate_models(mgr, zone.ref)) == expected
+
+    def test_set_order_rejected_on_live_table(self):
+        mgr = BDDManager(4)
+        mgr.var(0)
+        with pytest.raises(ValueError, match="empty manager"):
+            mgr.set_order([3, 2, 1, 0])
+        with pytest.raises(ValueError, match="permutation"):
+            BDDManager(3).set_order([0, 0, 1])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="sift"):
+            BDDManager(4).reorder(method="window")
+
+    def test_auto_reorder_fires_on_growth(self):
+        mgr = BDDManager(16, auto_reorder=True)
+        mgr.auto_reorder_threshold = 128
+        rng = np.random.default_rng(7)
+        zone = mgr.function(mgr.FALSE)
+        reference = set()
+        for _ in range(4):
+            batch = (rng.random((60, 16)) < 0.5).astype(np.uint8)
+            reference.update(tuple(int(b) for b in row) for row in batch)
+            zone = zone | mgr.function(mgr.from_patterns(batch))
+        assert mgr.cache_stats()["reorder_count"] >= 1
+        assert set(enumerate_models(mgr, zone.ref)) == reference
+
+    @pytest.mark.parametrize("num_vars", [5, 8])
+    def test_sifted_truth_tables_match_oracle(self, num_vars):
+        """Brute-force oracle re-check after sifting: every assignment."""
+        rng = np.random.default_rng(100 + num_vars)
+        assignments = np.array(
+            list(itertools.product([0, 1], repeat=num_vars)), dtype=np.uint8
+        )
+        mgr = BDDManager(num_vars)
+        f = mgr.function(mgr.FALSE)
+        table = np.zeros(len(assignments), dtype=bool)
+        for _ in range(12):
+            index = int(rng.integers(num_vars))
+            g = mgr.variable(index)
+            g_table = assignments[:, index].astype(bool)
+            op = rng.choice(["and", "or", "xor"])
+            if op == "and":
+                f, table = f & g, table & g_table
+            elif op == "or":
+                f, table = f | g, table | g_table
+            else:
+                f, table = f ^ g, table ^ g_table
+        mgr.reorder("sift")
+        np.testing.assert_array_equal(
+            mgr.contains_batch(f.ref, assignments), table
+        )
+        mgr.collect_garbage()
+        np.testing.assert_array_equal(
+            mgr.contains_batch(f.ref, assignments), table
+        )
+
+
+def _bitset_reference(visited, probes, gamma):
+    reference = BitsetZoneBackend(visited.shape[1])
+    reference.add_patterns(visited)
+    return (
+        reference.contains_batch(probes, gamma),
+        reference.min_distances(probes),
+        reference.min_distances(probes, cap=gamma),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(zone_case())
+def test_forced_gc_backend_matches_bitset(case):
+    """gc_threshold=8: nearly every _mk is a GC safe point — verdicts and
+    distances must still be bit-identical to the bitset engine."""
+    width, visited, probes, gamma = case
+    backend = BDDZoneBackend(width, gc_threshold=8)
+    half = max(1, len(visited) // 2)
+    backend.add_patterns(visited[:half])
+    backend.contains_batch(probes, gamma)  # warm zone cache pre-GC
+    backend.add_patterns(visited[half:])
+    verdicts, dists, bounded = _bitset_reference(visited, probes, gamma)
+    np.testing.assert_array_equal(backend.contains_batch(probes, gamma), verdicts)
+    np.testing.assert_array_equal(backend.min_distances(probes), dists)
+    np.testing.assert_array_equal(backend.min_distances(probes, cap=gamma), bounded)
+    assert backend.num_visited() == len(np.unique(visited, axis=0))
+
+
+@settings(max_examples=80, deadline=None)
+@given(zone_case())
+def test_midlife_reorder_backend_matches_bitset(case):
+    """reorder() between add_patterns calls (zone caches warm) must leave
+    every query bit-identical; only the diagram shape may change."""
+    width, visited, probes, gamma = case
+    backend = BDDZoneBackend(width)
+    half = max(1, len(visited) // 2)
+    backend.add_patterns(visited[:half])
+    backend.contains_batch(probes, gamma)  # warm + pin Z^gamma
+    backend.reorder("sift")
+    backend.add_patterns(visited[half:])
+    backend.contains_batch(probes, gamma)
+    backend.reorder("sift")
+    verdicts, dists, bounded = _bitset_reference(visited, probes, gamma)
+    np.testing.assert_array_equal(backend.contains_batch(probes, gamma), verdicts)
+    np.testing.assert_array_equal(backend.min_distances(probes), dists)
+    np.testing.assert_array_equal(backend.min_distances(probes, cap=gamma), bounded)
+
+
+@settings(max_examples=40, deadline=None)
+@given(zone_case())
+def test_forced_gc_plus_auto_reorder_matches_bitset(case):
+    """The CI configuration (tiny GC threshold + auto-reorder) end to end."""
+    width, visited, probes, gamma = case
+    backend = BDDZoneBackend(width, gc_threshold=8, auto_reorder=True)
+    backend.manager.auto_reorder_threshold = 16
+    backend.add_patterns(visited)
+    verdicts, dists, _ = _bitset_reference(visited, probes, gamma)
+    np.testing.assert_array_equal(backend.contains_batch(probes, gamma), verdicts)
+    np.testing.assert_array_equal(backend.min_distances(probes), dists)
+
+
+class TestPayloadRoundTrip:
+    """``visited_patterns()`` payloads are order- and complement-
+    independent: they carry raw patterns, never refs or level layouts."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(zone_case())
+    def test_visited_patterns_stable_across_reorder(self, case):
+        width, visited, probes, gamma = case
+        backend = BDDZoneBackend(width)
+        backend.add_patterns(visited)
+        before = backend.visited_patterns()
+        backend.reorder("sift")
+        backend._visited_matrix = None  # force re-enumeration post-reorder
+        after = backend.visited_patterns()
+        # Same set of rows whatever the level permutation.
+        assert {r.tobytes() for r in before} == {r.tobytes() for r in after}
+
+    @settings(max_examples=40, deadline=None)
+    @given(zone_case())
+    def test_rehydration_under_scrambled_order(self, case):
+        """A payload recorded from a sifted manager rebuilds bit-identically
+        in a manager seeded with a completely different order."""
+        width, visited, probes, gamma = case
+        source = BDDZoneBackend(width, gc_threshold=8)
+        source.add_patterns(visited)
+        source.reorder("sift")
+        payload = source.visited_patterns()
+        scrambled = BDDZoneBackend(
+            width, order=np.arange(width)[::-1]
+        )
+        scrambled.add_patterns(payload)
+        np.testing.assert_array_equal(
+            source.contains_batch(probes, gamma),
+            scrambled.contains_batch(probes, gamma),
+        )
+        np.testing.assert_array_equal(
+            source.min_distances(probes), scrambled.min_distances(probes)
+        )
+
+    def test_shard_payload_round_trip_with_reordered_manager(self):
+        """Cross-process wire form: partition a BDD monitor whose manager
+        was sifted and GC'd, ship to_payload(), rehydrate, compare."""
+        from repro.monitor import NeuronActivationMonitor
+        from repro.serving.shard import MonitorShard, ShardRouter
+
+        rng = np.random.default_rng(11)
+        width, classes = 12, 4
+        labels = np.repeat(np.arange(classes), 40)
+        patterns = (rng.random((len(labels), width)) < 0.4).astype(np.uint8)
+        monitor = NeuronActivationMonitor(
+            width, range(classes), gamma=1, backend="bdd"
+        )
+        monitor.record(patterns, labels, labels)
+        probes = (rng.random((64, width)) < 0.4).astype(np.uint8)
+        probe_classes = rng.integers(0, classes, 64)
+        monitor.check(probes, probe_classes)  # warm zone caches
+        monitor.reorder("sift")
+        monitor._manager.collect_garbage()
+        expected = monitor.check(probes, probe_classes)
+        shards = ShardRouter.partition(monitor, 2)
+        rebuilt = [
+            MonitorShard.from_payload(s.to_payload()) for s in shards.shards
+        ]
+        assembled = ShardRouter(rebuilt)
+        np.testing.assert_array_equal(
+            assembled.check(probes, probe_classes), expected
+        )
+
+    def test_save_load_round_trip_after_reorder(self, tmp_path):
+        from repro.monitor import NeuronActivationMonitor
+
+        rng = np.random.default_rng(12)
+        width = 10
+        labels = np.repeat(np.arange(3), 30)
+        patterns = (rng.random((len(labels), width)) < 0.5).astype(np.uint8)
+        monitor = NeuronActivationMonitor(width, range(3), gamma=2, backend="bdd")
+        monitor.record(patterns, labels, labels)
+        probes = (rng.random((40, width)) < 0.5).astype(np.uint8)
+        probe_classes = rng.integers(0, 3, 40)
+        monitor.check(probes, probe_classes)
+        monitor.reorder("sift")
+        expected = monitor.check(probes, probe_classes)
+        path = tmp_path / "monitor.npz"
+        monitor.save(path)
+        loaded = NeuronActivationMonitor.load(path)
+        np.testing.assert_array_equal(
+            loaded.check(probes, probe_classes), expected
+        )

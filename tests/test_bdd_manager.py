@@ -17,8 +17,9 @@ class TestConstruction:
         assert mgr.is_terminal(mgr.FALSE)
         assert mgr.is_terminal(mgr.TRUE)
 
-    def test_initial_node_count_is_two_terminals(self, mgr):
-        assert len(mgr) == 2
+    def test_initial_node_count_is_one_shared_terminal(self, mgr):
+        # Complement edges: one physical terminal serves both constants.
+        assert len(mgr) == 1
 
     def test_var_creates_internal_node(self, mgr):
         x = mgr.var(0)

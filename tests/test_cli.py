@@ -76,6 +76,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "chosen gamma: 0" in out
 
+    def test_evaluate_prints_bdd_engine_stats(self, tiny_systems, capsys):
+        assert cli.main(
+            ["evaluate", "--system", "mnist", "--gamma", "1", "--backend", "bdd"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bdd engine:" in out
+        assert "live nodes" in out and "collections" in out and "reorders" in out
+
+    def test_bitset_backend_prints_no_engine_stats(self, tiny_systems, capsys):
+        assert cli.main(
+            ["evaluate", "--system", "mnist", "--gamma", "0", "--backend", "bitset"]
+        ) == 0
+        assert "bdd engine:" not in capsys.readouterr().out
+
+    def test_sweep_prints_bdd_engine_stats(self, tiny_systems, capsys):
+        assert cli.main(
+            ["sweep", "--system", "mnist", "--max-gamma", "1",
+             "--max-warning-rate", "1.0", "--backend", "bdd"]
+        ) == 0
+        assert "bdd engine:" in capsys.readouterr().out
+
     def test_evaluate_with_neuron_fraction(self, tiny_systems, capsys):
         assert cli.main(
             ["evaluate", "--system", "mnist", "--gamma", "0",

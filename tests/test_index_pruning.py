@@ -213,6 +213,43 @@ def test_incremental_adds_rebuild_index(case):
     )
 
 
+@settings(max_examples=60, deadline=None)
+@given(indexed_zone_and_probes(), st.integers(min_value=1, max_value=4))
+def test_merged_index_matches_fresh_build(case, batches):
+    """Small appends must take the in-place band-merge path and stay
+    bit-identical (verdicts *and* bounded distances) to an index built
+    fresh over the final zone."""
+    width, visited, probes, gamma = case
+    if gamma == 0 or len(visited) < batches + 1:
+        return
+    # Seed with most of the rows, then drip the rest in small batches so
+    # each append is below the rebuild threshold.
+    seed = max(len(visited) - batches, len(visited) // 2 + 1)
+    merged = _forced_index_backend(width)
+    merged.add_patterns(visited[:seed])
+    merged.contains_batch(probes, gamma)  # force the index to exist
+    index = merged._indices.get(gamma)
+    for start in range(seed, len(visited)):
+        merged.add_patterns(visited[start : start + 1])
+    fresh = _forced_index_backend(width)
+    fresh.add_patterns(visited)
+    np.testing.assert_array_equal(
+        merged.contains_batch(probes, gamma), fresh.contains_batch(probes, gamma)
+    )
+    np.testing.assert_array_equal(
+        merged.min_distances(probes, cap=gamma),
+        fresh.min_distances(probes, cap=gamma),
+    )
+    np.testing.assert_array_equal(
+        merged.contains_batch(probes, gamma),
+        _brute_expected(merged.visited_patterns(), probes, gamma),
+    )
+    if index is not None and gamma in merged._indices:
+        # Whenever the index survived every append it must be the same
+        # object, updated in place — not silently rebuilt.
+        assert merged._indices[gamma] is index
+
+
 class TestFallbackHeuristic:
     def test_small_zones_use_brute_kernel(self):
         backend = BitsetZoneBackend(64, indexed=True)
@@ -241,7 +278,7 @@ class TestFallbackHeuristic:
         backend.contains_batch((rng.random((8, 64)) < 0.5).astype(np.uint8), 2)
         assert backend._indices == {}
 
-    def test_indices_cached_per_gamma_and_cleared_on_add(self):
+    def test_indices_cached_per_gamma_and_merged_on_small_add(self):
         backend = _forced_index_backend(32)
         rng = np.random.default_rng(2)
         backend.add_patterns((rng.random((64, 32)) < 0.5).astype(np.uint8))
@@ -252,8 +289,24 @@ class TestFallbackHeuristic:
         first = backend._indices[1]
         backend.contains_batch(probes, 1)
         assert backend._indices[1] is first  # cached, not rebuilt
+        # A small append is merged into the live index, not dropped.
         backend.add_patterns((rng.random((4, 32)) < 0.5).astype(np.uint8))
+        assert backend._indices[1] is first
+        assert first.merged_batches == 1 and first.merged_rows > 0
+
+    def test_large_add_drops_index_for_rebuild(self):
+        backend = _forced_index_backend(32)
+        rng = np.random.default_rng(3)
+        backend.add_patterns((rng.random((32, 32)) < 0.5).astype(np.uint8))
+        probes = (rng.random((4, 32)) < 0.5).astype(np.uint8)
+        backend.contains_batch(probes, 1)
+        first = backend._indices[1]
+        # More new rows than the index was built over: merge declines so
+        # the rebuild can refresh the frozen triage prototype.
+        backend.add_patterns((rng.random((200, 32)) < 0.5).astype(np.uint8))
         assert backend._indices == {}
+        backend.contains_batch(probes, 1)
+        assert backend._indices[1] is not first
 
 
 class TestIndexUnit:

@@ -182,6 +182,23 @@ def build_parser() -> argparse.ArgumentParser:
         "payloads; crashed workers respawn with in-flight blocks "
         "requeued); 0 = in-process thread-pool execution",
     )
+    serve_p.add_argument(
+        "--drift-respond", action="store_true",
+        help="close the drift loop: stage flagged out-of-zone patterns, "
+        "absorb them on alarm, re-choose gamma on the retained "
+        "validation sweep and hot-swap the new zone snapshot "
+        "fleet-atomically (bumps the zone epoch)",
+    )
+    serve_p.add_argument(
+        "--drift-min-staged", type=int, default=64,
+        help="minimum staged patterns before an alarm triggers a "
+        "zone absorption (thin evidence keeps accumulating)",
+    )
+    serve_p.add_argument(
+        "--alarm-z", type=float, default=3.0,
+        help="z-score threshold of the windowed out-of-pattern rate "
+        "alarm (lower it to force the drift loop on quiet streams)",
+    )
     return parser
 
 
@@ -298,11 +315,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # Calibration-time baselines for the inline shift detectors.
     baseline_oop = 1.0 - monitor.check(patterns, predictions).mean()
-    shift_detector = DistributionShiftDetector(min(baseline_oop, 0.99))
+    shift_detector = DistributionShiftDetector(
+        min(baseline_oop, 0.99), z_threshold=args.alarm_z
+    )
     distance_detector = None
     if args.distances:
         distance_detector = DistanceShiftDetector(
             monitor.min_distances(patterns, predictions)
+        )
+    drift_responder = None
+    if args.drift_respond:
+        from repro.monitor.drift import DriftResponder
+
+        # The responder keeps the validation sweep set: γ is re-chosen on
+        # it after every absorption, detector baselines re-measured on it.
+        drift_responder = DriftResponder(
+            monitor,
+            patterns,
+            predictions,
+            labels,
+            min_staged=args.drift_min_staged,
         )
 
     if args.workers < 0:
@@ -322,6 +354,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         shift_detector=shift_detector,
         distance_detector=distance_detector,
+        drift_responder=drift_responder,
         submit=args.submit,
         **executor_kwargs,
     )
@@ -334,7 +367,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}  "
           f"submit={args.submit}  executor={executor_label}")
     print(f"shards:   {len(router)}  "
-          f"(classes per shard: {[len(s.classes) for s in router.shards]})")
+          f"(classes per shard: {[len(s.classes) for s in router.shards]})  "
+          f"zone epoch={router.epoch}")
     print(f"requests: {len(result.verdicts)}  elapsed {result.elapsed*1e3:.1f}ms  "
           f"throughput {result.throughput/1e3:.1f}k req/s")
     print(f"warnings: {int((~result.verdicts).sum())} "
@@ -364,6 +398,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state = distance_detector.peek()
         print(f"distance histogram: mean {state.window_mean:.2f}, "
               f"divergence {state.divergence:.3f}, alarm={state.alarm}")
+    if result.drift is not None:
+        drift = result.drift
+        line = (f"drift loop: epoch {drift['epoch']}, swaps {drift['swaps']}, "
+                f"gamma {drift.get('gamma', args.gamma)}, "
+                f"absorbed {drift.get('absorbed_patterns', 0)} "
+                f"(staged {drift.get('staged', 0)} pending)")
+        if "swap_error" in drift:
+            line += f"  [swap error: {drift['swap_error']}]"
+        print(line)
     # The shards serve from their own rehydrated engines; this reports
     # the build-time monitor the stream was partitioned from.
     _print_engine_stats(monitor)

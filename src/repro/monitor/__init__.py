@@ -48,6 +48,12 @@ from repro.monitor.shift import (
     DistributionShiftDetector,
     ShiftState,
 )
+from repro.monitor.drift import (
+    DriftResponder,
+    StagingZone,
+    ZoneSnapshot,
+    partition_payloads,
+)
 from repro.monitor.boxes import BoxMonitor, BoxZone
 from repro.monitor.detection import CellVerdict, DetectionMonitor
 
@@ -79,6 +85,10 @@ __all__ = [
     "ShiftState",
     "DistanceShiftDetector",
     "DistanceShiftState",
+    "DriftResponder",
+    "StagingZone",
+    "ZoneSnapshot",
+    "partition_payloads",
     "BoxMonitor",
     "BoxZone",
     "DetectionMonitor",

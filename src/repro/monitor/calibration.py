@@ -42,6 +42,16 @@ class CalibrationResult:
                 return row
         raise LookupError(f"no sweep row for gamma={self.chosen_gamma}")
 
+    def as_dict(self) -> dict:
+        """Plain-data summary (drift-loop stats lines, snapshot logging)."""
+        row = self.chosen
+        return {
+            "chosen_gamma": self.chosen_gamma,
+            "out_of_pattern_rate": row.out_of_pattern_rate,
+            "misclassified_within_oop": row.misclassified_within_oop,
+            "sweep_gammas": [r.gamma for r in self.sweep],
+        }
+
 
 @dataclass
 class GammaCalibrator:

@@ -270,15 +270,26 @@ class NeuronActivationMonitor:
         )
 
     @classmethod
-    def merge(cls, monitors: Sequence["NeuronActivationMonitor"]) -> "NeuronActivationMonitor":
+    def merge(
+        cls,
+        monitors: Sequence["NeuronActivationMonitor"],
+        gamma: Optional[int] = None,
+        indexed: Optional[bool] = None,
+    ) -> "NeuronActivationMonitor":
         """Union several monitors built over the same monitored neurons.
 
         Useful when training data is processed in shards (e.g. a fleet of
         vehicles each contributes patterns): the merged monitor's zones are
-        the set union of the inputs' visited sets, with γ and the zone
-        backend taken from the first monitor.  All inputs must agree on
+        the set union of the inputs' visited sets, with the zone backend
+        taken from the first monitor.  All inputs must agree on
         ``layer_width`` and ``monitored_neurons``; backends may differ
         (the visited sets are exchanged as plain pattern matrices).
+
+        ``gamma`` and ``indexed`` must either agree across the inputs or
+        be chosen explicitly via the keyword overrides — silently adopting
+        the first monitor's values would let a drift-loop absorption of a
+        staging zone quietly change the radius (or drop the index) of the
+        published monitor.
         """
         if not monitors:
             raise ValueError("merge needs at least one monitor")
@@ -290,14 +301,30 @@ class NeuronActivationMonitor:
                 )
             if not np.array_equal(other.monitored_neurons, first.monitored_neurons):
                 raise ValueError("monitored neuron sets differ; cannot merge")
+        if gamma is None:
+            gammas = sorted({m.gamma for m in monitors})
+            if len(gammas) > 1:
+                raise ValueError(
+                    f"gamma differs across monitors ({gammas}); "
+                    f"pass gamma= to choose the merged radius explicitly"
+                )
+            gamma = first.gamma
+        if indexed is None:
+            flags = {m.indexed for m in monitors}
+            if len(flags) > 1:
+                raise ValueError(
+                    "indexed differs across monitors; "
+                    "pass indexed= to choose explicitly"
+                )
+            indexed = first.indexed
         classes = sorted({c for m in monitors for c in m.classes})
         merged = cls(
             layer_width=first.layer_width,
             classes=classes,
-            gamma=first.gamma,
+            gamma=gamma,
             monitored_neurons=first.monitored_neurons,
             backend=first.backend_name,
-            indexed=first.indexed,
+            indexed=indexed,
         )
         for monitor in monitors:
             for c, zone in monitor.zones.items():

@@ -11,6 +11,7 @@ accumulator for slowly drifting shifts.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional
@@ -20,7 +21,14 @@ import numpy as np
 
 @dataclass
 class ShiftState:
-    """Snapshot of the detector after one update."""
+    """Snapshot of the detector after one update.
+
+    ``cusum`` is the accumulator value *at the moment the state was
+    computed*: the state returned by :meth:`DistributionShiftDetector.update`
+    reports the pre-restart crossing value when that update alarmed via
+    CUSUM, while :meth:`DistributionShiftDetector.peek` always reports the
+    live (post-restart) accumulator.
+    """
 
     samples_seen: int
     window_rate: float
@@ -111,6 +119,9 @@ class DistributionShiftDetector:
         if self._cusum >= self.cusum_threshold:
             # CUSUM restart: report the crossing value, then re-arm so the
             # alarm doesn't stay latched on the accumulated pre-shift mass.
+            # A peek() immediately after therefore reports cusum 0.0 (and
+            # no CUSUM alarm): the returned state is the record of the
+            # crossing, peek() is the live post-restart accumulator.
             self._cusum = 0.0
         return state
 
@@ -119,8 +130,31 @@ class DistributionShiftDetector:
         return [self.update(flag) for flag in flags]
 
     def peek(self) -> ShiftState:
-        """Current state without consuming an observation (serving stats)."""
+        """Current state without consuming an observation (serving stats).
+
+        Reflects the *post-restart* accumulator: after an update that
+        alarmed via the CUSUM limit, the returned state reported the
+        crossing value but the accumulator was re-armed at zero, so this
+        peek reports ``cusum == 0.0`` (and alarms only if the windowed
+        z-test still fires).  The two are intentionally different views
+        of the same restart, not a disagreement.
+        """
         return self._state()
+
+    def rebaseline(self, baseline_rate: float) -> None:
+        """Swap the no-shift baseline and re-arm the detector.
+
+        Used by the drift loop after a zone swap: the absorbed patterns
+        and re-chosen γ change the expected quiet rate, so the window and
+        CUSUM built against the old baseline are cleared (keeping the old
+        evidence would compare post-swap traffic against a stale
+        reference).  ``samples_seen`` is cumulative and survives.
+        """
+        if not 0.0 <= baseline_rate < 1.0:
+            raise ValueError(f"baseline_rate must be in [0, 1), got {baseline_rate}")
+        self.baseline_rate = float(baseline_rate)
+        self._buffer.clear()
+        self._cusum = 0.0
 
     def reset(self) -> None:
         """Clear the window and the CUSUM accumulator."""
@@ -180,27 +214,55 @@ class DistanceShiftDetector:
         window: int = 200,
         divergence_threshold: float = 0.25,
     ):
-        baseline = np.asarray(list(baseline_distances), dtype=np.int64)
-        if baseline.size == 0:
-            raise ValueError("baseline_distances must be non-empty")
-        if baseline.min() < 0:
-            raise ValueError("distances must be non-negative")
         if not 0.0 < divergence_threshold <= 1.0:
             raise ValueError(
                 f"divergence_threshold must be in (0, 1], got {divergence_threshold}"
             )
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.divergence_threshold = divergence_threshold
+        self._buffer: Deque[int] = deque(maxlen=window)
+        self._seen = 0
+        self._set_baseline(baseline_distances, max_distance)
+
+    def _set_baseline(
+        self, baseline_distances: Iterable[int], max_distance: Optional[int]
+    ) -> None:
+        """Validate a baseline sample and (re)build the reference histogram.
+
+        The effective ``max_distance`` is validated and reported as the
+        *computed* value (the raw argument is ``None`` on the default
+        path), and an explicit bound below the largest baseline distance
+        warns instead of silently clipping baseline mass into the
+        overflow bin — a reference histogram with hidden overflow mass
+        makes the TV divergence insensitive to exactly the outward drift
+        the detector exists to catch.
+        """
+        baseline = np.asarray(list(baseline_distances), dtype=np.int64)
+        if baseline.size == 0:
+            raise ValueError("baseline_distances must be non-empty")
+        if baseline.min() < 0:
+            raise ValueError("distances must be non-negative")
         self.max_distance = (
             int(baseline.max()) + 1 if max_distance is None else int(max_distance)
         )
         if self.max_distance < 0:
-            raise ValueError(f"max_distance must be non-negative, got {max_distance}")
-        self.window = window
-        self.divergence_threshold = divergence_threshold
+            raise ValueError(
+                f"max_distance must be non-negative, got {self.max_distance} "
+                f"(from max_distance={max_distance!r})"
+            )
+        largest = int(baseline.max())
+        if self.max_distance < largest:
+            clipped = float((baseline > self.max_distance).mean())
+            warnings.warn(
+                f"max_distance={self.max_distance} is below the largest "
+                f"baseline distance ({largest}): {clipped:.1%} of the "
+                f"baseline mass lands in the overflow bin",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         self.baseline_histogram = self._histogram(baseline)
-        self._buffer: Deque[int] = deque(maxlen=window)
-        self._seen = 0
 
     def _histogram(self, distances: np.ndarray) -> np.ndarray:
         """Normalised counts over bins ``0..max_distance`` plus overflow."""
@@ -248,6 +310,26 @@ class DistanceShiftDetector:
     def peek(self) -> DistanceShiftState:
         """Current state without consuming an observation (serving stats)."""
         return self._state()
+
+    def rebaseline(
+        self,
+        baseline_distances: Iterable[int],
+        max_distance: Optional[int] = None,
+    ) -> None:
+        """Rebuild the reference histogram and re-arm the detector.
+
+        Used by the drift loop after a zone swap: distances are measured
+        against the *new* ``Z^0``, so both the reference histogram and
+        the sliding window built against the old zones are stale.  The
+        binning is kept (same ``max_distance``) unless a new bound is
+        given, so a serving layer's bounded-distance cap stays valid
+        across swaps.  ``samples_seen`` is cumulative and survives.
+        """
+        self._set_baseline(
+            baseline_distances,
+            self.max_distance if max_distance is None else max_distance,
+        )
+        self._buffer.clear()
 
     def reset(self) -> None:
         """Clear the sliding window (the baseline is kept)."""

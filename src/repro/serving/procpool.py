@@ -139,6 +139,20 @@ def _worker_main(conn) -> None:
                 for shard in shards.values():
                     shard.monitor.set_gamma(msg[1])
                 conn.send(("gamma_ok", msg[2]))
+            elif kind == "zone":
+                # Zone-epoch resync (the γ handshake generalised): replace
+                # the worker's entire shard map with rehydrated copies of
+                # the new snapshot payloads, then apply the snapshot's γ —
+                # all between two block requests, so every block this
+                # worker ever answers sees exactly one zone version.
+                shards.clear()
+                for payload in msg[1]:
+                    shard = MonitorShard.from_payload(payload)
+                    shards[shard.shard_id] = shard
+                if msg[2] is not None:
+                    for shard in shards.values():
+                        shard.monitor.set_gamma(msg[2])
+                conn.send(("zone_ok", msg[3]))
             elif kind == "stop":
                 conn.send(("bye",))
                 return
@@ -185,7 +199,7 @@ class _WorkerHandle:
 
     __slots__ = (
         "index", "process", "conn", "send_lock",
-        "pump", "inflight", "acks", "dead", "stopped",
+        "pump", "inflight", "acks", "dead", "stopped", "epoch",
     )
 
     def __init__(self, index, process, conn):
@@ -198,6 +212,9 @@ class _WorkerHandle:
         self.acks: Dict[int, threading.Event] = {}
         self.dead = False
         self.stopped = False
+        # Zone epoch this worker's shards were rehydrated at (parent-side
+        # bookkeeping; the swap loop re-syncs any worker whose epoch lags).
+        self.epoch = 0
 
 
 class ProcessShardPool:
@@ -273,6 +290,10 @@ class ProcessShardPool:
         self._crashes = [0] * self.num_workers
         self._requeued = [0] * self.num_workers
         self._gamma: Optional[int] = None
+        self._epoch = 0
+        self._swapping = False
+        self._held: List[_Pending] = []
+        self._swaps = 0
         self._running = False
         self._stopping = False
 
@@ -345,10 +366,16 @@ class ProcessShardPool:
         process.start()
         child_conn.close()
         handle = _WorkerHandle(index, process, parent_conn)
+        # Payloads, γ and epoch are read together under the lock: a zone
+        # swap replaces all three atomically, so the spawned worker is
+        # either wholly pre-snapshot (the swap loop re-syncs it — its
+        # stamped epoch lags) or wholly post-snapshot.  Never mixed.
         with self._lock:
             gamma = self._gamma
+            payloads = self._payloads[index]
+            handle.epoch = self._epoch
         try:
-            parent_conn.send(("init", self._payloads[index], gamma))
+            parent_conn.send(("init", payloads, gamma))
             if not parent_conn.poll(self.ready_timeout):
                 raise RuntimeError("warm-up handshake timed out")
             msg = parent_conn.recv()
@@ -432,6 +459,11 @@ class ProcessShardPool:
         handler's drain always sees it; if the send itself fails, either
         the handler already requeued the entry (it is gone from the map)
         or this thread retries on the respawned worker.
+
+        While a zone swap is in progress the block is *held* instead of
+        sent (the swap replays it once every worker is at the new epoch),
+        which also covers crash-handler requeues racing the swap: a
+        requeued block can never land on a stale worker.
         """
         slot = self._worker_of[pending.shard_id]
         deadline = time.monotonic() + self.ready_timeout
@@ -439,6 +471,9 @@ class ProcessShardPool:
             with self._lock:
                 if not self._running or self._stopping:
                     raise RuntimeError("pool is not running")
+                if self._swapping:
+                    self._held.append(pending)
+                    return
                 worker = self._workers[slot]
                 registered = worker is not None and not worker.dead
                 if registered:
@@ -501,7 +536,7 @@ class ProcessShardPool:
                         pending.future.set_result(msg[2])
                     else:
                         pending.future.set_exception(msg[2])
-            elif kind == "gamma_ok":
+            elif kind in ("gamma_ok", "zone_ok"):
                 event = worker.acks.pop(msg[1], None)
                 if event is not None:
                     event.set()
@@ -642,6 +677,173 @@ class ProcessShardPool:
             out[rows] = distances
         return out
 
+    # ------------------------------------------------------------------
+    # zone-epoch resync (fleet-atomic snapshot swap)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Zone epoch the fleet currently serves (0 = as constructed)."""
+        with self._lock:
+            return self._epoch
+
+    def apply_snapshot(self, snapshot) -> None:
+        """Install a :class:`~repro.monitor.drift.ZoneSnapshot` fleet-wide.
+
+        The γ-resync handshake generalised to whole zones, in three
+        phases, so no block is ever answered by a mixed-epoch fleet:
+
+        1. **Drain.**  New dispatches (and crash-handler requeues) are
+           *held*, then the swap waits until every worker's in-flight map
+           is empty — all pre-swap blocks are answered entirely by
+           pre-swap zones.
+        2. **Install.**  The parent's retained payloads, routing tables,
+           γ and epoch are replaced atomically under the pool lock: from
+           this instant any respawn rehydrates at the new epoch
+           (``_spawn`` reads all of them under the same lock).
+        3. **Rehydrate + replay.**  Every live worker whose stamped epoch
+           lags gets a ``("zone", payloads, γ, ack)`` message and is
+           awaited; workers that crash mid-handshake are respawned (the
+           replacement inits from the already-installed payloads) and the
+           loop re-checks until the whole fleet is at the new epoch.
+           Only then are the held blocks replayed — entirely by new-epoch
+           zones.
+
+        Raises ``ValueError`` for a non-monotonic epoch or a payload set
+        that does not cover the pool's shards, ``RuntimeError`` when the
+        pool is stopped or another swap is live.
+        """
+        payload_by_shard = {}
+        for payload in snapshot.payloads:
+            shard_id = int(payload["shard_id"])
+            if shard_id in payload_by_shard:
+                raise ValueError(f"snapshot has duplicate shard id {shard_id}")
+            payload_by_shard[shard_id] = payload
+        with self._lock:
+            if not self._running or self._stopping:
+                raise RuntimeError("pool is not running")
+            if self._swapping:
+                raise RuntimeError("another snapshot swap is in progress")
+            if snapshot.epoch <= self._epoch:
+                raise ValueError(
+                    f"snapshot epoch {snapshot.epoch} is not newer than the "
+                    f"fleet epoch {self._epoch}"
+                )
+            if set(payload_by_shard) != set(self._worker_of):
+                raise ValueError(
+                    f"snapshot shards {sorted(payload_by_shard)} do not match "
+                    f"the pool's shards {sorted(self._worker_of)}"
+                )
+            self._swapping = True
+        try:
+            self._drain_inflight()
+            with self._lock:
+                payloads: List[List[dict]] = [[] for _ in range(self.num_workers)]
+                classes_of: Dict[int, np.ndarray] = {}
+                owner_of_class: Dict[int, int] = {}
+                for shard_id, slot in self._worker_of.items():
+                    payload = payload_by_shard[shard_id]
+                    payloads[slot].append(payload)
+                    classes_of[shard_id] = np.asarray(
+                        payload["classes"], dtype=np.int64
+                    )
+                    for c in payload["classes"]:
+                        if c in owner_of_class:
+                            raise ValueError(f"class {c} is owned by two shards")
+                        owner_of_class[c] = shard_id
+                self._payloads = payloads
+                self._classes_of = classes_of
+                self._owner_of_class = owner_of_class
+                self._gamma = int(snapshot.gamma)
+                self._epoch = int(snapshot.epoch)
+            self._rehydrate_fleet(int(snapshot.epoch))
+            with self._lock:
+                self._swaps += 1
+        finally:
+            with self._lock:
+                self._swapping = False
+                held, self._held = self._held, []
+            for entry in held:
+                try:
+                    self._dispatch(entry)
+                except (RuntimeError, KeyError) as exc:
+                    if not entry.future.done():
+                        entry.future.set_exception(exc)
+
+    def _drain_inflight(self) -> None:
+        """Wait until no worker holds an unanswered block (held blocks do
+        not count: they have not been sent anywhere yet)."""
+        deadline = time.monotonic() + self.ready_timeout
+        while True:
+            with self._lock:
+                if self._stopping or not self._running:
+                    raise RuntimeError("pool stopped during the zone swap")
+                busy = any(
+                    worker is not None and not worker.dead and worker.inflight
+                    for worker in self._workers
+                )
+            if not busy:
+                return
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"zone swap drain did not finish within "
+                    f"{self.ready_timeout}s"
+                )
+            time.sleep(0.002)
+
+    def _rehydrate_fleet(self, epoch: int) -> None:
+        """Re-sync every worker whose stamped epoch lags ``epoch``.
+
+        Loops until no live worker is stale *and* no slot is mid-respawn
+        (a crash handler may publish a replacement spawned from pre-swap
+        state after this loop last looked; its lagging stamp makes the
+        next iteration fix it).
+        """
+        deadline = time.monotonic() + self.ready_timeout
+        while True:
+            with self._lock:
+                if self._stopping or not self._running:
+                    raise RuntimeError("pool stopped during the zone swap")
+                stale = [
+                    worker
+                    for worker in self._workers
+                    if worker is not None and not worker.dead
+                    and worker.epoch != epoch
+                ]
+                respawning = any(
+                    worker is None and self._crashes[slot] <= self.max_respawns
+                    for slot, worker in enumerate(self._workers)
+                )
+                targets = []
+                for worker in stale:
+                    ack_id = next(self._ack_ids)
+                    event = threading.Event()
+                    worker.acks[ack_id] = event
+                    targets.append(
+                        (worker, self._payloads[worker.index], ack_id, event)
+                    )
+                gamma = self._gamma
+            for worker, payloads, ack_id, _event in targets:
+                try:
+                    with worker.send_lock:
+                        worker.conn.send(("zone", payloads, gamma, ack_id))
+                except (OSError, ValueError):
+                    self._on_worker_death(worker)
+            for worker, _payloads, _ack_id, event in targets:
+                if event.wait(timeout=self.ready_timeout) and not worker.dead:
+                    # Genuine ack (crash handling marks dead *before*
+                    # releasing ack events): this worker now serves the
+                    # new zones.
+                    worker.epoch = epoch
+            if not stale and not respawning:
+                return
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"zone swap rehydration did not finish within "
+                    f"{self.ready_timeout}s"
+                )
+            if not targets:
+                time.sleep(0.002)  # waiting out a respawn in progress
+
     def set_gamma(self, gamma: int) -> None:
         """Broadcast a γ change to every worker and wait for the acks
         (the process-level mirror of :meth:`ShardRouter.set_gamma`)."""
@@ -686,8 +888,15 @@ class ProcessShardPool:
                 )
                 row["respawns"] = self._crashes[index]
                 row["requeued_blocks"] = self._requeued[index]
+                row["epoch"] = worker.epoch if worker is not None else -1
                 rows.append(row)
         return rows
+
+    @property
+    def total_swaps(self) -> int:
+        """How many zone snapshots have been installed fleet-wide."""
+        with self._lock:
+            return self._swaps
 
     @property
     def total_respawns(self) -> int:

@@ -63,6 +63,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.monitor.drift import DriftResponder
 from repro.monitor.runtime import MonitoredClassifier, Verdict
 from repro.monitor.shift import DistanceShiftDetector, DistributionShiftDetector
 from repro.serving.shard import ShardRouter
@@ -169,6 +170,16 @@ class StreamServer:
         (raw inputs micro-batched through the network first).
     shift_detector / distance_detector:
         Optional shift detectors fed inline from the served stream.
+    drift_responder:
+        Optional :class:`~repro.monitor.drift.DriftResponder` closing the
+        drift loop: flagged out-of-zone rows are streamed into its
+        staging zone, and when an attached detector alarms (with enough
+        evidence staged) the server absorbs staging into a candidate
+        monitor, re-chooses γ, and hot-swaps the resulting
+        :class:`~repro.monitor.drift.ZoneSnapshot` fleet-atomically (the
+        detectors are re-baselined against the new zones).  Requires at
+        least one detector — without an alarm source the staging zone
+        would only ever fill.
     executor:
         Where coalesced batches execute — the coalescing, backpressure
         and stats layer above is identical for all three:
@@ -209,6 +220,7 @@ class StreamServer:
         classifier: Optional[MonitoredClassifier] = None,
         shift_detector: Optional[DistributionShiftDetector] = None,
         distance_detector: Optional[DistanceShiftDetector] = None,
+        drift_responder: Optional[DriftResponder] = None,
         executor_threads: Optional[int] = None,
         executor: Optional[str] = None,
         workers: int = 2,
@@ -238,6 +250,15 @@ class StreamServer:
             )
         if executor == "process" and workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if (
+            drift_responder is not None
+            and shift_detector is None
+            and distance_detector is None
+        ):
+            raise ValueError(
+                "drift_responder needs an attached shift or distance "
+                "detector to supply the alarm"
+            )
         self.router = router
         self.max_batch = max_batch
         self.max_delay = max_delay_ms / 1e3
@@ -245,6 +266,10 @@ class StreamServer:
         self.classifier = classifier
         self.shift_detector = shift_detector
         self.distance_detector = distance_detector
+        self.drift_responder = drift_responder
+        self._swap_task: Optional["asyncio.Task"] = None
+        self._swaps = 0
+        self._swap_error: Optional[BaseException] = None
         self.executor_mode = executor
         self.executor_threads = executor_threads
         self.workers = workers
@@ -333,6 +358,12 @@ class StreamServer:
         self._workers.clear()
         self._queues.clear()
         self._classify_queue = None
+        if self._swap_task is not None:
+            # A drift swap scheduled by a draining worker must finish
+            # before the pool below is torn down (the task swallows its
+            # own errors into _swap_error).
+            await self._swap_task
+            self._swap_task = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -585,20 +616,32 @@ class StreamServer:
             stats.queue_depth = queue.qsize()
             shift = self.shift_detector
             distance_detector = self.distance_detector
+            responder = self.drift_responder
+            if responder is not None:
+                # Stage the flagged rows *before* the detector updates:
+                # the alarm that those updates may raise finds its
+                # evidence already in the staging zone.
+                flagged = ~supported
+                if flagged.any():
+                    responder.staging.add(patterns[flagged], classes[flagged])
+            alarm = False
             offset = 0
             for request in batch:
                 stats.latencies.append(now - request.enqueued_at)
                 block = supported[offset : offset + request.rows]
                 if shift is not None:
                     for value in block:
-                        shift.update(not bool(value))
+                        alarm |= shift.update(not bool(value)).alarm
                 if distance_detector is not None:
-                    distance_detector.update_many(
+                    states = distance_detector.update_many(
                         distances[offset : offset + request.rows]
                     )
+                    alarm = alarm or any(state.alarm for state in states)
                 if not request.future.done():
                     request.future.set_result(block)
                 offset += request.rows
+            if alarm and responder is not None:
+                self._maybe_respond()
 
     async def _classify_worker(
         self, queue: "asyncio.Queue[Optional[_ClassifyRequest]]"
@@ -643,6 +686,75 @@ class StreamServer:
                     request.future.set_result(verdict)
 
     # ------------------------------------------------------------------
+    # drift response (alarm → absorb → recalibrate → hot-swap)
+    # ------------------------------------------------------------------
+    def _maybe_respond(self) -> None:
+        """Schedule one drift response if warranted (at most one live)."""
+        responder = self.drift_responder
+        if responder is None or not responder.ready():
+            return
+        if self._swap_task is not None and not self._swap_task.done():
+            return  # a swap is already in flight; alarms coalesce into it
+        self._swap_task = asyncio.ensure_future(self._drift_swap())
+
+    async def _drift_swap(self) -> None:
+        """One full drift response off the loop, then the fleet swap.
+
+        Absorption + γ re-calibration (``DriftResponder.respond``) and
+        the process-fleet resync both run on the default thread pool —
+        they take kernel-sweep time, and serving must keep coalescing
+        batches throughout (the whole point of a *hot* swap).  Order:
+        worker fleet first (drain → rehydrate → replay), then the
+        loop-side router (the live kernels for inline/thread mode; batch
+        atomicity comes from ``check_batch``'s single monitor read),
+        then detector re-baselining against the new zones.  Failures are
+        recorded in ``drift_stats()`` rather than raised — a failed swap
+        must not take down serving.
+        """
+        responder = self.drift_responder
+        loop = asyncio.get_running_loop()
+        layout = [(s.shard_id, list(s.classes)) for s in self.router.shards]
+        try:
+            snapshot = await loop.run_in_executor(
+                None, responder.respond, layout
+            )
+            if snapshot is None:
+                return  # thin evidence: staging keeps filling
+            if self._pool is not None:
+                await loop.run_in_executor(
+                    None, self._pool.apply_snapshot, snapshot
+                )
+            await loop.run_in_executor(
+                None, self.router.apply_snapshot, snapshot
+            )
+            if self.shift_detector is not None:
+                self.shift_detector.rebaseline(snapshot.baseline_oop_rate)
+            if (
+                self.distance_detector is not None
+                and snapshot.baseline_distances is not None
+            ):
+                self.distance_detector.rebaseline(snapshot.baseline_distances)
+            self._swaps += 1
+        except Exception as exc:  # noqa: BLE001 — reported, not fatal
+            self._swap_error = exc
+
+    @property
+    def zone_epoch(self) -> int:
+        """The zone epoch currently served (0 until the first swap)."""
+        return self.router.epoch
+
+    def drift_stats(self) -> Dict[str, object]:
+        """One observability row for the drift loop (CLI stats line)."""
+        row: Dict[str, object] = {}
+        if self.drift_responder is not None:
+            row.update(self.drift_responder.stats())
+        row["epoch"] = self.zone_epoch
+        row["swaps"] = self._swaps
+        if self._swap_error is not None:
+            row["swap_error"] = repr(self._swap_error)
+        return row
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> List[Dict[str, float]]:
@@ -670,6 +782,7 @@ class StreamResult:
     elapsed: float
     stats: List[Dict[str, float]]
     worker_stats: List[Dict[str, float]] = field(default_factory=list)
+    drift: Optional[Dict[str, object]] = None
 
     @property
     def throughput(self) -> float:
@@ -686,6 +799,7 @@ def run_stream(
     max_pending: int = 1024,
     shift_detector: Optional[DistributionShiftDetector] = None,
     distance_detector: Optional[DistanceShiftDetector] = None,
+    drift_responder: Optional[DriftResponder] = None,
     executor_threads: Optional[int] = None,
     executor: Optional[str] = None,
     workers: int = 2,
@@ -720,6 +834,7 @@ def run_stream(
             max_pending=max_pending,
             shift_detector=shift_detector,
             distance_detector=distance_detector,
+            drift_responder=drift_responder,
             executor_threads=executor_threads,
             executor=executor,
             workers=workers,
@@ -740,11 +855,18 @@ def run_stream(
                     dtype=bool,
                 )
             elapsed = time.perf_counter() - t0
-            return StreamResult(
-                verdicts=verdicts,
-                elapsed=elapsed,
-                stats=server.stats(),
-                worker_stats=server.worker_stats(),
-            )
+            stats = server.stats()
+            worker_stats = server.worker_stats()
+        # Drift stats are read *after* the server exits: stop() awaits any
+        # in-flight swap, so the row reflects the final epoch.
+        return StreamResult(
+            verdicts=verdicts,
+            elapsed=elapsed,
+            stats=stats,
+            worker_stats=worker_stats,
+            drift=(
+                server.drift_stats() if drift_responder is not None else None
+            ),
+        )
 
     return asyncio.run(_run())

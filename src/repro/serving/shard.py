@@ -138,15 +138,21 @@ class MonitorShard:
         serving layer passes the attached detector's overflow bin, which
         keeps the histogram/alarm stream bit-identical too.
         """
+        # One local reference for the whole batch: a concurrent zone swap
+        # (``ShardRouter.apply_snapshot`` rebinds ``self.monitor``) must
+        # never split a batch across epochs — every read below (check,
+        # gamma clamp, distance kernel, verdict derivation) sees the same
+        # monitor object.
+        monitor = self.monitor
         if not with_distances:
-            return self.monitor.check(patterns, predicted_classes), None
+            return monitor.check(patterns, predicted_classes), None
         cap = None
         if distance_cap is not None:
-            cap = max(int(distance_cap), self.monitor.gamma)
-        distances = self.monitor.min_distances(
+            cap = max(int(distance_cap), monitor.gamma)
+        distances = monitor.min_distances(
             patterns, predicted_classes, cap=cap
         )
-        return distances <= self.monitor.gamma, distances
+        return distances <= monitor.gamma, distances
 
     def __repr__(self) -> str:
         return f"MonitorShard(id={self.shard_id}, classes={self.classes})"
@@ -165,6 +171,7 @@ class ShardRouter:
         if not shards:
             raise ValueError("router needs at least one shard")
         self.shards = list(shards)
+        self.epoch = 0
         self._shard_by_id: Dict[int, MonitorShard] = {}
         self._owner: Dict[int, MonitorShard] = {}
         for shard in self.shards:
@@ -271,6 +278,46 @@ class ShardRouter:
         """Change γ on every shard (zones recompute lazily)."""
         for shard in self.shards:
             shard.monitor.set_gamma(gamma)
+
+    def apply_snapshot(self, snapshot) -> None:
+        """Swap every shard to a :class:`~repro.monitor.drift.ZoneSnapshot`.
+
+        The in-process mirror of
+        :meth:`~repro.serving.procpool.ProcessShardPool.apply_snapshot`:
+        all replacement monitors are rehydrated from the payloads *first*
+        (the expensive part — building backends, seeding visited sets),
+        then each shard's ``monitor`` reference is rebound in one quick
+        loop.  Combined with :meth:`MonitorShard.check_batch` taking a
+        single local reference per batch, no batch ever mixes epochs —
+        a batch sees either the old zones or the new ones, wholly.
+
+        Raises ``ValueError`` for a non-monotonic epoch or a payload set
+        that does not cover this router's shards.
+        """
+        if snapshot.epoch <= self.epoch:
+            raise ValueError(
+                f"snapshot epoch {snapshot.epoch} is not newer than the "
+                f"router epoch {self.epoch}"
+            )
+        payload_by_shard = {int(p["shard_id"]): p for p in snapshot.payloads}
+        if set(payload_by_shard) != set(self._shard_by_id):
+            raise ValueError(
+                f"snapshot shards {sorted(payload_by_shard)} do not match "
+                f"the router's shards {sorted(self._shard_by_id)}"
+            )
+        rebuilt = {
+            shard_id: MonitorShard.from_payload(payload).monitor
+            for shard_id, payload in payload_by_shard.items()
+        }
+        owner: Dict[int, MonitorShard] = {}
+        for shard in self.shards:
+            shard.monitor = rebuilt[shard.shard_id]
+            for c in shard.classes:
+                if c in owner:
+                    raise ValueError(f"class {c} is owned by two shards")
+                owner[c] = shard
+        self._owner = owner
+        self.epoch = int(snapshot.epoch)
 
     def __len__(self) -> int:
         return len(self.shards)

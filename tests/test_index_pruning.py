@@ -370,9 +370,15 @@ class TestMonitorPlumbing:
         from repro.monitor import NeuronActivationMonitor
 
         a = NeuronActivationMonitor(8, [0], backend="bitset", indexed=True)
-        b = NeuronActivationMonitor(8, [1], backend="bitset")
+        b = NeuronActivationMonitor(8, [1], backend="bitset", indexed=True)
         merged = NeuronActivationMonitor.merge([a, b])
         assert merged.indexed
+        # A disagreement no longer silently adopts the first monitor's
+        # flag: it must be resolved explicitly.
+        plain = NeuronActivationMonitor(8, [1], backend="bitset")
+        with pytest.raises(ValueError, match="indexed differs"):
+            NeuronActivationMonitor.merge([a, plain])
+        assert NeuronActivationMonitor.merge([a, plain], indexed=True).indexed
 
     def test_indexed_rejected_off_bitset(self):
         from repro.monitor import ComfortZone

@@ -38,15 +38,41 @@ class TestMerge:
             np.array([[0, 0, 0, 0, 0]], dtype=np.uint8), np.array([2])
         )[0]
 
-    def test_gamma_taken_from_first(self):
+    def test_gamma_disagreement_raises(self):
+        # Silently adopting the first monitor's radius would let a drift
+        # absorption quietly change γ; the disagreement must surface.
         a = monitor_with([[0, 0, 0, 0, 0]], gamma=1)
         b = monitor_with([[1, 1, 1, 1, 1]], gamma=0)
-        merged = NeuronActivationMonitor.merge([a, b])
+        with pytest.raises(ValueError, match="gamma differs"):
+            NeuronActivationMonitor.merge([a, b])
+
+    def test_gamma_override_resolves_disagreement(self):
+        a = monitor_with([[0, 0, 0, 0, 0]], gamma=1)
+        b = monitor_with([[1, 1, 1, 1, 1]], gamma=0)
+        merged = NeuronActivationMonitor.merge([a, b], gamma=1)
         assert merged.gamma == 1
         # gamma=1 ball around 00000 includes 10000.
         assert merged.check(
             np.array([[1, 0, 0, 0, 0]], dtype=np.uint8), np.array([0])
         )[0]
+
+    def test_agreeing_gamma_needs_no_override(self):
+        a = monitor_with([[0, 0, 0, 0, 0]], gamma=2)
+        b = monitor_with([[1, 1, 1, 1, 1]], gamma=2)
+        assert NeuronActivationMonitor.merge([a, b]).gamma == 2
+
+    def test_indexed_disagreement_raises(self):
+        a = NeuronActivationMonitor(WIDTH, [0], backend="bitset", indexed=True)
+        b = NeuronActivationMonitor(WIDTH, [0], backend="bitset", indexed=False)
+        with pytest.raises(ValueError, match="indexed differs"):
+            NeuronActivationMonitor.merge([a, b])
+
+    def test_indexed_override_resolves_disagreement(self):
+        a = NeuronActivationMonitor(WIDTH, [0], backend="bitset", indexed=True)
+        b = NeuronActivationMonitor(WIDTH, [0], backend="bitset", indexed=False)
+        merged = NeuronActivationMonitor.merge([a, b], indexed=True)
+        assert merged.indexed is True
+        assert NeuronActivationMonitor.merge([a, b], indexed=False).indexed is False
 
     def test_merge_single_is_equivalent(self):
         a = monitor_with([[1, 0, 1, 0, 1]], gamma=2)

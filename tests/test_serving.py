@@ -287,12 +287,15 @@ class TestStreamServer:
         # window == stream length: the compared histograms cover the whole
         # stream as a multiset, so shard-interleaved arrival order (which
         # legitimately differs from sequential order) cannot matter.
-        served = DistanceShiftDetector(
-            baseline, max_distance=1, window=len(patterns)
-        )
-        exact_fed = DistanceShiftDetector(
-            baseline, max_distance=1, window=len(patterns)
-        )
+        # The deliberately clipped baseline is exactly what the detector
+        # now warns about — expected here, the clipping is the test.
+        with pytest.warns(RuntimeWarning, match="overflow bin"):
+            served = DistanceShiftDetector(
+                baseline, max_distance=1, window=len(patterns)
+            )
+            exact_fed = DistanceShiftDetector(
+                baseline, max_distance=1, window=len(patterns)
+            )
         result = run_stream(
             router, patterns, classes, distance_detector=served
         )

@@ -36,7 +36,7 @@ from repro.monitor import (
 )
 from repro.monitor.backends import DEFAULT_BACKEND
 from repro.nn import Adam, DataLoader, Trainer, load_model, save_model
-from repro.nn.data import ArrayDataset, Dataset, stack_dataset
+from repro.nn.data import Dataset, stack_dataset
 
 DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".artifacts")
 

@@ -57,6 +57,36 @@ def _env_flag(name: str, default: bool) -> bool:
     return value in ("1", "true", "yes", "on")
 
 
+#: Public operations that end in a ``_checkpoint`` — the only places an
+#: automatic GC or reordering pass can run.  Raw refs are stable *within*
+#: one of these operations (the result is an extra root) but may be
+#: renumbered across any call to one of them: a raw ref held in a local
+#: across a safe point must be pinned (:meth:`BDDManager.incref`) or
+#: re-read afterwards.  The ``bdd-ref-safety`` lint rule enforces exactly
+#: this set; keep it in sync when adding checkpointed operations (the
+#: lint fixture tests assert the rule's fallback copy matches).
+GC_SAFE_POINTS = frozenset(
+    {
+        "ite",
+        "apply_and",
+        "apply_or",
+        "apply_xor",
+        "apply_implies",
+        "apply_iff",
+        "exists",
+        "exists_many",
+        "forall",
+        "restrict",
+        "from_pattern",
+        "from_patterns",
+        "hamming_expand",
+        "hamming_ball",
+        "reorder",
+        "collect_garbage",
+    }
+)
+
+
 class BDDManager:
     """Owns and deduplicates complement-edge ROBDD nodes.
 

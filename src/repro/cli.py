@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -133,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="floor on misclassified-within-oop; noisier gammas are skipped",
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the invariant-enforcing static-analysis pass",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs to lint"
+    )
+    lint_p.add_argument("--format", choices=("human", "json"), default="human")
+    lint_p.add_argument("--rules", default=None, help="comma-separated subset")
+    lint_p.add_argument("--list-rules", action="store_true")
+    lint_p.add_argument("--show-suppressed", action="store_true")
 
     serve_p = sub.add_parser(
         "serve",
@@ -413,6 +425,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Delegate to the devtools front end (same flags), so `repro lint`
+    # and `python -m repro.devtools.lint` stay one implementation.
+    from repro.devtools.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return lint_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -429,6 +457,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command in ("serve", "stream"):
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -12,7 +12,7 @@ rate of a percent or so), which is what the monitor experiments depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import ndimage

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repo (not a serving dependency).
+
+``repro.devtools.lint`` is the invariant-enforcing static-analysis pass;
+see ``python -m repro.devtools.lint --help`` and the "Enforced
+invariants" section of ``src/repro/monitor/backends/README.md``.
+"""

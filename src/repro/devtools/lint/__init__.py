@@ -1,0 +1,11 @@
+"""Invariant-enforcing static analysis for the repro tree.
+
+Usage::
+
+    python -m repro.devtools.lint src/            # human output
+    python -m repro.devtools.lint --format json src/
+
+Kept intentionally light at import time: :mod:`.runtime` (the
+``named_lock`` wrapper) is imported by the serving hot path, so this
+package must not drag in the rule machinery or the engine.
+"""

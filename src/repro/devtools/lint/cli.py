@@ -1,0 +1,85 @@
+"""Command-line front end for the lint pass.
+
+Exit status is 0 when every finding is either absent or suppressed with
+a justification, 1 otherwise — suitable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint.core import RULES, run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Invariant-enforcing static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules with their invariants and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        from repro.devtools.lint import rules as _rules  # noqa: F401
+
+        for name in sorted(RULES):
+            rule = RULES[name]
+            print(f"{name}: {rule.invariant}")
+            print(f"    established: {rule.established}")
+        return 0
+    rule_names: Optional[List[str]] = None
+    if args.rules is not None:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+    report = run_lint(args.paths, rule_names)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return report.exit_code
+    for finding in report.parse_errors:
+        print(finding.render())
+    for finding in report.findings:
+        print(finding.render())
+    if args.show_suppressed:
+        for finding, why in report.suppressed:
+            print(f"{finding.render()}  [suppressed: {why}]")
+    print(
+        f"{report.files} files, {len(report.findings)} findings, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.parse_errors)} parse errors"
+    )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

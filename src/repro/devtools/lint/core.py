@@ -1,0 +1,310 @@
+"""Core of the invariant-enforcing static-analysis pass.
+
+The serving stack's correctness rests on invariants that used to live
+only in prose (the backends README) and in fault-injection tests: BDD
+refs renumber under auto-GC, the pool/drift locks have an implicit
+acquisition order, the worker pipe must only ever carry portable
+payloads.  This module provides the machinery to state those invariants
+as *rules* over the AST and fail the build when code violates them:
+
+* :class:`Finding` — one violation (rule, file, line, message);
+* :class:`FileContext` — a parsed file plus its suppression comments;
+* :class:`Rule` + :func:`register` — the rule registry;
+* :func:`run_lint` — walk files, run rules, apply suppressions.
+
+Suppressions are inline comments with a **mandatory justification**::
+
+    risky_call()  # lint: disable=bdd-ref-safety -- why this is actually safe
+
+A ``disable`` on a ``def``/``class`` line covers the whole body, so a
+single justified comment can whitelist e.g. one diagnostic function
+inside a hot-path file.  A disable without justification text (or naming
+an unknown rule) is itself reported (``bad-suppression``), so the merged
+tree can carry *zero unexplained findings*: every surviving suppression
+documents why the checker is wrong at that site.
+
+Rules are pure AST analyses — running the linter never imports the code
+under analysis, so it is safe on broken trees and needs no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Matches ``lint: disable=<rules> -- <justification>`` comments.
+_DISABLE_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_,\-]+)\s*(?:--\s*(.*\S))?\s*$"
+)
+
+#: A comment-only ``# lint: hot-path`` line arms the hot-path purity
+#: rule for the file (anchored so prose *mentioning* the marker, e.g.
+#: this very module, does not arm it).
+_HOTPATH_RE = re.compile(r"^\s*#\s*lint:\s*hot-path\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One ``# lint: disable=...`` comment.
+
+    ``standalone`` marks a comment-only line; it then covers the *next*
+    line (the statement it annotates) instead of its own.
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    standalone: bool = False
+    used: bool = False
+
+
+class FileContext:
+    """A parsed source file plus everything rules need to judge it."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.hot_path = any(_HOTPATH_RE.search(line) for line in self.lines)
+        self.suppressions: List[Suppression] = []
+        #: (start, end) line span of every function/class whose header
+        #: line carries a suppression — the body inherits it.
+        self._block_spans: List[Tuple[int, int, Suppression]] = []
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(line)
+            if match is None:
+                continue
+            rules = tuple(r.strip() for r in match.group(1).split(",") if r.strip())
+            justification = (match.group(2) or "").strip()
+            standalone = line[: match.start()].strip() == ""
+            self.suppressions.append(
+                Suppression(lineno, rules, justification, standalone)
+            )
+        by_anchor = {
+            (s.line + 1 if s.standalone else s.line): s for s in self.suppressions
+        }
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                suppression = by_anchor.get(node.lineno)
+                if suppression is not None:
+                    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                    self._block_spans.append((node.lineno, end, suppression))
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        """The suppression covering ``(rule, line)``, if any."""
+        for suppression in self.suppressions:
+            if rule not in suppression.rules:
+                continue
+            anchor = suppression.line + 1 if suppression.standalone else suppression.line
+            if anchor == line:
+                return suppression
+        for start, end, suppression in self._block_spans:
+            if start <= line <= end and rule in suppression.rules:
+                return suppression
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the registry key and suppression token),
+    ``invariant`` (the one-line property the rule machine-checks) and
+    ``established`` (where the invariant came from — README section or
+    PR), and implement :meth:`check`.
+    """
+
+    name: str = ""
+    invariant: str = ""
+    established: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: name -> rule instance.  Populated by :func:`register` at import time
+#: of :mod:`repro.devtools.lint.rules`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the registry (one instance)."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in RULES:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    RULES[cls.name] = cls()
+    return cls
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, str]] = field(default_factory=list)
+    files: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "rules": sorted(RULES),
+            "findings": [f.as_dict() for f in self.findings],
+            "parse_errors": [f.as_dict() for f in self.parse_errors],
+            "suppressed": [
+                {**f.as_dict(), "justification": why}
+                for f, why in self.suppressed
+            ],
+        }
+
+
+def lint_file(
+    path: str, source: str, rules: Optional[Iterable[Rule]] = None
+) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+    """Run rules over one in-memory source file.
+
+    Returns ``(findings, suppressed)`` where each suppressed entry pairs
+    the silenced finding with its justification.  Also validates the
+    suppression comments themselves (mandatory justification, known rule
+    names, no dead suppressions).
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree)
+    active = list(RULES.values()) if rules is None else list(rules)
+    findings: List[Finding] = []
+    suppressed: List[Tuple[Finding, str]] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            suppression = ctx.suppression_for(finding.rule, finding.line)
+            if suppression is not None and suppression.justification:
+                suppression.used = True
+                suppressed.append((finding, suppression.justification))
+            elif suppression is not None:
+                # The disable matched but carries no justification: the
+                # finding stands AND the comment is flagged below.
+                suppression.used = True
+                findings.append(finding)
+            else:
+                findings.append(finding)
+    known = set(RULES)
+    for suppression in ctx.suppressions:
+        if not suppression.justification:
+            findings.append(
+                Finding(
+                    rule="bad-suppression",
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "suppression without justification: write "
+                        "'# lint: disable=<rule> -- <why this is safe>'"
+                    ),
+                )
+            )
+        unknown = [r for r in suppression.rules if r not in known]
+        if unknown:
+            findings.append(
+                Finding(
+                    rule="bad-suppression",
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    message=f"suppression names unknown rule(s): {unknown}",
+                )
+            )
+    return findings, suppressed
+
+
+def run_lint(
+    paths: Sequence[str], rule_names: Optional[Sequence[str]] = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the registered rules."""
+    # Rule modules self-register on import; import here so callers using
+    # the API directly (tests, CI helpers) need no separate bootstrap.
+    from repro.devtools.lint import rules as _rules  # noqa: F401
+
+    selected: Optional[List[Rule]] = None
+    if rule_names is not None:
+        missing = [n for n in rule_names if n not in RULES]
+        if missing:
+            raise KeyError(f"unknown rule(s): {missing}; known: {sorted(RULES)}")
+        selected = [RULES[n] for n in rule_names]
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            findings, suppressed = lint_file(str(path), source, selected)
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

@@ -1,0 +1,162 @@
+"""Runtime lock-order checker paired with the static lock graph.
+
+:func:`named_lock` is a drop-in replacement for ``threading.Lock()``
+used at every serving/drift lock site.  Normally it *is* a plain
+``threading.Lock`` — zero overhead.  With ``REPRO_LINT_LOCKCHECK=1`` it
+returns an instrumented wrapper that records, per thread, the stack of
+held locks and every *held → acquired* pair actually observed.
+
+At the end of an instrumented run, :func:`check_consistent` unions the
+observed pairs with the static acquisition graph
+(:mod:`repro.devtools.lint.lockgraph`) and fails on any cycle: an
+execution that ever inverted the static order — even without
+deadlocking, because the schedule happened to be lucky — turns into a
+hard :class:`LockOrderViolation`.  This upgrades "the fault-injection
+suite passed" into "no execution ever inverted the lock order".
+
+The wrapper names are the same ``"ClassName.attr"`` strings the static
+analysis derives, because the name literal passed to :func:`named_lock`
+is authoritative for both sides.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Environment flag enabling instrumentation (checked at lock creation).
+LOCKCHECK_ENV = "REPRO_LINT_LOCKCHECK"
+
+
+def lockcheck_enabled() -> bool:
+    return os.environ.get(LOCKCHECK_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+class LockOrderViolation(RuntimeError):
+    """The observed acquisition order contradicts the static graph."""
+
+
+class LockOrderRecorder:
+    """Records held→acquired pairs across all instrumented locks.
+
+    Thread-safe; the per-thread held stack lives in ``threading.local``
+    so concurrent acquisitions never interleave their stacks.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+        self._edges: Dict[Tuple[str, str], int] = {}
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def on_acquire(self, name: str) -> None:
+        stack = self._stack()
+        if stack:
+            with self._mutex:
+                for held in stack:
+                    if held != name:
+                        key = (held, name)
+                        self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(name)
+
+    def on_release(self, name: str) -> None:
+        stack = self._stack()
+        # Out-of-LIFO release is legal for locks; drop the newest match.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def observed_edges(self) -> Set[Tuple[str, str]]:
+        with self._mutex:
+            return set(self._edges)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+
+    def check_consistent(
+        self, static_edges: Iterable[Tuple[str, str]] = ()
+    ) -> None:
+        """Raise :class:`LockOrderViolation` on any combined-order cycle."""
+        from repro.devtools.lint.lockgraph import find_cycle
+
+        combined = self.observed_edges() | set(static_edges)
+        cycle = find_cycle(combined)
+        if cycle is not None:
+            raise LockOrderViolation(
+                "lock acquisition order inverted: "
+                + " -> ".join(cycle)
+                + f" (observed edges: {sorted(self.observed_edges())})"
+            )
+
+
+#: Process-global recorder every :func:`named_lock` reports into.
+RECORDER = LockOrderRecorder()
+
+
+class _InstrumentedLock:
+    """``threading.Lock`` facade that reports acquisitions by name."""
+
+    __slots__ = ("_name", "_lock", "_recorder")
+
+    def __init__(self, name: str, recorder: LockOrderRecorder) -> None:
+        self._name = name
+        self._lock = threading.Lock()
+        self._recorder = recorder
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._recorder.on_acquire(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._recorder.on_release(self._name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self._name!r} locked={self.locked()}>"
+
+
+def named_lock(
+    name: str, recorder: Optional[LockOrderRecorder] = None
+):
+    """A lock carrying its static-graph identity.
+
+    Returns a plain ``threading.Lock`` unless ``REPRO_LINT_LOCKCHECK=1``
+    (zero overhead in production); instrumented locks report into the
+    process-global :data:`RECORDER` unless one is passed explicitly.
+
+    ``name`` must be the ``"ClassName.attr"`` id of the creation site —
+    the static analysis trusts the literal, so a wrong name desynchronises
+    the two checkers.
+    """
+    if recorder is None and not lockcheck_enabled():
+        return threading.Lock()
+    return _InstrumentedLock(name, recorder if recorder is not None else RECORDER)

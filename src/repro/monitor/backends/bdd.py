@@ -24,7 +24,7 @@ Upgrades over the seed implementation:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -14,6 +14,7 @@ an abstraction, and the natural engine to race against the BDD backend.
 enables the multi-index Hamming pruner (``index.py``) that makes γ > 0
 queries sub-linear in the number of stored patterns.
 """
+# lint: hot-path
 
 from __future__ import annotations
 
@@ -297,7 +298,7 @@ class BitsetZoneBackend(ZoneBackend):
         bytes_view = self._words.view(np.uint8)[:, : self._row_bytes]
         return np.unpackbits(bytes_view, axis=1)[:, : self.num_vars]
 
-    def size(self, gamma: int) -> int:
+    def size(self, gamma: int) -> int:  # lint: disable=hot-path-purity -- bounded diagnostic enumeration (budget-capped BFS), never on the serving path
         """Exact ``|Z^γ|`` by breadth-first Hamming expansion.
 
         Exact counting of a union of Hamming balls needs enumeration; the

@@ -40,6 +40,7 @@ and once the merged rows outnumber the rows the index was built over,
 prototype).  See
 :class:`~repro.monitor.backends.bitset.BitsetZoneBackend.add_patterns`.
 """
+# lint: hot-path
 
 from __future__ import annotations
 
@@ -225,6 +226,7 @@ class MultiIndexHammingIndex:
         proto_dists = self._proto_dists
         single_word = words.shape[1] == 1
         zone_flat = words[:, 0] if single_word else None
+        # lint: disable=hot-path-purity -- per-surviving-query bucket gather; inner work is searchsorted slices, loop bounded by ring survivors
         for k, i in enumerate(alive):
             buckets = [
                 self._band_order[b][ranges[b][0][k] : ranges[b][1][k]]

@@ -16,7 +16,6 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.monitor.patterns import extract_patterns
 from repro.nn.data import Dataset, stack_dataset
 from repro.nn.hooks import ActivationTap
 from repro.nn.layers import Module

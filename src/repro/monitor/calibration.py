@@ -16,7 +16,7 @@ silence, preferring larger warning precision on ties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -33,12 +33,12 @@ shards are always rehydrated copies of a published snapshot.
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.devtools.lint.runtime import named_lock
 from repro.monitor.calibration import CalibrationResult, GammaCalibrator
 from repro.monitor.monitor import NeuronActivationMonitor
 
@@ -100,7 +100,7 @@ class StagingZone:
         if layer_width <= 0:
             raise ValueError(f"layer_width must be positive, got {layer_width}")
         self.layer_width = layer_width
-        self._lock = threading.Lock()
+        self._lock = named_lock("StagingZone._lock")
         self._staged: Dict[int, List[np.ndarray]] = {}
         self._total = 0
         self.total_ever = 0
@@ -255,7 +255,7 @@ class DriftResponder:
         self.total_absorbed = 0
         self.last_calibration: Optional[CalibrationResult] = None
         self.last_snapshot: Optional[ZoneSnapshot] = None
-        self._lock = threading.Lock()
+        self._lock = named_lock("DriftResponder._lock")
 
     # ------------------------------------------------------------------
     # baselines (detector seeding)
@@ -335,7 +335,7 @@ class DriftResponder:
                 calibration=calibration,
             )
             self.monitor = candidate
-            self.epoch = snapshot.epoch
+            self.epoch = snapshot.epoch  # lint: disable=epoch-monotonicity -- snapshot.epoch is self.epoch + 1 computed above, under the same lock hold
             self.absorptions += 1
             self.total_absorbed += absorbed
             self.last_calibration = calibration

@@ -15,8 +15,8 @@ false-positive rate on correct decisions) used by the baseline comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 

@@ -10,7 +10,7 @@ the decision is not backed by any similar training-time activation pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

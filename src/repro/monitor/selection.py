@@ -15,7 +15,7 @@ implementations are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

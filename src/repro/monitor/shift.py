@@ -18,6 +18,8 @@ from typing import Deque, Iterable, List, Optional
 
 import numpy as np
 
+from repro.devtools.lint.runtime import named_lock
+
 
 @dataclass
 class ShiftState:
@@ -83,6 +85,11 @@ class DistributionShiftDetector:
         self._buffer: Deque[bool] = deque(maxlen=window)
         self._cusum = 0.0
         self._seen = 0
+        # Serving calls update() from worker threads while the stats
+        # endpoint peek()s and the drift loop rebaseline()s after a zone
+        # swap; one lock serialises every window/accumulator access so a
+        # rebaseline can never interleave with a half-applied update.
+        self._lock = named_lock("DistributionShiftDetector._lock")
 
     def _state(self) -> ShiftState:
         """Current state from the window and accumulator (shared by
@@ -107,8 +114,8 @@ class DistributionShiftDetector:
             alarm=bool(alarm),
         )
 
-    def update(self, out_of_pattern: bool) -> ShiftState:
-        """Feed one monitor verdict; returns the current detector state."""
+    def _update_locked(self, out_of_pattern: bool) -> ShiftState:
+        """One observation; caller holds ``self._lock``."""
         self._buffer.append(bool(out_of_pattern))
         self._seen += 1
         self._cusum = max(
@@ -125,9 +132,21 @@ class DistributionShiftDetector:
             self._cusum = 0.0
         return state
 
+    def update(self, out_of_pattern: bool) -> ShiftState:
+        """Feed one monitor verdict; returns the current detector state."""
+        with self._lock:
+            return self._update_locked(out_of_pattern)
+
     def update_many(self, flags: Iterable[bool]) -> List[ShiftState]:
-        """Feed a sequence of verdicts; returns the state after each."""
-        return [self.update(flag) for flag in flags]
+        """Feed a sequence of verdicts; returns the state after each.
+
+        Holds the lock across the whole batch (via the unlocked helper —
+        a plain lock would self-deadlock on nested ``update`` calls), so
+        a concurrent ``rebaseline`` lands before or after the batch,
+        never inside it.
+        """
+        with self._lock:
+            return [self._update_locked(flag) for flag in flags]
 
     def peek(self) -> ShiftState:
         """Current state without consuming an observation (serving stats).
@@ -139,7 +158,8 @@ class DistributionShiftDetector:
         z-test still fires).  The two are intentionally different views
         of the same restart, not a disagreement.
         """
-        return self._state()
+        with self._lock:
+            return self._state()
 
     def rebaseline(self, baseline_rate: float) -> None:
         """Swap the no-shift baseline and re-arm the detector.
@@ -152,15 +172,17 @@ class DistributionShiftDetector:
         """
         if not 0.0 <= baseline_rate < 1.0:
             raise ValueError(f"baseline_rate must be in [0, 1), got {baseline_rate}")
-        self.baseline_rate = float(baseline_rate)
-        self._buffer.clear()
-        self._cusum = 0.0
+        with self._lock:
+            self.baseline_rate = float(baseline_rate)
+            self._buffer.clear()
+            self._cusum = 0.0
 
     def reset(self) -> None:
         """Clear the window and the CUSUM accumulator."""
-        self._buffer.clear()
-        self._cusum = 0.0
-        self._seen = 0
+        with self._lock:
+            self._buffer.clear()
+            self._cusum = 0.0
+            self._seen = 0
 
 
 @dataclass
@@ -224,6 +246,10 @@ class DistanceShiftDetector:
         self.divergence_threshold = divergence_threshold
         self._buffer: Deque[int] = deque(maxlen=window)
         self._seen = 0
+        # Same contract as DistributionShiftDetector._lock: updates from
+        # worker threads vs. peek()/rebaseline() from stats and the drift
+        # loop serialise on one lock.
+        self._lock = named_lock("DistanceShiftDetector._lock")
         self._set_baseline(baseline_distances, max_distance)
 
     def _set_baseline(
@@ -295,21 +321,32 @@ class DistanceShiftDetector:
             alarm=bool(alarm),
         )
 
-    def update(self, distance: int) -> DistanceShiftState:
-        """Feed one decision's exact distance; returns the detector state."""
+    def _update_locked(self, distance: int) -> DistanceShiftState:
+        """One observation; caller holds ``self._lock``."""
         if distance < 0:
             raise ValueError(f"distance must be non-negative, got {distance}")
         self._buffer.append(int(distance))
         self._seen += 1
         return self._state()
 
+    def update(self, distance: int) -> DistanceShiftState:
+        """Feed one decision's exact distance; returns the detector state."""
+        with self._lock:
+            return self._update_locked(distance)
+
     def update_many(self, distances: Iterable[int]) -> List[DistanceShiftState]:
-        """Feed a sequence of distances; returns the state after each."""
-        return [self.update(d) for d in distances]
+        """Feed a sequence of distances; returns the state after each.
+
+        Holds the lock once for the whole batch (see
+        :meth:`DistributionShiftDetector.update_many`).
+        """
+        with self._lock:
+            return [self._update_locked(d) for d in distances]
 
     def peek(self) -> DistanceShiftState:
         """Current state without consuming an observation (serving stats)."""
-        return self._state()
+        with self._lock:
+            return self._state()
 
     def rebaseline(
         self,
@@ -325,13 +362,15 @@ class DistanceShiftDetector:
         given, so a serving layer's bounded-distance cap stays valid
         across swaps.  ``samples_seen`` is cumulative and survives.
         """
-        self._set_baseline(
-            baseline_distances,
-            self.max_distance if max_distance is None else max_distance,
-        )
-        self._buffer.clear()
+        with self._lock:
+            self._set_baseline(
+                baseline_distances,
+                self.max_distance if max_distance is None else max_distance,
+            )
+            self._buffer.clear()
 
     def reset(self) -> None:
         """Clear the sliding window (the baseline is kept)."""
-        self._buffer.clear()
-        self._seen = 0
+        with self._lock:
+            self._buffer.clear()
+            self._seen = 0

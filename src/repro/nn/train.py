@@ -8,7 +8,7 @@ reported directly from :attr:`Trainer.history`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -67,6 +67,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.devtools.lint.runtime import named_lock
 from repro.monitor.patterns import pack_patterns, unpack_patterns
 from repro.serving.server import ShardServingStats
 from repro.serving.shard import MonitorShard
@@ -206,7 +207,7 @@ class _WorkerHandle:
         self.index = index
         self.process = process
         self.conn = conn
-        self.send_lock = threading.Lock()
+        self.send_lock = named_lock("_WorkerHandle.send_lock")
         self.pump: Optional[threading.Thread] = None
         self.inflight: Dict[int, _Pending] = {}
         self.acks: Dict[int, threading.Event] = {}
@@ -282,7 +283,7 @@ class ProcessShardPool:
                 owner_of_class[c] = shard.shard_id
         self._owner_of_class = owner_of_class
 
-        self._lock = threading.Lock()
+        self._lock = named_lock("ProcessShardPool._lock")
         self._req_ids = itertools.count()
         self._ack_ids = itertools.count()
         self._workers: List[Optional[_WorkerHandle]] = [None] * self.num_workers

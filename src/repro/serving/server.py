@@ -365,8 +365,14 @@ class StreamServer:
             await self._swap_task
             self._swap_task = None
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # Off-loop: shutdown(wait=True) joins the executor's worker
+            # threads, which can be mid-kernel; parking the event loop on
+            # that join would stall concurrent servers on the same loop.
+            executor = self._executor
             self._executor = None
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: executor.shutdown(wait=True)
+            )
         if self._pool is not None:
             # Off-loop: the pool's graceful drain joins worker processes.
             await asyncio.get_running_loop().run_in_executor(
@@ -569,6 +575,7 @@ class StreamServer:
                 self._executor, shard.check_batch, patterns, classes,
                 want_distances, self._distance_cap,
             )
+        # lint: disable=async-blocking-call -- deliberate inline fast path: batches under _EXECUTOR_MIN_ROWS finish faster than an executor hop
         return shard.check_batch(patterns, classes, want_distances, self._distance_cap)
 
     async def _check_worker(
@@ -667,6 +674,7 @@ class StreamServer:
                         self._executor, classifier.classify, inputs
                     )
                 else:
+                    # lint: disable=async-blocking-call -- same inline small-batch fast path as _run_kernel
                     verdicts = classifier.classify(inputs)
             except Exception as exc:  # noqa: BLE001 — surfaced to callers
                 for request in batch:

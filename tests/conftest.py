@@ -1,0 +1,36 @@
+"""Shared test configuration.
+
+When the suite runs under ``REPRO_LINT_LOCKCHECK=1`` (the CI lockcheck
+job), every ``named_lock`` in the serving/drift stack is instrumented
+and reports acquisitions into a process-global recorder.  The session
+teardown below asserts that everything the suite *actually did* stayed
+consistent with the static lock-acquisition graph — a full-suite race
+check that costs nothing when the flag is off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockcheck_session_gate():
+    yield
+    from repro.devtools.lint.runtime import RECORDER, lockcheck_enabled
+
+    if not lockcheck_enabled():
+        return
+    from pathlib import Path
+
+    from repro.devtools.lint.lockgraph import build_graph_for_paths
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    static = build_graph_for_paths(
+        [
+            str(src / "repro" / "serving"),
+            str(src / "repro" / "monitor" / "drift.py"),
+            str(src / "repro" / "monitor" / "shift.py"),
+        ]
+    )
+    # Raises LockOrderViolation (failing the session) on any inversion.
+    RECORDER.check_consistent(static.edge_set())

@@ -42,6 +42,32 @@ class TestInfo:
         assert "repro" in out
 
 
+class TestLint:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("import os\nprint(os.sep)\n")
+        assert cli.main(["lint", str(good)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_bad_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import os\n")
+        assert cli.main(["lint", str(bad)]) == 1
+        assert "unused-import" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "bdd-ref-safety",
+            "lock-discipline",
+            "payload-boundary",
+            "epoch-monotonicity",
+            "hot-path-purity",
+        ):
+            assert rule in out
+
+
 @pytest.fixture
 def tiny_systems(monkeypatch, tmp_path):
     """Swap the standard configs for tiny ones and isolate the cache."""

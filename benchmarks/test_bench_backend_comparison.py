@@ -30,6 +30,7 @@ from benchutil import is_smoke, record, record_appendix, record_perf, scaled
 from repro.analysis import format_table
 from repro.bdd import BDDManager
 from repro.bdd.analysis import node_count
+from repro.bdd.ordering import correlated_pairs
 from repro.monitor import NeuronActivationMonitor
 from repro.monitor.backends import BitsetZoneBackend
 
@@ -442,6 +443,164 @@ def test_bdd_engine_overhaul_vs_pr4():
         f"sifting only removed {sift_reduction*100:.0f}% of the structured "
         "zone (acceptance floor is 30%)"
     )
+
+
+def _paired_patterns(rng, samples, half, p_equal=0.7, cap=16):
+    """Correlated-pair activation sets: each of ``half`` neuron pairs is
+    equal (both on / both off) with probability ``p_equal`` per sample
+    and anti-correlated otherwise; anti-correlated pairs expand to both
+    (0,1)/(1,0) assignments, capped at ``cap`` rows per sample.  Columns
+    are laid out partner-last ([a0..a9 | b0..b9], partners ``half``
+    apart) — the adversarial interleaved-neuron order."""
+    rows = []
+    for _ in range(samples):
+        states = rng.choice(
+            3, size=half, p=[p_equal / 2, p_equal / 2, 1 - p_equal]
+        )
+        mixed = np.flatnonzero(states == 2)
+        for bits in range(min(cap, 2 ** len(mixed))):
+            a = (states == 1).astype(np.uint8)
+            b = a.copy()
+            for j, p in enumerate(mixed):
+                a[p] = (bits >> j) & 1
+                b[p] = 1 - a[p]
+            rows.append(np.concatenate([a, b]))
+    return np.unique(np.array(rows, dtype=np.uint8), axis=0)
+
+
+def test_sift_vectorized_kernel_and_group_sifting():
+    """The second tentpole front, raced end to end.
+
+    Kernel race: Rudell sifting on a structured zone (correlated neuron
+    pairs laid out under the adversarial order) through the scalar
+    Python swap loop vs the vectorized numpy kernel — same swap
+    sequence, same final variable order and node count by construction,
+    and the vector kernel must be >= 3x faster at full scale.
+
+    Group race: sifting the correlated *pairs* (seeded from
+    ``correlated_pairs``) as glued blocks vs one variable at a time on
+    the same zone — the grouped moves must find a strictly smaller zone
+    at full scale."""
+    rng = np.random.default_rng(9)
+    sift_width = 32
+    sift_rows = scaled(2_000, 500)
+    base = rng.random((sift_rows, sift_width // 2)) < 0.5
+    noisy = base ^ (rng.random((sift_rows, sift_width // 2)) < 0.05)
+    structured = np.concatenate([base, noisy], axis=1).astype(np.uint8)
+
+    kernel_runs = {}
+    for kernel in ("python", "vector"):
+        mgr = BDDManager(sift_width)
+        zone = mgr.function(mgr.from_patterns(structured))
+        t0 = time.perf_counter()
+        stats = mgr.reorder("sift", kernel=kernel)
+        seconds = time.perf_counter() - t0
+        assert mgr.contains_batch(zone.ref, structured).all()
+        kernel_runs[kernel] = dict(
+            stats, seconds=seconds, order=tuple(mgr.var_order())
+        )
+    py, vec = kernel_runs["python"], kernel_runs["vector"]
+    assert vec["order"] == py["order"]
+    assert vec["nodes_after"] == py["nodes_after"]
+    assert vec["swaps"] == py["swaps"]
+    kernel_speedup = py["seconds"] / vec["seconds"]
+
+    half = 10
+    paired = _paired_patterns(
+        np.random.default_rng(9), samples=scaled(220, 80), half=half
+    )
+    groups = correlated_pairs(paired)
+    sift_runs = {}
+    for method, kwargs in (("sift", {}), ("group", {"groups": groups})):
+        mgr = BDDManager(2 * half)
+        zone = mgr.function(mgr.from_patterns(paired))
+        t0 = time.perf_counter()
+        stats = mgr.reorder(method, **kwargs)
+        seconds = time.perf_counter() - t0
+        assert mgr.contains_batch(zone.ref, paired).all()
+        sift_runs[method] = dict(stats, seconds=seconds)
+    single, group = sift_runs["sift"], sift_runs["group"]
+    group_margin = 1.0 - group["nodes_after"] / single["nodes_after"]
+
+    table = format_table(
+        ["sift run", "nodes before", "nodes after", "swaps", "time"],
+        [
+            [
+                "python kernel",
+                f"{py['nodes_before']}",
+                f"{py['nodes_after']}",
+                f"{py['swaps']}",
+                f"{py['seconds']*1e3:.0f}ms",
+            ],
+            [
+                "vector kernel",
+                f"{vec['nodes_before']}",
+                f"{vec['nodes_after']}",
+                f"{vec['swaps']}",
+                f"{vec['seconds']*1e3:.0f}ms",
+            ],
+            [
+                "single-var sift (paired zone)",
+                f"{single['nodes_before']}",
+                f"{single['nodes_after']}",
+                f"{single['swaps']}",
+                f"{single['seconds']*1e3:.0f}ms",
+            ],
+            [
+                "group sift (correlated pairs)",
+                f"{group['nodes_before']}",
+                f"{group['nodes_after']}",
+                f"{group['swaps']}",
+                f"{group['seconds']*1e3:.0f}ms",
+            ],
+        ],
+    )
+    notes = (
+        f"\nvector kernel speedup: {kernel_speedup:.1f}x (floor 3x at "
+        f"full scale), bit-identical order/nodes/swaps\n"
+        f"group sifting vs single-variable: {group_margin*100:.1f}% "
+        f"fewer zone nodes on the interleaved-neuron order "
+        f"({len(groups)} correlated pairs glued)\n"
+        f"kernel workload: {sift_width} neurons, {sift_rows} structured "
+        f"rows, adversarial order; group workload: {2*half} neurons, "
+        f"{len(paired)} paired rows"
+    )
+    record_appendix(
+        "bdd-engine", "vectorized sift kernel + group sifting", table + notes
+    )
+    record_perf(
+        "bdd_engine.sift_vectorized",
+        {
+            "width": sift_width,
+            "rows": sift_rows,
+            "python_seconds": py["seconds"],
+            "vector_seconds": vec["seconds"],
+            "speedup": kernel_speedup,
+            "swaps": int(vec["swaps"]),
+            "nodes_before": int(vec["nodes_before"]),
+            "nodes_after": int(vec["nodes_after"]),
+        },
+    )
+    record_perf(
+        "bdd_engine.group_sift",
+        {
+            "width": 2 * half,
+            "rows": int(len(paired)),
+            "pairs": [[int(a), int(b)] for a, b in groups],
+            "single_nodes_after": int(single["nodes_after"]),
+            "group_nodes_after": int(group["nodes_after"]),
+            "margin": group_margin,
+        },
+    )
+    if not is_smoke():
+        assert kernel_speedup >= 3.0, (
+            f"vector sift kernel only {kernel_speedup:.2f}x the Python "
+            "loop; acceptance floor is 3x"
+        )
+        assert group["nodes_after"] < single["nodes_after"], (
+            f"group sifting ({group['nodes_after']} nodes) did not beat "
+            f"single-variable sifting ({single['nodes_after']} nodes)"
+        )
 
 
 def test_gamma_zero_fast_path_matches():

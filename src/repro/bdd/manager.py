@@ -853,21 +853,46 @@ class BDDManager:
     # dynamic variable reordering (Rudell sifting)
     # ------------------------------------------------------------------
     def reorder(self, method: str = "sift", max_growth: float = 1.2,
-                max_vars: Optional[int] = None) -> Dict[str, int]:
+                max_vars: Optional[int] = None, kernel: Optional[str] = None,
+                groups: Optional[Sequence[Sequence[int]]] = None,
+                ) -> Dict[str, int]:
         """Reorder the live table to shrink it; refs are remapped in place.
 
         ``method="sift"`` is Rudell's algorithm: each variable (largest
         level population first, optionally capped at ``max_vars``) is
         moved through every level by adjacent swaps and parked where the
         table was smallest; ``max_growth`` bounds the transient blow-up
-        tolerated while exploring.  Raw refs held by callers must be
-        pinned or wrapped in :class:`BDDFunction` handles — both are
-        remapped by the two compactions bracketing the sift.
+        tolerated while exploring.  ``method="group"`` sifts the variable
+        *pairs* named by ``groups`` as rigid two-level blocks (glued
+        first, then moved two swaps per step), then sifts the remaining
+        singles — pairs with correlated cofactor structure (e.g. from
+        :func:`repro.bdd.ordering.correlated_pairs`) shrink further than
+        sifting either member alone, because single-variable moves must
+        transit the table-growing region between the pair.
+
+        ``kernel`` picks the swap engine: ``"vector"`` (default, or env
+        ``REPRO_BDD_SIFT_KERNEL``) runs each level swap as batched numpy
+        column operations over array mirrors of the node table;
+        ``"python"`` is the per-node reference loop.  Both kernels visit
+        the same swap sequence and produce the same final variable order
+        and node count — the vector kernel is the same algorithm with
+        the per-node loop folded into vectorized canonicalization.
+
+        Raw refs held by callers must be pinned or wrapped in
+        :class:`BDDFunction` handles — both are remapped by the two
+        compactions bracketing the sift.
         Returns ``{"nodes_before", "nodes_after", "swaps", "vars_sifted"}``.
         """
-        if method != "sift":
-            raise ValueError(f"unknown reorder method {method!r}; only 'sift'")
-        stats, _ = self._sift(max_growth=max_growth, max_vars=max_vars)
+        if method not in ("sift", "group"):
+            raise ValueError(
+                f"unknown reorder method {method!r}; 'sift' or 'group'"
+            )
+        if method == "group" and not groups:
+            raise ValueError("method='group' requires non-empty groups")
+        stats, _ = self._sift(
+            max_growth=max_growth, max_vars=max_vars, kernel=kernel,
+            groups=groups if method == "group" else None,
+        )
         return stats
 
     def _sift(
@@ -875,7 +900,33 @@ class BDDManager:
         max_growth: float = 1.2,
         max_vars: Optional[int] = None,
         extra_roots: Sequence[int] = (),
+        kernel: Optional[str] = None,
+        groups: Optional[Sequence[Sequence[int]]] = None,
     ) -> Tuple[Dict[str, int], Callable[[int], int]]:
+        if kernel is None:
+            kernel = os.environ.get("REPRO_BDD_SIFT_KERNEL", "").strip() \
+                or "vector"
+        if kernel not in ("vector", "python"):
+            raise ValueError(
+                f"unknown sift kernel {kernel!r}; 'vector' or 'python'"
+            )
+        grouped: Dict[int, Tuple[int, ...]] = {}
+        if groups:
+            for pair in groups:
+                members = tuple(int(x) for x in pair)
+                if len(members) != 2:
+                    raise ValueError(
+                        f"groups must be variable pairs, got {members!r}"
+                    )
+                a, b = members
+                for x in members:
+                    if not 0 <= x < self.num_vars:
+                        raise ValueError(f"group variable {x} out of range")
+                if a == b or a in grouped or b in grouped:
+                    raise ValueError(
+                        "groups must pair distinct, non-overlapping variables"
+                    )
+                grouped[a] = grouped[b] = members
         if self.num_vars < 2 or len(self._var) <= 1:
             before = len(self._var)
             self._reorder_count += 1
@@ -887,34 +938,57 @@ class BDDManager:
         self._in_reorder = True
         try:
             # Compact first so every physical node is live and the swap
-            # bookkeeping (reference counts, per-variable sets) is exact.
+            # bookkeeping (reference counts, level populations) is exact.
             remap1 = self.collect_garbage(extra_roots=extra_roots)
             mapped_roots = [remap1(ref) for ref in extra_roots]
             nodes_before = len(self._var)
-            self._build_reorder_state(mapped_roots)
-            swaps = 0
-            populations = sorted(
-                (v for v in range(self.num_vars) if self._var_nodes[v]),
-                key=lambda v: -len(self._var_nodes[v]),
-            )
+            if kernel == "vector":
+                state = _VecReorderState(self, mapped_roots)
+                swap, live = state.swap, state.live_count
+                counts = state.counts()
+            else:
+                state = None
+                self._build_reorder_state(mapped_roots)
+                swap, live = self._swap_levels, lambda: self._live
+                counts = [len(nodes) for nodes in self._var_nodes]
+            # Sift entities largest population first (a pair's population
+            # is the two members' combined level population); ties break
+            # on variable index, matching the stable single-variable sort.
+            entities: List[Tuple[int, Tuple[int, ...]]] = []
+            for v in range(self.num_vars):
+                entity = grouped.get(v, (v,))
+                if v != entity[0]:
+                    continue  # second member; entity already listed
+                population = sum(counts[x] for x in entity)
+                if population:
+                    entities.append((population, entity))
+            entities.sort(key=lambda item: (-item[0], item[1]))
             if max_vars is not None:
-                populations = populations[:max_vars]
-            for v in populations:
-                swaps += self._sift_one(v, max_growth)
+                entities = entities[:max_vars]
+            swaps = 0
+            for _population, entity in entities:
+                if len(entity) == 1:
+                    swaps += self._sift_single(entity[0], max_growth, swap, live)
+                else:
+                    swaps += self._sift_pair(*entity, max_growth, swap, live)
+            if state is not None:
+                state.finalize()
             remap2 = self.collect_garbage(extra_roots=mapped_roots)
             nodes_after = len(self._var)
             self._reorder_count += 1
             self._reorder_swaps += swaps
-            del self._rc, self._var_nodes
             stats = {
                 "nodes_before": nodes_before,
                 "nodes_after": nodes_after,
                 "swaps": swaps,
-                "vars_sifted": len(populations),
+                "vars_sifted": sum(len(entity) for _, entity in entities),
             }
             return stats, (lambda ref: remap2(remap1(ref)))
         finally:
             self._in_reorder = False
+            for attr in ("_rc", "_var_nodes"):
+                if hasattr(self, attr):
+                    delattr(self, attr)
 
     def _build_reorder_state(self, roots: Sequence[int]) -> None:
         n = len(self._var)
@@ -1031,36 +1105,108 @@ class BDDManager:
         vtl[va], vtl[vb] = level + 1, level
         self._np_version += 1
 
-    def _sift_one(self, v: int, max_growth: float) -> int:
+    def _sift_single(
+        self,
+        v: int,
+        max_growth: float,
+        swap: Callable[[int], None],
+        live: Callable[[], int],
+    ) -> int:
+        """Move one variable through every level by adjacent swaps and
+        park it where the live table was smallest (Rudell).  ``swap`` /
+        ``live`` come from whichever kernel is driving the pass."""
         n = self.num_vars
-        limit = max(int(self._live * max_growth), self._live + 2)
+        size = live()
+        limit = max(int(size * max_growth), size + 2)
         pos = self._var_to_level[v]
-        best_size, best_pos = self._live, pos
+        best_size, best_pos = size, pos
         swaps = 0
         while pos < n - 1:  # explore downward
-            self._swap_levels(pos)
+            swap(pos)
             pos += 1
             swaps += 1
-            if self._live < best_size:
-                best_size, best_pos = self._live, pos
-            if self._live > limit:
+            size = live()
+            if size < best_size:
+                best_size, best_pos = size, pos
+            if size > limit:
                 break
         while pos > 0:  # explore upward, through the start position
-            self._swap_levels(pos - 1)
+            swap(pos - 1)
             pos -= 1
             swaps += 1
-            if self._live < best_size:
-                best_size, best_pos = self._live, pos
-            if self._live > limit:
+            size = live()
+            if size < best_size:
+                best_size, best_pos = size, pos
+            if size > limit:
                 break
         while pos < best_pos:  # park at the best position seen
-            self._swap_levels(pos)
+            swap(pos)
             pos += 1
             swaps += 1
         while pos > best_pos:
-            self._swap_levels(pos - 1)
+            swap(pos - 1)
             pos -= 1
             swaps += 1
+        return swaps
+
+    def _sift_pair(
+        self,
+        a: int,
+        b: int,
+        max_growth: float,
+        swap: Callable[[int], None],
+        live: Callable[[], int],
+    ) -> int:
+        """Sift two correlated variables as one rigid block.
+
+        The farther member is first *glued* level by level until the pair
+        is adjacent, then the two-level block moves through the order as a
+        unit — each block step is two adjacent swaps (the outer variable
+        crosses the neighbour, then the inner one follows), which keeps
+        the members' relative order — and parks where the live table was
+        smallest."""
+        vtl = self._var_to_level
+        if vtl[a] > vtl[b]:
+            a, b = b, a
+        swaps = 0
+        while vtl[b] > vtl[a] + 1:  # glue: walk b up until adjacent to a
+            swap(vtl[b] - 1)
+            swaps += 1
+        n = self.num_vars
+        size = live()
+        limit = max(int(size * max_growth), size + 2)
+        pos = vtl[a]  # block occupies levels (pos, pos + 1)
+        best_size, best_pos = size, pos
+        while pos < n - 2:  # block downward
+            swap(pos + 1)
+            swap(pos)
+            pos += 1
+            swaps += 2
+            size = live()
+            if size < best_size:
+                best_size, best_pos = size, pos
+            if size > limit:
+                break
+        while pos > 0:  # block upward, through the glue position
+            swap(pos - 1)
+            swap(pos)
+            pos -= 1
+            swaps += 2
+            size = live()
+            if size < best_size:
+                best_size, best_pos = size, pos
+            if size > limit:
+                break
+        while pos < best_pos:  # park
+            swap(pos + 1)
+            swap(pos)
+            pos += 1
+            swaps += 2
+        while pos > best_pos:
+            swap(pos - 1)
+            swap(pos)
+            pos -= 1
+            swaps += 2
         return swaps
 
     # ------------------------------------------------------------------
@@ -1158,6 +1304,244 @@ class BDDManager:
         """Zero the call/hit counters (cache contents are untouched)."""
         self._ite_calls = self._ite_cache_hits = 0
         self._exists_calls = self._exists_cache_hits = 0
+
+
+class _VecReorderState:
+    """Numpy mirror of the node table powering the vectorized swap kernel.
+
+    The Python swap loop spends its time in per-node dict/set traffic:
+    unique-table deletes and inserts, per-variable set membership, and a
+    recursive reference-count cascade.  This state drops all of that for
+    the duration of a sift.  The node table is mirrored into four int64
+    columns (``var``, ``low``, ``high``, ``rc``); a node is *live* iff
+    ``rc > 0``, so there is no unique table to maintain; uniqueness is
+    restored per swap by sorting candidate ``(low, high)`` keys against
+    the survivors' keys.  Candidate rows come from *level-partitioned
+    index columns* (``_rows_of[v]``, one int64 index array per
+    variable), so a swap's cost scales with its two level populations,
+    not the table size.  The columns are maintained lazily: death marks
+    nothing (a dead row is filtered by its ``rc == 0`` the next time its
+    variable reaches the upper level of a swap), and rows re-expressed
+    at the lower variable are appended to that variable's column.
+
+    One :meth:`swap` performs the same re-expression as
+    ``BDDManager._swap_levels``, as whole-column batches:
+
+    1. gather the live upper-level nodes whose cofactors touch the lower
+       variable (the *interacting* rows);
+    2. compute all four grandchild cofactors with ``np.where`` (applying
+       the complement-edge flip on the low side);
+    3. canonicalize both new-child columns in one batched ``_mk``:
+       collapse ``low == high``, normalize complemented highs, then
+       dedup against surviving upper-level nodes and within the batch,
+       bulk-appending only the genuinely new nodes;
+    4. count every new parent edge, then release the old cofactor edges
+       with a batched death cascade.
+
+    All increments land before any decrement, which is equivalent to the
+    scalar kernel's interleaving: a swap's deaths happen at the lower
+    level and below, so they can never free a row the batch is about to
+    reuse, and a node revived by the batch was by definition still
+    referenced.  Both kernels therefore see the same live count after
+    every swap — and hence make identical sift decisions.
+
+    Physical node indices may diverge from the Python kernel (batch
+    append order differs from discovery order), but interacting rows are
+    rewritten *in place*, so parent edges and external roots stay valid;
+    the closing :meth:`BDDManager.collect_garbage` compacts junk rows
+    and rebuilds the unique table either way.
+    """
+
+    __slots__ = ("mgr", "var", "low", "high", "rc", "n", "live", "_rows_of")
+
+    def __init__(self, mgr: "BDDManager", roots: Sequence[int]):
+        self.mgr = mgr
+        n = len(mgr._var)
+        cap = max(2 * n, 256)
+        self.var = np.zeros(cap, dtype=np.int64)
+        self.low = np.zeros(cap, dtype=np.int64)
+        self.high = np.zeros(cap, dtype=np.int64)
+        self.var[:n] = mgr._var
+        self.low[:n] = mgr._low
+        self.high[:n] = mgr._high
+        rc = np.zeros(cap, dtype=np.int64)
+        if n > 1:
+            children = np.concatenate([self.low[1:n], self.high[1:n]]) >> 1
+            np.add.at(rc, children, 1)
+        for ref, count in mgr._pins.items():
+            rc[ref >> 1] += count
+        for fn in tuple(mgr._functions):
+            rc[fn.ref >> 1] += 1
+        for ref in roots:
+            rc[ref >> 1] += 1
+        rc[0] += 1  # the terminal is immortal
+        self.rc = rc
+        self.n = n
+        self.live = n  # the opening compaction made every row live
+        # Level-partitioned index columns: row indices per variable
+        # (internal rows only; may go stale with dead rows, see swap).
+        internal = self.var[1:n]
+        order = np.argsort(internal, kind="stable") + 1
+        bounds = np.searchsorted(internal[order - 1], np.arange(mgr.num_vars + 1))
+        self._rows_of = [
+            order[bounds[v] : bounds[v + 1]] for v in range(mgr.num_vars)
+        ]
+
+    def live_count(self) -> int:
+        return self.live
+
+    def counts(self) -> List[int]:
+        """Live internal nodes per variable (sift priority populations)."""
+        return [
+            int((self.rc[rows] > 0).sum()) for rows in self._rows_of
+        ]
+
+    def _grow(self, needed: int) -> None:
+        cap = len(self.var)
+        if needed <= cap:
+            return
+        cap = max(2 * cap, needed)
+        for name in ("var", "low", "high", "rc"):
+            old = getattr(self, name)
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self.n] = old[: self.n]
+            setattr(self, name, grown)
+
+    def swap(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` — the
+        batched twin of :meth:`BDDManager._swap_levels`."""
+        mgr = self.mgr
+        ltv, vtl = mgr._level_to_var, mgr._var_to_level
+        va, vb = ltv[level], ltv[level + 1]
+        var, low, high = self.var, self.low, self.high
+        stale = self._rows_of[va]
+        va_rows = stale[self.rc[stale] > 0]  # drop rows that died since
+        self._rows_of[va] = va_rows
+        if va_rows.size:
+            f0 = low[va_rows]
+            f1 = high[va_rows]
+            inter = ((f0 > 1) & (var[f0 >> 1] == vb)) | (
+                (f1 > 1) & (var[f1 >> 1] == vb)
+            )
+        else:
+            inter = np.zeros(0, dtype=bool)
+        rows = va_rows[inter] if va_rows.size else va_rows
+        if rows.size:
+            f0 = f0[inter]
+            f1 = f1[inter]
+            j0 = f0 >> 1
+            j1 = f1 >> 1
+            at0 = (f0 > 1) & (var[j0] == vb)
+            at1 = (f1 > 1) & (var[j1] == vb)
+            # Grandchildren; the low-side flip pushes a complemented low
+            # edge down onto the cofactors (the high side is regular).
+            flip = np.where(at0, (f0 & 1) ^ 1, 0)
+            f00 = np.where(at0, low[j0] ^ flip, f0)
+            f01 = np.where(at0, high[j0] ^ flip, f0)
+            f10 = np.where(at1, low[j1], f1)
+            f11 = np.where(at1, high[j1], f1)
+            # One batched _mk over both new-child columns: the new lows
+            # are mk(va, f00, f10), the new highs mk(va, f01, f11).
+            survivors = va_rows[~inter]
+            before = self.n
+            refs = self._mk_batch(
+                va,
+                np.concatenate([f00, f01]),
+                np.concatenate([f10, f11]),
+                survivors,
+            )
+            var, low, high, rc = self.var, self.low, self.high, self.rc
+            # Every result ref is one new parent edge (new and reused
+            # children alike — the scalar kernel's _rc_inc per edge).
+            np.add.at(rc, refs >> 1, 1)
+            # Re-express the interacting rows in place: same physical
+            # index, so parent edges and external roots stay valid.
+            m = rows.size
+            var[rows] = vb
+            low[rows] = refs[:m]
+            high[rows] = refs[m:]
+            self._rows_of[va] = np.concatenate(
+                [survivors, np.arange(before, self.n)]
+            )
+            self._rows_of[vb] = np.concatenate([self._rows_of[vb], rows])
+            # Release the old cofactor edges, cascading deaths.
+            self._dec_batch(np.concatenate([f0, f1]))
+        ltv[level], ltv[level + 1] = vb, va
+        vtl[va], vtl[vb] = level + 1, level
+        mgr._np_version += 1
+
+    def _mk_batch(
+        self,
+        v: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        survivors: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``_mk`` over a column of ``(low, high)`` pairs at
+        variable ``v``: canonicalize (collapse + complement-edge normal
+        form), dedup against the surviving rows already at ``v`` and
+        within the batch, bulk-append the genuinely new nodes, and count
+        the new nodes' child edges.  Returns the result ref column."""
+        collapse = lows == highs
+        flip = np.where(collapse, 0, (highs & 1) ^ 1)
+        kl = lows ^ flip
+        kh = highs ^ flip
+        # Packed canonical key; safe while node count < 2**31.
+        key = (kl << 32) | kh
+        refs = np.empty(key.size, dtype=np.int64)
+        refs[collapse] = lows[collapse]
+        matched = np.zeros(key.size, dtype=bool)
+        if survivors.size:
+            sk = (self.low[survivors] << 32) | self.high[survivors]
+            order = np.argsort(sk, kind="stable")
+            sk_sorted = sk[order]
+            pos = np.minimum(np.searchsorted(sk_sorted, key), sk.size - 1)
+            matched = (sk_sorted[pos] == key) & ~collapse
+            refs[matched] = (survivors[order[pos[matched]]] << 1) | 1
+        fresh = ~(collapse | matched)
+        if fresh.any():
+            uniq, first, inverse = np.unique(
+                key[fresh], return_index=True, return_inverse=True
+            )
+            k = uniq.size
+            self._grow(self.n + k)
+            var, low, high, rc = self.var, self.low, self.high, self.rc
+            base = self.n
+            fresh_rows = np.flatnonzero(fresh)
+            src = fresh_rows[first]  # first occurrence of each unique key
+            var[base : base + k] = v
+            low[base : base + k] = kl[src]
+            high[base : base + k] = kh[src]
+            np.add.at(rc, kl[src] >> 1, 1)
+            np.add.at(rc, kh[src] >> 1, 1)
+            self.n = base + k
+            self.live += k
+            refs[fresh_rows] = ((base + inverse) << 1) | 1
+        return refs ^ flip
+
+    def _dec_batch(self, refs: np.ndarray) -> None:
+        """Release one parent edge per ref, cascading: rows whose count
+        hits zero die and release their own child edges, wave by wave."""
+        rc, low, high = self.rc, self.low, self.high
+        targets = refs >> 1
+        while targets.size:
+            np.add.at(rc, targets, -1)
+            dead = np.unique(targets[(rc[targets] == 0) & (targets != 0)])
+            if not dead.size:
+                return
+            self.live -= dead.size
+            targets = np.concatenate([low[dead], high[dead]]) >> 1
+
+    def finalize(self) -> None:
+        """Write the mirrors back to the manager's node lists.  Dead rows
+        go back as junk — the closing compaction sweeps them and rebuilds
+        the unique table and caches from the surviving rows."""
+        mgr = self.mgr
+        n = self.n
+        mgr._var = self.var[:n].tolist()
+        mgr._low = self.low[:n].tolist()
+        mgr._high = self.high[:n].tolist()
+        mgr._np_version += 1
 
 
 class BDDFunction:

@@ -10,6 +10,11 @@ columns) from the training patterns themselves before the zone is built:
 * :func:`correlation_order` — greedy chaining of strongly correlated bits so
   related neurons sit at adjacent levels, where sharing is possible.
 * :func:`random_order` — the control for ablation.
+* :func:`correlated_pairs` — greedy maximum-|correlation| matching of the
+  columns into pairs, feeding ``reorder(method="group")``: interleaved
+  neuron orders (e.g. two concatenated layers) put each column's partner
+  far away, where single-variable sifting struggles to reunite them —
+  group sifting moves the matched pair as one block.
 
 :func:`evaluate_ordering` measures the node count a given order yields, so
 the ordering ablation bench can quantify the effect.
@@ -79,6 +84,39 @@ def random_order(width: int, seed: int = 0) -> np.ndarray:
     return np.random.default_rng(seed).permutation(width)
 
 
+def correlated_pairs(patterns: np.ndarray) -> list:
+    """Greedily match columns into maximum-|correlation| pairs.
+
+    Repeatedly takes the strongest-correlated unmatched column pair until
+    at most one column is left over.  The result (a list of ``(a, b)``
+    index tuples, strongest pair first) is the ``groups`` argument for
+    ``BDDManager.reorder(method="group")`` — each pair is sifted as a
+    rigid block, so partners that a bad seed order scattered far apart
+    travel together instead of one waiting at the far side of the
+    table-growing region between them.
+    """
+    patterns = np.atleast_2d(patterns).astype(np.float64)
+    n, d = patterns.shape
+    if d < 2:
+        return []
+    centered = patterns - patterns.mean(axis=0)
+    std = centered.std(axis=0)
+    std[std == 0] = 1.0
+    corr = np.abs((centered / std).T @ (centered / std)) / max(n, 1)
+    np.fill_diagonal(corr, -1.0)
+    pairs = []
+    unmatched = corr.copy()
+    for _ in range(d // 2):
+        flat = int(np.argmax(unmatched))
+        a, b = divmod(flat, d)
+        if unmatched[a, b] < 0:
+            break  # everything left is already matched
+        pairs.append((min(a, b), max(a, b)))
+        unmatched[[a, b], :] = -1.0
+        unmatched[:, [a, b]] = -1.0
+    return pairs
+
+
 #: Registry of the static ordering heuristics, keyed as accepted by
 #: :func:`static_order` / :func:`seed_order`.
 STATIC_ORDERS = ("balance", "correlation", "random", "identity")
@@ -120,14 +158,22 @@ def seed_order(
 
 
 def evaluate_ordering(
-    patterns: np.ndarray, order: Sequence[int], sift: bool = False
+    patterns: np.ndarray,
+    order: Sequence[int],
+    sift: bool = False,
+    groups: Union[str, Sequence[Sequence[int]], None] = None,
+    kernel: Union[str, None] = None,
 ) -> Dict[str, int]:
     """Build the pattern-set BDD under ``order`` and report its size.
 
     ``order[k]`` gives the pattern column placed at BDD level ``k``.
     ``sift=True`` additionally runs a sifting pass on the built diagram
     and reports the refined size (``sifted_nodes``/``sift_swaps``) — the
-    static-seed-then-sift pipeline the zone backend uses.
+    static-seed-then-sift pipeline the zone backend uses.  ``groups``
+    upgrades that pass to group sifting: pass explicit variable pairs,
+    or ``"correlated"`` to derive them from the patterns with
+    :func:`correlated_pairs`.  ``kernel`` selects the manager's swap
+    kernel (``"vector"``/``"python"``; default per the manager).
     """
     patterns = np.atleast_2d(patterns)
     order = np.asarray(order)
@@ -137,8 +183,17 @@ def evaluate_ordering(
     mgr.set_order(order)
     zone = mgr.function(mgr.from_patterns(patterns))
     result = {"nodes": node_count(mgr, zone.ref), "total_nodes": len(mgr)}
-    if sift:
-        stats = mgr.reorder(method="sift")
+    if sift or groups is not None:
+        if isinstance(groups, str):
+            if groups != "correlated":
+                raise ValueError(
+                    f"unknown group heuristic {groups!r}; only 'correlated'"
+                )
+            groups = correlated_pairs(patterns)
+        if groups:
+            stats = mgr.reorder(method="group", groups=groups, kernel=kernel)
+        else:
+            stats = mgr.reorder(method="sift", kernel=kernel)
         result["sifted_nodes"] = node_count(mgr, zone.ref)
         result["sift_swaps"] = stats["swaps"]
     return result

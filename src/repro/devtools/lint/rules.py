@@ -460,10 +460,26 @@ ENGINE_INTERNALS = frozenset(
     }
 )
 
-#: Calls whose result is a portable wire form.
+#: Calls whose result is a portable wire form.  The shared-memory ring
+#: readers qualify: they hand back packed-bit copies/views, never engine
+#: objects.
 BLESSED_PRODUCERS = frozenset(
-    {"to_payload", "pack_patterns", "tobytes", "tolist", "as_payload"}
+    {
+        "to_payload",
+        "pack_patterns",
+        "tobytes",
+        "tolist",
+        "as_payload",
+        "read_request",
+        "read_response",
+    }
 )
+
+#: Ring frame producers (``repro.serving.shmring``): the only writers of
+#: shared-memory ring slots.  Their arguments are a payload boundary
+#: exactly like a pipe send — a live engine object memcpy'd into a slot
+#: would be garbage on the other side.
+RING_FRAME_SINKS = frozenset({"frame_request", "frame_response"})
 
 
 def _is_pipe_receiver(name: Optional[str]) -> bool:
@@ -477,8 +493,8 @@ def _is_pipe_receiver(name: Optional[str]) -> bool:
 class PayloadBoundaryRule(Rule):
     name = "payload-boundary"
     invariant = (
-        "worker pipes and pickles carry only to_payload()/packed-bit "
-        "forms, never live engine objects"
+        "worker pipes, pickles and shared-memory ring slots carry only "
+        "to_payload()/packed-bit forms, never live engine objects"
     )
     established = "PR 4 shared-nothing worker protocol; backends README"
 
@@ -496,7 +512,8 @@ class PayloadBoundaryRule(Rule):
                 is_pickle = terminal in ("dumps", "dump") and _root_name(
                     node.func
                 ) in ("pickle", "cloudpickle")
-                if not (is_send or is_pickle):
+                is_ring = terminal in RING_FRAME_SINKS
+                if not (is_send or is_pickle or is_ring):
                     continue
                 for arg in node.args:
                     yield from self._check_payload(ctx, arg, tainted)

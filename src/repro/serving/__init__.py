@@ -14,10 +14,14 @@ this package turns one monitor into a serving fleet:
   distances.  Batches execute on a pluggable executor: inline on the
   loop, a shared thread pool, or the multiprocess shard pool;
 * :mod:`repro.serving.procpool` — :class:`ProcessShardPool`,
-  shared-nothing worker *processes* each rehydrating a disjoint subset
-  of the shards from portable visited-pattern payloads, with warm-up
-  handshake, graceful drain, and crash detection with automatic respawn
-  and in-flight block requeue.
+  shared-nothing worker *processes* rehydrating the shards from
+  portable visited-pattern payloads, with warm-up handshake, graceful
+  drain, shortest-queue block dispatch, and crash detection with
+  automatic respawn and in-flight block requeue;
+* :mod:`repro.serving.shmring` — preallocated shared-memory
+  request/response rings that carry the packed row blocks and results
+  zero-copy between parent and workers (pipes demoted to a control
+  plane; pickled-pipe fallback per oversized block).
 
 See the serving sections of ``monitor/backends/README.md`` for the
 sharding and process execution models and tuning knobs, and

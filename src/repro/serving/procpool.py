@@ -16,18 +16,37 @@ design is strictly shared-nothing:
   indices) is ever pickled, so a pool can rehydrate shards recorded by
   any backend into any process, even across hosts in principle.
 
-* **Block wire format.**  Requests travel over ``multiprocessing`` pipes
-  as pickled tuples ``("req", req_id, shard_id, mode, packed, rows,
-  width, classes, cap)`` where ``packed`` is the ``np.packbits`` form of
-  the block's pattern rows (8 neurons per byte; ``width`` is the true
-  row width so wrong-width blocks fail their own future instead of
-  silently gaining padding bits — one block, one future, mirroring
-  PR 3's in-process block protocol).  ``mode`` selects the
-  kernel: ``"check"`` (verdicts), ``"both"`` (one combined distance
+* **Block wire format.**  Control tuples travel over ``multiprocessing``
+  pipes as ``("req", req_id, shard_id, mode, payload, rows, width,
+  classes, cap)``.  On the default zero-copy transport
+  (``transport="shm"``, opt out with ``REPRO_SERVING_SHM=0``) the row
+  data itself never crosses a pickle: ``payload`` is a ``("shm", slot)``
+  descriptor naming a slot in the worker's preallocated
+  :mod:`~repro.serving.shmring` request ring, where the parent memcpy'd
+  the block's ``np.packbits`` rows and int64 class ids; the worker
+  answers ``("ok", req_id, ("shm", slot, has_verdicts, has_distances))``
+  after scattering its result into the paired response-ring slot.  The
+  pipe is thus demoted to a control plane — slot handoff, warm-up,
+  zone/γ resync, crash detection.  Blocks that exceed the slot width (or
+  arrive while all slots are in flight) fall back block-by-block to the
+  PR-4 pickled form, where ``payload`` is the packed matrix itself
+  (``width`` is the true row width so wrong-width blocks fail their own
+  future instead of silently gaining padding bits — one block, one
+  future, mirroring PR 3's in-process block protocol).  ``mode`` selects
+  the kernel: ``"check"`` (verdicts), ``"both"`` (one combined distance
   kernel for verdicts + exact distances, the detector-serving path) or
   ``"dist"`` (``min_distances``, optionally ``cap``-bounded).  Workers
-  answer ``("ok", req_id, (verdicts, distances))`` or ``("err", req_id,
-  exception)``; a bad block fails its own future, never the worker.
+  answer ``("ok", req_id, result)`` or ``("err", req_id, exception)``; a
+  bad block fails its own future, never the worker.
+
+* **Dispatch.**  ``dispatch="balance"`` (the default) rehydrates every
+  shard into every worker and routes each block to the live worker with
+  the shortest outstanding-block queue, which levels uneven
+  classes-per-shard splits (the static partition served 1227/1183/788/
+  802 blocks at 4 workers on a uniform workload; balance dispatch is
+  asserted within 20% in the bench).  ``dispatch="owner"`` keeps the
+  PR-4 disjoint round-robin partition — lowest memory, deterministic
+  shard→worker placement (the fault suites use it to aim SIGKILLs).
 
 * **Lifecycle.**  ``start()`` spawns workers and performs a warm-up
   handshake (init payload down, ``("ready", shard_count)`` back) so a
@@ -38,9 +57,14 @@ design is strictly shared-nothing:
   crash detector: on pipe EOF / worker death, every unanswered block is
   requeued onto an automatically respawned replacement (rebuilt from the
   parent's retained payloads, current γ re-applied before replay), so
-  callers see a latency blip instead of an error.  A worker that crashes
-  more than ``max_respawns`` times fails its pending futures with
-  :class:`WorkerCrashError` instead of looping forever.
+  callers see a latency blip instead of an error.  Ring slots held by a
+  SIGKILL'd worker are reclaimed by the same drain — the parent owns the
+  free queue, so a dead worker can never strand a slot — and the
+  replacement re-attaches to the same segments by name.  A worker that
+  crashes more than ``max_respawns`` times fails its pending futures
+  with :class:`WorkerCrashError` instead of looping forever; its
+  segments are unlinked on the spot, and ``stop()`` unlinks the rest, so
+  no ``/dev/shm`` entry outlives the pool.
 
 The pool exposes both an executor-shaped API (``submit`` → one
 ``concurrent.futures.Future`` per block, used by
@@ -60,6 +84,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import os
 import threading
 import time
 from concurrent.futures import Future
@@ -69,6 +94,7 @@ import numpy as np
 
 from repro.devtools.lint.runtime import named_lock
 from repro.monitor.patterns import pack_patterns, unpack_patterns
+from repro.serving import shmring
 from repro.serving.server import ShardServingStats
 from repro.serving.shard import MonitorShard
 
@@ -86,9 +112,14 @@ def _worker_main(conn) -> None:
     Owns a private ``shard_id -> MonitorShard`` map rehydrated from the
     init payloads and answers block requests until the ``("stop",)``
     sentinel (graceful: replies ``("bye",)`` so the parent can tell a
-    drain from a crash) or pipe EOF (parent died: exit quietly).
+    drain from a crash) or pipe EOF (parent died: exit quietly).  When
+    the init handshake carries a ring spec the worker attaches to the
+    parent's shared-memory rings and serves ``("shm", slot)`` blocks
+    zero-copy; it never owns a slot past its own reply, and never
+    unlinks — segment lifetime is the parent's job.
     """
     shards: Dict[int, MonitorShard] = {}
+    rings: Optional[shmring.AttachedRings] = None
     try:
         while True:
             try:
@@ -99,6 +130,14 @@ def _worker_main(conn) -> None:
             if kind == "req":
                 _, req_id, shard_id, mode, packed, rows, width, classes, cap = msg
                 try:
+                    slot = -1
+                    if type(packed) is tuple:
+                        # ("shm", slot): gather the block from the request
+                        # ring instead of the pickled control tuple.
+                        slot = packed[1]
+                        packed, classes = shmring.read_request(
+                            rings, slot, rows, width
+                        )
                     shard = shards[shard_id]
                     # Unpack at the *sender's* row width: a wrong-width
                     # block then fails the monitor's own validation (its
@@ -119,12 +158,28 @@ def _worker_main(conn) -> None:
                         )
                     else:
                         raise ValueError(f"unknown request mode {mode!r}")
-                    conn.send(("ok", req_id, result))
+                    if slot >= 0:
+                        verdicts, distances = result
+                        shmring.frame_response(rings, slot, verdicts, distances)
+                        conn.send((
+                            "ok", req_id,
+                            ("shm", slot, verdicts is not None,
+                             distances is not None),
+                        ))
+                    else:
+                        conn.send(("ok", req_id, result))
                 except Exception as exc:  # noqa: BLE001 — shipped to caller
+                    # The parent reclaims any ring slot when it pops the
+                    # failed block's pending entry, so no release here.
                     try:
                         conn.send(("err", req_id, exc))
                     except Exception:  # unpicklable exception: degrade
                         conn.send(("err", req_id, RuntimeError(repr(exc))))
+                # Drop the slot views before the next recv: once the
+                # reply lands the parent is free to reuse the slot, and
+                # a view lingering into shutdown blocks the segment
+                # close.
+                packed = classes = None  # noqa: F841
             elif kind == "init":
                 for payload in msg[1]:
                     shard = MonitorShard.from_payload(payload)
@@ -135,6 +190,8 @@ def _worker_main(conn) -> None:
                 if msg[2] is not None:
                     for shard in shards.values():
                         shard.monitor.set_gamma(msg[2])
+                if msg[3] is not None:
+                    rings = shmring.AttachedRings(msg[3])
                 conn.send(("ready", len(shards)))
             elif kind == "gamma":
                 for shard in shards.values():
@@ -158,6 +215,8 @@ def _worker_main(conn) -> None:
                 conn.send(("bye",))
                 return
     finally:
+        if rings is not None:
+            rings.close()
         try:
             conn.close()
         except OSError:
@@ -169,11 +228,14 @@ def _worker_main(conn) -> None:
 # ----------------------------------------------------------------------
 class _Pending:
     """One in-flight block: the request (kept verbatim for crash requeue)
-    plus the caller's future."""
+    plus the caller's future.  ``slot`` is the ring-slot index the block
+    currently occupies (``-1`` = pickled pipe); exactly one owner ever
+    releases it — the pump on reply, or whoever pops the entry from the
+    in-flight map on the crash/requeue paths."""
 
     __slots__ = (
         "req_id", "shard_id", "mode", "packed", "rows", "width",
-        "classes", "cap", "future", "enqueued_at",
+        "classes", "cap", "slot", "future", "enqueued_at",
     )
 
     def __init__(self, req_id, shard_id, mode, packed, rows, width, classes, cap):
@@ -185,6 +247,7 @@ class _Pending:
         self.width = width
         self.classes = classes
         self.cap = cap
+        self.slot = -1
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
 
@@ -192,6 +255,15 @@ class _Pending:
         return (
             "req", self.req_id, self.shard_id, self.mode,
             self.packed, self.rows, self.width, self.classes, self.cap,
+        )
+
+    def wire_shm(self, slot):
+        # Rows + classes live in the ring slot; only metadata crosses
+        # the pipe.  ``width`` still travels so the worker reshapes (and
+        # validates) the packed view at the sender's row width.
+        return (
+            "req", self.req_id, self.shard_id, self.mode,
+            ("shm", slot), self.rows, self.width, None, self.cap,
         )
 
 
@@ -224,10 +296,10 @@ class ProcessShardPool:
     Parameters
     ----------
     shards:
-        The :class:`MonitorShard` slices to distribute (round-robin) over
-        the workers.  Only their portable payloads are retained by the
-        parent — the pool never touches the live monitors again, so the
-        caller may discard them.
+        The :class:`MonitorShard` slices to distribute over the workers.
+        Only their portable payloads are retained by the parent — the
+        pool never touches the live monitors again, so the caller may
+        discard them.
     num_workers:
         Worker process count (capped at the shard count).
     context:
@@ -239,6 +311,21 @@ class ProcessShardPool:
         :class:`WorkerCrashError`.
     ready_timeout:
         Seconds to wait for a worker's warm-up handshake.
+    transport:
+        ``"shm"`` (default; opt out globally with ``REPRO_SERVING_SHM=0``)
+        ships row blocks through preallocated shared-memory rings,
+        ``"pipe"`` keeps the PR-4 pickled-block protocol (the transport
+        microbench compares the two).
+    dispatch:
+        ``"balance"`` (default; override with ``REPRO_SERVING_DISPATCH``)
+        replicates every shard into every worker and sends each block to
+        the shortest outstanding-block queue; ``"owner"`` keeps the
+        disjoint round-robin shard→worker partition.
+    ring_slots / ring_slot_bytes:
+        Per-worker ring geometry (defaults 32 slots × 64 KiB, env
+        ``REPRO_SERVING_SHM_SLOTS`` / ``REPRO_SERVING_SHM_SLOT_BYTES``).
+        Oversized blocks fall back to the pipe, so the slot width bounds
+        the fast path, never correctness.
     """
 
     def __init__(
@@ -248,6 +335,10 @@ class ProcessShardPool:
         context: Optional[str] = None,
         max_respawns: int = 5,
         ready_timeout: float = 120.0,
+        transport: Optional[str] = None,
+        dispatch: Optional[str] = None,
+        ring_slots: Optional[int] = None,
+        ring_slot_bytes: Optional[int] = None,
     ):
         shards = list(shards)
         if not shards:
@@ -262,6 +353,26 @@ class ProcessShardPool:
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         self._ctx = mp.get_context(context)
+        if transport is None:
+            transport = (
+                "pipe" if os.environ.get("REPRO_SERVING_SHM", "1") == "0"
+                else "shm"
+            )
+        if transport not in ("shm", "pipe"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self._transport = transport
+        if dispatch is None:
+            dispatch = os.environ.get("REPRO_SERVING_DISPATCH", "balance")
+        if dispatch not in ("balance", "owner"):
+            raise ValueError(f"unknown dispatch {dispatch!r}")
+        self._dispatch_mode = dispatch
+        self._ring_slots = int(
+            ring_slots or os.environ.get("REPRO_SERVING_SHM_SLOTS", 32)
+        )
+        self._ring_slot_bytes = int(
+            ring_slot_bytes
+            or os.environ.get("REPRO_SERVING_SHM_SLOT_BYTES", 65536)
+        )
 
         self._payloads: List[List[dict]] = [[] for _ in range(self.num_workers)]
         self._worker_of: Dict[int, int] = {}
@@ -272,7 +383,13 @@ class ProcessShardPool:
                 raise ValueError(f"duplicate shard id {shard.shard_id}")
             slot = position % self.num_workers
             payload = shard.to_payload()
-            self._payloads[slot].append(payload)
+            if self._dispatch_mode == "balance":
+                # Every worker rehydrates every shard, so any block can
+                # go to whichever queue is shortest.
+                for dest in range(self.num_workers):
+                    self._payloads[dest].append(payload)
+            else:
+                self._payloads[slot].append(payload)
             self._worker_of[shard.shard_id] = slot
             self._classes_of[shard.shard_id] = np.asarray(
                 payload["classes"], dtype=np.int64
@@ -287,9 +404,14 @@ class ProcessShardPool:
         self._req_ids = itertools.count()
         self._ack_ids = itertools.count()
         self._workers: List[Optional[_WorkerHandle]] = [None] * self.num_workers
+        self._rings: List[Optional[shmring.RingPair]] = [None] * self.num_workers
         self._stats = [ShardServingStats(shard_id=i) for i in range(self.num_workers)]
         self._crashes = [0] * self.num_workers
         self._requeued = [0] * self.num_workers
+        self._ring_blocks = [0] * self.num_workers
+        self._pipe_blocks = [0] * self.num_workers
+        self._dispatch_clock = 0  # rotates balance-dispatch tie-breaking
+        self._pumps: List[threading.Thread] = []
         self._gamma: Optional[int] = None
         self._epoch = 0
         self._swapping = False
@@ -309,8 +431,21 @@ class ProcessShardPool:
                 return
             self._running = True
             self._stopping = False
-        for index in range(self.num_workers):
-            self._workers[index] = self._spawn(index)
+        try:
+            if self._transport == "shm":
+                for index in range(self.num_workers):
+                    if self._rings[index] is None:
+                        self._rings[index] = shmring.RingPair(
+                            f"{os.getpid()}-{index}",
+                            self._ring_slots, self._ring_slot_bytes,
+                        )
+            for index in range(self.num_workers):
+                self._workers[index] = self._spawn(index)
+        except BaseException:
+            self._destroy_rings()
+            with self._lock:
+                self._running = False
+            raise
 
     def stop(self) -> None:
         """Graceful drain: the stop sentinel queues FIFO behind every
@@ -345,6 +480,17 @@ class ProcessShardPool:
                 worker.conn.close()
             except OSError:
                 pass
+        # A crash handler racing this shutdown runs on a dead worker's
+        # pump thread (its slot is None above, so the join loop skipped
+        # it) and may be mid-_spawn: wait for every pump ever started
+        # before unlinking, or the replacement attaches to a segment
+        # that no longer exists.
+        current = threading.current_thread()
+        for pump in self._pumps:
+            if pump is not current:
+                pump.join(timeout=self.ready_timeout)
+        self._pumps.clear()
+        self._destroy_rings()
         with self._lock:
             self._running = False
             self._stopping = False
@@ -355,6 +501,24 @@ class ProcessShardPool:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    def _destroy_rings(self) -> None:
+        """Unlink + unmap every ring segment (graceful-stop path); the
+        shm fault suite asserts nothing is left under ``/dev/shm``."""
+        for index, ring in enumerate(self._rings):
+            if ring is not None:
+                ring.unlink()
+                ring.close()
+                self._rings[index] = None
+
+    def _retire_ring(self, slot: int) -> None:
+        """Unlink a dead slot's segments the moment its respawn budget is
+        exhausted — no replacement will ever attach to them.  The parent
+        keeps its mapping until ``stop()`` (late pump replies may still
+        read it); unlinking now just drops the ``/dev/shm`` name."""
+        ring = self._rings[slot]
+        if ring is not None:
+            ring.unlink()
 
     def _spawn(self, index: int) -> _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe()
@@ -375,8 +539,10 @@ class ProcessShardPool:
             gamma = self._gamma
             payloads = self._payloads[index]
             handle.epoch = self._epoch
+        ring = self._rings[index]
+        spec = ring.spec() if ring is not None else None
         try:
-            parent_conn.send(("init", payloads, gamma))
+            parent_conn.send(("init", payloads, gamma, spec))
             if not parent_conn.poll(self.ready_timeout):
                 raise RuntimeError("warm-up handshake timed out")
             msg = parent_conn.recv()
@@ -395,6 +561,7 @@ class ProcessShardPool:
             name=f"repro-shard-pump-{index}",
         )
         handle.pump.start()
+        self._pumps.append(handle.pump)
         return handle
 
     # ------------------------------------------------------------------
@@ -455,58 +622,140 @@ class ProcessShardPool:
     def _dispatch(self, pending: _Pending) -> None:
         """Register + send one block, surviving worker-death races.
 
-        The pending entry is registered in the target worker's in-flight
-        map under the pool lock *before* the pipe send, so the crash
-        handler's drain always sees it; if the send itself fails, either
-        the handler already requeued the entry (it is gone from the map)
-        or this thread retries on the respawned worker.
+        Under ``dispatch="balance"`` the block goes to the live worker
+        with the fewest outstanding blocks (every worker hosts every
+        shard); under ``"owner"`` it goes to the shard's static home
+        slot.  Either way the pending entry is registered in the target
+        worker's in-flight map under the pool lock *before* the send, so
+        the crash handler's drain always sees it; if the send itself
+        fails, either the handler already requeued the entry (it is gone
+        from the map, and the handler reclaimed its ring slot) or this
+        thread reclaims the slot and retries on a respawned worker.
 
         While a zone swap is in progress the block is *held* instead of
         sent (the swap replays it once every worker is at the new epoch),
         which also covers crash-handler requeues racing the swap: a
         requeued block can never land on a stale worker.
         """
-        slot = self._worker_of[pending.shard_id]
+        home = self._worker_of[pending.shard_id]
         deadline = time.monotonic() + self.ready_timeout
         while True:
+            worker = None
             with self._lock:
                 if not self._running or self._stopping:
                     raise RuntimeError("pool is not running")
                 if self._swapping:
                     self._held.append(pending)
                     return
-                worker = self._workers[slot]
-                registered = worker is not None and not worker.dead
-                if registered:
+                if self._dispatch_mode == "owner":
+                    candidate = self._workers[home]
+                    if candidate is not None and not candidate.dead:
+                        worker = candidate
+                    elif (
+                        candidate is None
+                        and self._crashes[home] > self.max_respawns
+                    ):
+                        raise WorkerCrashError(
+                            f"worker {home} exceeded its respawn budget "
+                            f"({self.max_respawns})"
+                        )
+                else:
+                    live = [
+                        w for w in self._workers
+                        if w is not None and not w.dead
+                    ]
+                    if live:
+                        # Shortest queue first; ties rotate.  A plain
+                        # min() always hands ties to the lowest index,
+                        # which starves the tail of the fleet whenever
+                        # blocks drain faster than they arrive (the
+                        # transport-bound shm bench measured a 5609/
+                        # 4509/3475/2407 split at 4 workers that way).
+                        rr = self._dispatch_clock
+                        self._dispatch_clock = rr + 1
+                        worker = min(
+                            live,
+                            key=lambda w: (
+                                len(w.inflight),
+                                (w.index - rr) % self.num_workers,
+                            ),
+                        )
+                    elif all(
+                        crashes > self.max_respawns
+                        for crashes in self._crashes
+                    ):
+                        raise WorkerCrashError(
+                            f"every worker slot exceeded its respawn "
+                            f"budget ({self.max_respawns})"
+                        )
+                if worker is not None:
                     worker.inflight[pending.req_id] = pending
-                    stats = self._stats[slot]
+                    stats = self._stats[worker.index]
                     depth = len(worker.inflight)
                     stats.queue_depth = depth
                     if depth > stats.max_queue_depth:
                         stats.max_queue_depth = depth
-                elif worker is None and self._crashes[slot] > self.max_respawns:
-                    raise WorkerCrashError(
-                        f"worker {slot} exceeded its respawn budget "
-                        f"({self.max_respawns})"
-                    )
-            if registered:
-                try:
-                    with worker.send_lock:
-                        worker.conn.send(pending.wire())
+            if worker is not None:
+                if self._send_block(worker, pending):
                     return
-                except (OSError, ValueError):
-                    self._on_worker_death(worker)
-                    with self._lock:
-                        if worker.inflight.pop(pending.req_id, None) is None:
-                            return  # crash handler requeued it already
-                    # else: retry on the replacement
+                with self._lock:
+                    if worker.inflight.pop(pending.req_id, None) is None:
+                        return  # crash handler requeued it already
+                # The handler never saw the entry (its drain predates the
+                # registration): reclaim the ring slot ourselves and
+                # retry on a replacement.
+                self._reclaim_slot(worker.index, pending)
             elif time.monotonic() > deadline:
                 raise WorkerCrashError(
-                    f"worker {slot} did not come back within "
-                    f"{self.ready_timeout}s"
+                    f"no worker came back within {self.ready_timeout}s"
                 )
             else:
                 time.sleep(0.01)  # respawn in progress
+
+    def _send_block(self, worker: _WorkerHandle, pending: _Pending) -> bool:
+        """Frame + send one registered block; ``False`` means the worker
+        died mid-send (the crash handler has run; caller sorts out who
+        owns the requeue)."""
+        ring = self._rings[worker.index]
+        wire = None
+        # The slot layout is one class id per row: anything else (odd
+        # caller-shaped blocks; they fail validation worker-side) rides
+        # the pipe, as do non-integer class arrays.
+        framable = (
+            ring is not None
+            and len(pending.classes) == pending.rows
+            and pending.classes.dtype.kind in "iu"
+        )
+        if framable and ring.fits(pending.rows, pending.packed.nbytes):
+            slot = ring.acquire()
+            if slot >= 0:
+                shmring.frame_request(ring, slot, pending.packed, pending.classes)
+                pending.slot = slot
+                wire = pending.wire_shm(slot)
+        if wire is None:
+            wire = pending.wire()  # oversized block or rings exhausted
+        try:
+            with worker.send_lock:
+                worker.conn.send(wire)
+        except (OSError, ValueError):
+            self._on_worker_death(worker)
+            return False
+        with self._lock:
+            if pending.slot >= 0:
+                self._ring_blocks[worker.index] += 1
+            else:
+                self._pipe_blocks[worker.index] += 1
+        return True
+
+    def _reclaim_slot(self, index: int, pending: _Pending) -> None:
+        """Return a pending block's ring slot to slot ``index``'s free
+        queue (crash/requeue paths; the dead worker can no longer touch
+        the memory)."""
+        if pending.slot >= 0:
+            ring = self._rings[index]
+            if ring is not None:
+                ring.release(pending.slot)
+            pending.slot = -1
 
     # ------------------------------------------------------------------
     # response pump + crash handling
@@ -532,11 +781,24 @@ class ProcessShardPool:
                         stats.latencies.append(
                             time.perf_counter() - pending.enqueued_at
                         )
+                result = msg[2]
+                if pending is not None and pending.slot >= 0:
+                    # Popping the entry made this thread the slot's owner:
+                    # copy the response out, then recycle the index.
+                    ring = self._rings[worker.index]
+                    if kind == "ok":
+                        _tag, slot, has_verdicts, has_distances = result
+                        result = shmring.read_response(
+                            ring, slot, pending.rows,
+                            has_verdicts, has_distances,
+                        )
+                    ring.release(pending.slot)
+                    pending.slot = -1
                 if pending is not None and not pending.future.done():
                     if kind == "ok":
-                        pending.future.set_result(msg[2])
+                        pending.future.set_result(result)
                     else:
-                        pending.future.set_exception(msg[2])
+                        pending.future.set_exception(result)
             elif kind in ("gamma_ok", "zone_ok"):
                 event = worker.acks.pop(msg[1], None)
                 if event is not None:
@@ -548,8 +810,9 @@ class ProcessShardPool:
             self._on_worker_death(worker)
 
     def _on_worker_death(self, worker: _WorkerHandle) -> None:
-        """Crash path: drain the dead worker's in-flight blocks, respawn
-        a replacement from the retained payloads, re-apply γ, requeue."""
+        """Crash path: drain the dead worker's in-flight blocks, reclaim
+        their ring slots, respawn a replacement from the retained
+        payloads, re-apply γ, requeue."""
         with self._lock:
             if worker.dead or worker.stopped:
                 return
@@ -563,6 +826,11 @@ class ProcessShardPool:
             exhausted = self._crashes[slot] > self.max_respawns
             stopping = self._stopping or not self._running
             self._workers[slot] = None
+        # Draining made this thread the owner of every reclaimed entry:
+        # the dead worker can never touch the ring again, so its slots
+        # go straight back to the free queue before the requeue.
+        for entry in pending:
+            self._reclaim_slot(slot, entry)
         try:
             worker.conn.close()
         except OSError:
@@ -572,7 +840,10 @@ class ProcessShardPool:
             worker.process.join(timeout=5)
         for event in acks:  # unblock any set_gamma broadcaster
             event.set()
-        if stopping or exhausted:
+        replacement = None
+        if stopping or (exhausted and self._dispatch_mode != "balance"):
+            if exhausted:
+                self._retire_ring(slot)
             error = WorkerCrashError(
                 f"shard worker {worker.index} died"
                 + ("" if not exhausted else
@@ -582,28 +853,38 @@ class ProcessShardPool:
                 if not entry.future.done():
                     entry.future.set_exception(error)
             return
-        try:
-            replacement = self._spawn(slot)
-        except WorkerCrashError as exc:
-            with self._lock:
-                # The slot is known-unrecoverable: burn the remaining
-                # respawn budget so later dispatches fail fast with
-                # WorkerCrashError instead of spinning out the full
-                # come-back deadline waiting for a replacement that will
-                # never be installed.
-                self._crashes[slot] = self.max_respawns + 1
-            for entry in pending:
-                if not entry.future.done():
-                    entry.future.set_exception(exc)
-            return
+        if exhausted:
+            # Balance dispatch: this slot is gone for good, but other
+            # slots may still be live — requeue the drained blocks there.
+            # They only fail once every slot has burned its budget
+            # (_dispatch raises WorkerCrashError then).
+            self._retire_ring(slot)
+        else:
+            try:
+                replacement = self._spawn(slot)
+            except WorkerCrashError as exc:
+                with self._lock:
+                    # The slot is known-unrecoverable: burn the remaining
+                    # respawn budget so later dispatches fail fast with
+                    # WorkerCrashError instead of spinning out the full
+                    # come-back deadline waiting for a replacement that
+                    # will never be installed.
+                    self._crashes[slot] = self.max_respawns + 1
+                self._retire_ring(slot)
+                if self._dispatch_mode != "balance":
+                    for entry in pending:
+                        if not entry.future.done():
+                            entry.future.set_exception(exc)
+                    return
         # The current γ travelled inside the replacement's init handshake
         # (see _spawn), so it is applied before the slot is even published
         # — no block, requeued or fresh, can race ahead of it.
         with self._lock:
-            self._workers[slot] = replacement
+            if replacement is not None:
+                self._workers[slot] = replacement
             self._requeued[slot] += len(pending)
             stop_now = self._stopping
-        if stop_now:
+        if stop_now and replacement is not None:
             # stop() may have started while we were spawning and already
             # passed this slot (it was None then): deliver the sentinel
             # ourselves so the replacement drains instead of leaking.
@@ -743,7 +1024,11 @@ class ProcessShardPool:
                 owner_of_class: Dict[int, int] = {}
                 for shard_id, slot in self._worker_of.items():
                     payload = payload_by_shard[shard_id]
-                    payloads[slot].append(payload)
+                    if self._dispatch_mode == "balance":
+                        for dest in range(self.num_workers):
+                            payloads[dest].append(payload)
+                    else:
+                        payloads[slot].append(payload)
                     classes_of[shard_id] = np.asarray(
                         payload["classes"], dtype=np.int64
                     )
@@ -890,6 +1175,9 @@ class ProcessShardPool:
                 row["respawns"] = self._crashes[index]
                 row["requeued_blocks"] = self._requeued[index]
                 row["epoch"] = worker.epoch if worker is not None else -1
+                row["transport"] = self._transport
+                row["ring_blocks"] = self._ring_blocks[index]
+                row["pipe_blocks"] = self._pipe_blocks[index]
                 rows.append(row)
         return rows
 
@@ -909,6 +1197,18 @@ class ProcessShardPool:
         """How many in-flight blocks were replayed after a crash."""
         return sum(self._requeued)
 
+    @property
+    def total_ring_blocks(self) -> int:
+        """How many blocks travelled through the shared-memory rings."""
+        return sum(self._ring_blocks)
+
+    @property
+    def total_pipe_blocks(self) -> int:
+        """How many blocks travelled as pickled pipe tuples (the whole
+        workload on ``transport="pipe"``; oversized/overflow fallbacks
+        on ``"shm"``)."""
+        return sum(self._pipe_blocks)
+
     def worker_pids(self) -> List[int]:
         """Live worker PIDs (test/ops hook, e.g. for fault injection)."""
         with self._lock:
@@ -926,5 +1226,7 @@ class ProcessShardPool:
             f"ProcessShardPool(workers={self.num_workers}, "
             f"shards={len(self._worker_of)}, "
             f"method={self._ctx.get_start_method()!r}, "
+            f"transport={self._transport!r}, "
+            f"dispatch={self._dispatch_mode!r}, "
             f"running={self._running})"
         )

@@ -191,10 +191,12 @@ class StreamServer:
           concurrently in one process (the PR-3 model, default);
         * ``"process"`` — a shared-nothing
           :class:`~repro.serving.procpool.ProcessShardPool`: ``workers``
-          processes each rehydrate a disjoint subset of the shards from
-          their portable visited-pattern payloads, and every batch
-          crosses a pipe as one pickled packed-bit block (crashed
-          workers respawn with in-flight blocks requeued).
+          processes each rehydrate the shards from their portable
+          visited-pattern payloads, and every batch crosses as one
+          packed-bit block — through a preallocated shared-memory ring
+          slot by default, over the pipe as a pickled tuple on
+          ``pool_transport="pipe"`` (crashed workers respawn with
+          in-flight blocks requeued and ring slots reclaimed).
 
         ``None`` derives the mode from ``executor_threads`` (``0`` →
         inline, else thread), honouring the ``REPRO_SERVING_EXECUTOR``
@@ -209,6 +211,11 @@ class StreamServer:
     pool_context:
         ``multiprocessing`` start method for the process pool (default:
         fork where available, else spawn).
+    pool_transport / pool_dispatch:
+        Forwarded to :class:`ProcessShardPool` — block transport
+        (``"shm"``/``"pipe"``, default shm unless ``REPRO_SERVING_SHM=0``)
+        and block dispatch (``"balance"``/``"owner"``, default shortest
+        outstanding-queue balance).
     """
 
     def __init__(
@@ -225,6 +232,8 @@ class StreamServer:
         executor: Optional[str] = None,
         workers: int = 2,
         pool_context: Optional[str] = None,
+        pool_transport: Optional[str] = None,
+        pool_dispatch: Optional[str] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -274,6 +283,8 @@ class StreamServer:
         self.executor_threads = executor_threads
         self.workers = workers
         self.pool_context = pool_context
+        self.pool_transport = pool_transport
+        self.pool_dispatch = pool_dispatch
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pool = None  # ProcessShardPool when executor == "process"
         # Bounded-distance cap for the combined detector kernel: one bin
@@ -321,6 +332,8 @@ class StreamServer:
                     self.router.shards,
                     num_workers=self.workers,
                     context=self.pool_context,
+                    transport=self.pool_transport,
+                    dispatch=self.pool_dispatch,
                 )
                 pool.start()  # blocks until every worker is rehydrated
                 return pool
@@ -812,6 +825,8 @@ def run_stream(
     executor: Optional[str] = None,
     workers: int = 2,
     pool_context: Optional[str] = None,
+    pool_transport: Optional[str] = None,
+    pool_dispatch: Optional[str] = None,
     submit: str = "bulk",
 ) -> StreamResult:
     """Replay a pattern stream through a server; return verdicts + stats.
@@ -847,6 +862,8 @@ def run_stream(
             executor=executor,
             workers=workers,
             pool_context=pool_context,
+            pool_transport=pool_transport,
+            pool_dispatch=pool_dispatch,
         )
         async with server:
             t0 = time.perf_counter()

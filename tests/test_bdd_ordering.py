@@ -6,6 +6,7 @@ import pytest
 from repro.bdd.ordering import (
     activation_frequencies,
     balance_order,
+    correlated_pairs,
     correlation_order,
     evaluate_ordering,
     random_order,
@@ -76,6 +77,29 @@ class TestOrders:
             random_order(0)
 
 
+class TestCorrelatedPairs:
+    def test_matches_duplicated_partners(self):
+        patterns = correlated_patterns(width=16)
+        pairs = correlated_pairs(patterns)
+        assert pairs == [(2 * k, 2 * k + 1) for k in range(8)] or set(
+            pairs
+        ) == {(2 * k, 2 * k + 1) for k in range(8)}
+
+    def test_pairs_are_disjoint_and_ordered(self):
+        patterns = (np.random.default_rng(4).random((300, 9)) < 0.5).astype(
+            np.uint8
+        )
+        pairs = correlated_pairs(patterns)
+        assert len(pairs) == 4  # one column left unmatched
+        members = [x for pair in pairs for x in pair]
+        assert len(set(members)) == len(members)
+        assert all(a < b for a, b in pairs)
+
+    def test_narrow_inputs(self):
+        assert correlated_pairs(np.zeros((3, 1), dtype=np.uint8)) == []
+        assert correlated_pairs(np.zeros((3, 2), dtype=np.uint8)) == [(0, 1)]
+
+
 class TestEvaluateOrdering:
     def test_identity_order_matches_direct_build(self):
         patterns = (RNG.random((50, 10)) < 0.5).astype(np.uint8)
@@ -90,6 +114,18 @@ class TestEvaluateOrdering:
         patterns = np.zeros((2, 3), dtype=np.uint8)
         with pytest.raises(ValueError):
             evaluate_ordering(patterns, [0, 0, 1])
+
+    def test_group_sift_via_correlated_heuristic(self):
+        patterns = correlated_patterns(width=12)
+        # Adversarial seed: partners maximally far apart.
+        adversarial = np.concatenate([np.arange(0, 12, 2), np.arange(1, 12, 2)])
+        result = evaluate_ordering(
+            patterns, adversarial, groups="correlated"
+        )
+        assert result["sifted_nodes"] <= result["nodes"]
+        assert result["sift_swaps"] > 0
+        with pytest.raises(ValueError, match="correlated"):
+            evaluate_ordering(patterns, adversarial, groups="mutualinfo")
 
     def test_correlation_order_beats_worst_case_on_structured_data(self):
         # On strongly pair-correlated data, the correlation chain should

@@ -302,6 +302,30 @@ def push(conn, shard):
 """
 
 
+_PAYLOAD_RING_BAD = """
+def dispatch(ring, slot, shard):
+    frame_request(ring, slot, shard._zone, shard.classes)
+"""
+
+_PAYLOAD_RING_BAD_LOCAL = """
+def dispatch(ring, slot, shard):
+    zone = shard._zone
+    frame_request(ring, slot, zone, shard.classes)
+"""
+
+_PAYLOAD_RING_GOOD = """
+def dispatch(ring, slot, rows, classes):
+    packed = pack_patterns(rows)
+    frame_request(ring, slot, packed, classes)
+"""
+
+_PAYLOAD_RING_READER_GOOD = """
+def pump(rings, slot, rows, width, conn, req_id):
+    packed, classes = read_request(rings, slot, rows, width)
+    conn.send(("ok", req_id, packed.sum()))
+"""
+
+
 def test_payload_boundary_triple():
     assert_triple(
         "payload-boundary", _PAYLOAD_BAD, _PAYLOAD_GOOD, _PAYLOAD_SUPPRESSED
@@ -311,6 +335,20 @@ def test_payload_boundary_triple():
 def test_payload_boundary_tracks_tainted_locals():
     findings, _ = findings_for(_PAYLOAD_BAD_LOCAL, "payload-boundary")
     assert findings
+
+
+def test_payload_boundary_ring_frames_are_sinks():
+    findings, _ = findings_for(_PAYLOAD_RING_BAD, "payload-boundary")
+    assert findings
+    findings, _ = findings_for(_PAYLOAD_RING_BAD_LOCAL, "payload-boundary")
+    assert findings
+
+
+def test_payload_boundary_blesses_ring_producers():
+    findings, _ = findings_for(_PAYLOAD_RING_GOOD, "payload-boundary")
+    assert not findings, findings
+    findings, _ = findings_for(_PAYLOAD_RING_READER_GOOD, "payload-boundary")
+    assert not findings, findings
 
 
 # ----------------------------------------------------------------------

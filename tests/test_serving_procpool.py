@@ -288,9 +288,13 @@ class TestFaultInjection:
             assert len(pool.worker_pids()) == 2
 
     def test_respawn_budget_exhaustion_raises(self):
+        # Owner dispatch: a shard's home slot is its only server, so
+        # burning that slot's budget fails the shard's submissions.
         monitor = _build_monitor()
         router = ShardRouter.partition(monitor, 2)
-        pool = ProcessShardPool(router.shards, num_workers=2, max_respawns=0)
+        pool = ProcessShardPool(
+            router.shards, num_workers=2, max_respawns=0, dispatch="owner"
+        )
         pool.start()
         try:
             dead_slot = 0
@@ -305,6 +309,37 @@ class TestFaultInjection:
             patterns, _ = _queries(n=4)
             with pytest.raises(WorkerCrashError):
                 pool.submit(shard_id, patterns, np.full(4, owned_class))
+        finally:
+            pool.stop()
+
+    def test_balance_survives_single_slot_exhaustion(self):
+        # Balance dispatch replicates every shard into every worker, so
+        # one burned slot degrades capacity instead of failing a shard;
+        # only exhausting *every* slot raises.
+        monitor = _build_monitor()
+        router = ShardRouter.partition(monitor, 2)
+        patterns, classes = _queries(n=80, extra_classes=0)
+        pool = ProcessShardPool(
+            router.shards, num_workers=2, max_respawns=0, dispatch="balance"
+        )
+        pool.start()
+        try:
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while pool.total_respawns == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.total_respawns >= 1
+            np.testing.assert_array_equal(
+                pool.check(patterns, classes), monitor.check(patterns, classes)
+            )
+            assert len(pool.worker_pids()) == 1  # burned slot stays empty
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while pool.total_respawns < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            with pytest.raises(WorkerCrashError):
+                pool.check(patterns, classes)
         finally:
             pool.stop()
 

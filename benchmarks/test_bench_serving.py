@@ -605,6 +605,110 @@ def test_transport_microbench_bytes_and_latency():
         )
 
 
+def test_cluster_tcp_bulk_throughput():
+    """Localhost-TCP cluster row: the same bulk stream with
+    ``executor="cluster"`` — every coalesced block is pickled into a
+    length-prefixed frame and crosses a loopback TCP socket to a
+    shared-nothing worker process that rehydrated its shard subset from
+    the portable payloads (the cross-host wire path of ``repro.serving.
+    cluster``, exercised on one machine).
+
+    Floors: verdicts bit-identical to the monolith, zero requeued blocks
+    on a healthy run, and — on hosts that can actually run the fleet in
+    parallel (>=4 CPUs, the same gating as ``serving.shm``) — bulk TCP
+    serving faster than 1.5x the synchronous per-request loop.  On a
+    single-core runner wall time is the sum of every process's CPU plus
+    the loopback stack, so the floor degrades to a >=0.5x sanity bound
+    (the transport must not collapse, but cannot win)."""
+    num_requests = scaled(NUM_REQUESTS, 1_500)
+    patterns, labels, queries, query_classes = _workload(
+        seed=7, num_requests=num_requests
+    )
+    monitor = NeuronActivationMonitor(
+        WIDTH, range(NUM_CLASSES), gamma=GAMMA, backend="bitset"
+    )
+    monitor.record(patterns, labels, labels)
+    # Materialise every gamma zone before timing queries.
+    monitor.check(queries[:NUM_CLASSES], np.arange(NUM_CLASSES))
+    full_batch = monitor.check(queries, query_classes)
+
+    t0 = time.perf_counter()
+    sync = np.array(
+        [
+            monitor.is_known(queries[i : i + 1], int(query_classes[i]))
+            for i in range(num_requests)
+        ]
+    )
+    t_sync = time.perf_counter() - t0
+    np.testing.assert_array_equal(sync, full_batch)
+
+    num_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or scaled(4, 2)
+    cluster = _best_stream(
+        ShardRouter.partition(monitor, max(num_workers, 4)),
+        queries, query_classes, submit="bulk",
+        executor="cluster", workers=num_workers,
+    )
+    np.testing.assert_array_equal(cluster.verdicts, full_batch)
+    assert all(row["transport"] == "tcp" for row in cluster.worker_stats)
+    requeued = sum(row["requeued_blocks"] for row in cluster.worker_stats)
+    assert requeued == 0  # a healthy run never exercises requeue
+    per_worker = [row["requests"] for row in cluster.worker_stats]
+    assert sum(per_worker) == num_requests
+
+    cpus = mp.cpu_count() or 1
+    record_appendix(
+        "serving",
+        "localhost-TCP shard cluster (bulk stream)",
+        format_table(
+            ["path", "bulk run", "throughput", "vs sync loop", "notes"],
+            [
+                [
+                    "sync / per-request (bitset)",
+                    f"{t_sync*1e3:.1f}ms",
+                    f"{num_requests/t_sync/1e3:.1f}k rows/s",
+                    "1.00x",
+                    "deployment loop baseline",
+                ],
+                [
+                    f"cluster / {num_workers} workers (bulk, tcp)",
+                    f"{cluster.elapsed*1e3:.1f}ms",
+                    f"{num_requests/cluster.elapsed/1e3:.1f}k rows/s",
+                    f"{t_sync/cluster.elapsed:.2f}x",
+                    "length-prefixed pickled frames over loopback TCP",
+                ],
+            ],
+        )
+        + f"\n\nworkload: {WIDTH} neurons, {NUM_CLASSES} classes, "
+        f"gamma={GAMMA}, {num_requests} requests, {num_workers} workers, "
+        f"{cpus} CPUs\nsame coalesced blocks and shortest-queue dispatch "
+        "as the proc pool — only the transport differs (framed TCP "
+        "socket\ninstead of a pipe); verdicts bit-identical, zero "
+        "requeued blocks\n(the 1.5x-vs-sync-loop floor is asserted on "
+        "hosts with >=4 CPUs, same gating as the shm bench)",
+    )
+    record_perf(
+        "serving.cluster_tcp",
+        {
+            "requests": num_requests,
+            "workers": num_workers,
+            "cpus": cpus,
+            "sync_loop_s": t_sync,
+            "elapsed_s": cluster.elapsed,
+            "throughput": cluster.throughput,
+            "vs_sync_loop": t_sync / cluster.elapsed,
+            "requeued_blocks": int(requeued),
+            "per_worker_requests": [int(x) for x in per_worker],
+        },
+    )
+    if not is_smoke():
+        floor = 1.5 if cpus >= 4 else 0.5
+        assert cluster.elapsed * floor <= t_sync, (
+            f"{num_workers}-worker TCP cluster serving ({cluster.elapsed:.3f}s) "
+            f"is only {t_sync/cluster.elapsed:.2f}x the synchronous loop "
+            f"({t_sync:.3f}s) on {cpus} CPUs; acceptance floor is {floor}x"
+        )
+
+
 def test_indexed_shards_serve_identical_verdicts():
     """An indexed-bitset monitor partitions into indexed shards and the
     served verdicts stay bit-identical to the brute monolith."""

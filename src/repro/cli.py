@@ -26,6 +26,17 @@ Commands
         python -m repro serve --system mnist --workers 4
         python -m repro stream --system gtsrb --workers 2 --distances
 
+    ``--cluster HOST:PORT`` serves from a cross-host TCP shard cluster
+    instead (:class:`~repro.serving.cluster.ClusterCoordinator`): the
+    coordinator listens there and waits for ``--workers`` external
+    ``serve-worker`` registrations.
+``serve-worker``
+    One TCP cluster worker: dials a coordinator's listen address,
+    registers, rehydrates its assigned shards from the portable payloads
+    and answers packed-bit block requests until told to stop, e.g.::
+
+        python -m repro serve-worker 10.0.0.5:7410 --name replica-a
+
 All heavy lifting is delegated to :mod:`repro.analysis`; the CLI is a thin,
 scriptable veneer used by the examples and CI.
 """
@@ -195,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "requeued); 0 = in-process thread-pool execution",
     )
     serve_p.add_argument(
+        "--cluster", metavar="HOST:PORT", default=None,
+        help="serve from a TCP shard cluster instead of local processes: "
+        "bind the coordinator's listen socket there and wait for "
+        "--workers external 'repro serve-worker HOST:PORT' processes to "
+        "register (use 0 as the port for an ephemeral bind); dropped "
+        "workers reconnect or have their shards re-placed on survivors",
+    )
+    serve_p.add_argument(
         "--drift-respond", action="store_true",
         help="close the drift loop: stage flagged out-of-zone patterns, "
         "absorb them on alarm, re-choose gamma on the retained "
@@ -210,6 +229,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--alarm-z", type=float, default=3.0,
         help="z-score threshold of the windowed out-of-pattern rate "
         "alarm (lower it to force the drift loop on quiet streams)",
+    )
+
+    worker_p = sub.add_parser(
+        "serve-worker",
+        help="run one TCP cluster worker: dial a coordinator, register, "
+        "rehydrate the assigned shards and answer block requests",
+    )
+    worker_p.add_argument(
+        "address", metavar="HOST:PORT",
+        help="coordinator listen address (the serve side's --cluster)",
+    )
+    worker_p.add_argument(
+        "--name", default=None,
+        help="stable worker name (default: hostname-pid); re-registering "
+        "under the same name after a disconnect reclaims the previous "
+        "shard placement",
+    )
+    worker_p.add_argument(
+        "--reconnect-attempts", type=int, default=10,
+        help="redials after a lost (or not-yet-listening) coordinator "
+        "before giving up",
+    )
+    worker_p.add_argument(
+        "--reconnect-backoff", type=float, default=0.5,
+        help="seconds between redials",
     )
     return parser
 
@@ -353,10 +397,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--workers must be non-negative, got {args.workers}")
     # --workers 0 leaves the executor choice to the server defaults (and
     # the REPRO_SERVING_EXECUTOR override) rather than forcing a mode or
-    # pinning the pool to one worker.
-    executor_kwargs = (
-        {"executor": "process", "workers": args.workers} if args.workers else {}
-    )
+    # pinning the pool to one worker.  --cluster overrides both: the
+    # coordinator binds there and waits for --workers (default 2)
+    # external serve-worker registrations.
+    if args.cluster is not None:
+        fleet = args.workers or 2
+        executor_kwargs = {
+            "executor": "cluster",
+            "workers": fleet,
+            "cluster_address": args.cluster,
+        }
+        print(
+            f"cluster: listening on {args.cluster}, waiting for {fleet} "
+            f"worker registration{'s' if fleet > 1 else ''} — run "
+            f"`python -m repro serve-worker {args.cluster}` on each host",
+            flush=True,
+        )
+    else:
+        executor_kwargs = (
+            {"executor": "process", "workers": args.workers}
+            if args.workers else {}
+        )
     result = run_stream(
         router,
         stream_patterns,
@@ -371,11 +432,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         **executor_kwargs,
     )
     # Label what actually served the stream: a non-empty worker table
-    # means a process pool ran, whatever selected it (flag or env).
-    executor_label = (
-        f"process({len(result.worker_stats)})"
-        if result.worker_stats else "in-process"
-    )
+    # means a worker fleet ran, whatever selected it (flag or env); the
+    # transport tag tells a TCP cluster from a local process pool.
+    if result.worker_stats:
+        fleet = len(result.worker_stats)
+        if any(row.get("transport") == "tcp" for row in result.worker_stats):
+            executor_label = f"cluster({fleet})"
+        else:
+            executor_label = f"process({fleet})"
+    else:
+        executor_label = "in-process"
     print(f"system:   {args.system}  backend={args.backend}  gamma={args.gamma}  "
           f"submit={args.submit}  executor={executor_label}")
     print(f"shards:   {len(router)}  "
@@ -425,6 +491,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    from repro.serving.cluster import run_worker
+
+    # Blocks until the coordinator sends the stop sentinel (exit 0) or
+    # the connection is lost with the redial budget exhausted.
+    run_worker(
+        args.address,
+        name=args.name,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_backoff=args.reconnect_backoff,
+    )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Delegate to the devtools front end (same flags), so `repro lint`
     # and `python -m repro.devtools.lint` stay one implementation.
@@ -447,7 +527,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     # Reject the combination up front: discovering it after minutes of
     # system training would surface as a raw backend ValueError.
-    if getattr(args, "indexed", False) and args.backend != "bitset":
+    if getattr(args, "indexed", False) and getattr(args, "backend", None) != "bitset":
         parser.error("--indexed requires --backend bitset")
     if args.command == "info":
         return _cmd_info()
@@ -461,6 +541,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command in ("serve", "stream"):
         return _cmd_serve(args)
+    if args.command == "serve-worker":
+        return _cmd_serve_worker(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

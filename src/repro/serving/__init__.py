@@ -12,7 +12,8 @@ this package turns one monitor into a serving fleet:
   requests into vectorised backend calls, with backpressure, per-shard
   stats, and inline distribution-shift detection from exact Hamming
   distances.  Batches execute on a pluggable executor: inline on the
-  loop, a shared thread pool, or the multiprocess shard pool;
+  loop, a shared thread pool, the multiprocess shard pool, or the TCP
+  shard cluster;
 * :mod:`repro.serving.procpool` — :class:`ProcessShardPool`,
   shared-nothing worker *processes* rehydrating the shards from
   portable visited-pattern payloads, with warm-up handshake, graceful
@@ -21,12 +22,21 @@ this package turns one monitor into a serving fleet:
 * :mod:`repro.serving.shmring` — preallocated shared-memory
   request/response rings that carry the packed row blocks and results
   zero-copy between parent and workers (pipes demoted to a control
-  plane; pickled-pipe fallback per oversized block).
+  plane; pickled-pipe fallback per oversized block);
+* :mod:`repro.serving.netproto` — the length-prefixed frame codec that
+  carries the same control tuples over TCP sockets;
+* :mod:`repro.serving.cluster` — :class:`ClusterCoordinator` +
+  :func:`run_worker`, the cross-host generalisation of the process
+  pool: workers register over a listen socket, shards are placed with
+  per-shard replica sets, heartbeats detect dead connections, and a
+  dropped worker either reconnects or has its shards re-placed on the
+  survivors with unanswered blocks requeued.
 
 See the serving sections of ``monitor/backends/README.md`` for the
-sharding and process execution models and tuning knobs, and
-``python -m repro serve`` (``--workers N`` for the process pool) for
-the CLI entry point.
+sharding, process execution and TCP cluster models and tuning knobs,
+and ``python -m repro serve`` (``--workers N`` for the process pool,
+``--cluster host:port`` + ``python -m repro serve-worker`` for the
+cluster) for the CLI entry points.
 """
 
 from repro.serving.shard import MonitorShard, ShardRouter, shard_detection_monitor
@@ -37,6 +47,8 @@ from repro.serving.server import (
     run_stream,
 )
 from repro.serving.procpool import ProcessShardPool, WorkerCrashError
+from repro.serving.cluster import ClusterCoordinator, RemoteWorkerClient, run_worker
+from repro.serving.netproto import ConnectionClosed, ProtocolError
 
 __all__ = [
     "MonitorShard",
@@ -48,4 +60,9 @@ __all__ = [
     "run_stream",
     "ProcessShardPool",
     "WorkerCrashError",
+    "ClusterCoordinator",
+    "RemoteWorkerClient",
+    "run_worker",
+    "ConnectionClosed",
+    "ProtocolError",
 ]

@@ -87,6 +87,7 @@ import multiprocessing as mp
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Sequence
 
@@ -466,6 +467,7 @@ class ProcessShardPool:
         # shutdown may have installed a replacement after the sentinel
         # sweep above (the handler sends that replacement its own stop
         # sentinel when it observes _stopping).
+        wedged: List[threading.Thread] = []
         for index in range(self.num_workers):
             worker = self._workers[index]
             if worker is None:
@@ -476,6 +478,8 @@ class ProcessShardPool:
                 worker.process.join(timeout=5)
             if worker.pump is not None:
                 worker.pump.join(timeout=self.ready_timeout)
+                if worker.pump.is_alive():
+                    wedged.append(worker.pump)
             try:
                 worker.conn.close()
             except OSError:
@@ -489,8 +493,33 @@ class ProcessShardPool:
         for pump in self._pumps:
             if pump is not current:
                 pump.join(timeout=self.ready_timeout)
+                if pump.is_alive() and pump not in wedged:
+                    wedged.append(pump)
         self._pumps.clear()
-        self._destroy_rings()
+        # A pump that outlived its join window may still be holding (or
+        # about to take) numpy views into its worker's ring slots.  Say
+        # so out loud instead of silently proceeding, and keep those
+        # ring mappings alive — unlink drops the /dev/shm name, but the
+        # close (and the mapping teardown it implies) is skipped so a
+        # late reply resolves against live memory instead of a dead
+        # view.  The OS reclaims the mapping at process exit.
+        keep_mapped = set()
+        if wedged:
+            names = ", ".join(sorted(pump.name for pump in wedged))
+            warnings.warn(
+                f"pump thread(s) failed to join within "
+                f"{self.ready_timeout}s at pool shutdown: {names}; their "
+                f"ring mappings are kept alive (unlinked, not closed)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for pump in wedged:
+                # Pump names are "repro-shard-pump-<slot>" (see _spawn).
+                try:
+                    keep_mapped.add(int(pump.name.rsplit("-", 1)[1]))
+                except ValueError:
+                    pass
+        self._destroy_rings(keep_mapped=keep_mapped)
         with self._lock:
             self._running = False
             self._stopping = False
@@ -502,12 +531,20 @@ class ProcessShardPool:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
-    def _destroy_rings(self) -> None:
+    def _destroy_rings(self, keep_mapped=frozenset()) -> None:
         """Unlink + unmap every ring segment (graceful-stop path); the
-        shm fault suite asserts nothing is left under ``/dev/shm``."""
+        shm fault suite asserts nothing is left under ``/dev/shm``.
+
+        Slots in ``keep_mapped`` (a wedged pump may still resolve a late
+        reply through their views) are unlinked but stay mapped — the
+        ring object is kept in ``self._rings`` so the memory lives for
+        as long as anyone could touch it.
+        """
         for index, ring in enumerate(self._rings):
             if ring is not None:
                 ring.unlink()
+                if index in keep_mapped:
+                    continue
                 ring.close()
                 self._rings[index] = None
 

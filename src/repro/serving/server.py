@@ -196,7 +196,14 @@ class StreamServer:
           packed-bit block — through a preallocated shared-memory ring
           slot by default, over the pipe as a pickled tuple on
           ``pool_transport="pipe"`` (crashed workers respawn with
-          in-flight blocks requeued and ring slots reclaimed).
+          in-flight blocks requeued and ring slots reclaimed);
+        * ``"cluster"`` — a :class:`~repro.serving.cluster.ClusterCoordinator`:
+          the same block protocol over asyncio TCP, so workers can live
+          on other hosts (``cluster_address`` binds the listen socket
+          external ``python -m repro serve-worker`` processes dial;
+          ``None`` self-hosts ``workers`` local processes on loopback).
+          Dropped workers reconnect, or their shards are re-placed on
+          the survivors with unanswered blocks requeued.
 
         ``None`` derives the mode from ``executor_threads`` (``0`` →
         inline, else thread), honouring the ``REPRO_SERVING_EXECUTOR``
@@ -234,6 +241,7 @@ class StreamServer:
         pool_context: Optional[str] = None,
         pool_transport: Optional[str] = None,
         pool_dispatch: Optional[str] = None,
+        cluster_address: Optional[str] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -252,12 +260,12 @@ class StreamServer:
                 executor = "thread"
             else:
                 executor = os.environ.get("REPRO_SERVING_EXECUTOR") or "thread"
-        if executor not in ("inline", "thread", "process"):
+        if executor not in ("inline", "thread", "process", "cluster"):
             raise ValueError(
-                f"executor must be 'inline', 'thread' or 'process', "
-                f"got {executor!r}"
+                f"executor must be 'inline', 'thread', 'process' or "
+                f"'cluster', got {executor!r}"
             )
-        if executor == "process" and workers <= 0:
+        if executor in ("process", "cluster") and workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if (
             drift_responder is not None
@@ -285,8 +293,12 @@ class StreamServer:
         self.pool_context = pool_context
         self.pool_transport = pool_transport
         self.pool_dispatch = pool_dispatch
+        self.cluster_address = cluster_address
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._pool = None  # ProcessShardPool when executor == "process"
+        # ProcessShardPool (executor="process") or ClusterCoordinator
+        # (executor="cluster") — both answer the same submit/stop/stats/
+        # apply_snapshot surface, so everything below is agnostic.
+        self._pool = None
         # Bounded-distance cap for the combined detector kernel: one bin
         # past the histogram's overflow threshold.  min(true, cap+1) then
         # clips to the same overflow bin as the exact distance, so the
@@ -343,6 +355,25 @@ class StreamServer:
             # must not freeze every other coroutine.
             self._pool = await asyncio.get_running_loop().run_in_executor(
                 None, _build_and_start
+            )
+        elif self.executor_mode == "cluster":
+            from repro.serving.cluster import ClusterCoordinator
+
+            def _build_and_start_cluster():
+                coordinator = ClusterCoordinator(
+                    self.router.shards,
+                    listen=self.cluster_address,
+                    workers=self.workers,
+                    context=self.pool_context,
+                )
+                coordinator.start()  # blocks until the fleet registered
+                return coordinator
+
+            # Same off-loop rule as the process pool: binding, spawning
+            # (or waiting for remote registrations) and the per-worker
+            # init handshakes must not park the event loop.
+            self._pool = await asyncio.get_running_loop().run_in_executor(
+                None, _build_and_start_cluster
             )
         for shard in self.router.shards:
             queue: "asyncio.Queue[Optional[_CheckRequest]]" = asyncio.Queue(
@@ -415,8 +446,11 @@ class StreamServer:
         if not self.router.owns(predicted_class):
             if self.shift_detector is not None:
                 self.shift_detector.update(False)
-            if self.distance_detector is not None:
-                self.distance_detector.update(0)
+            # The distance detector deliberately sees nothing here: no
+            # shard served this row, so there is no distance.  Feeding a
+            # synthetic 0 would pile unmonitored traffic into the
+            # distance-0 bin and pollute the TV-divergence baseline
+            # (masking real drift, or alarming on a traffic-mix change).
             return True
         shard = self.router.shard_for(predicted_class)
         # Pre-packed single-row fast path: a caller streaming 1-D rows
@@ -485,15 +519,15 @@ class StreamServer:
                 if depth > stats.max_queue_depth:
                     stats.max_queue_depth = depth
                 pending.append((block, request.future))
-        # Rows predicted as unmonitored classes: trusted, fed to the
-        # detectors exactly like the per-request path.
+        # Rows predicted as unmonitored classes: trusted verdicts feed
+        # the binary shift detector exactly like the per-request path,
+        # but the distance detector sees only *served* distances — no
+        # shard computed anything for these rows, and synthetic zeros
+        # would pollute the TV-divergence baseline histogram.
         unrouted = n - routed_rows
-        if unrouted:
-            if self.shift_detector is not None:
-                for _ in range(unrouted):
-                    self.shift_detector.update(False)
-            if self.distance_detector is not None:
-                self.distance_detector.update_many(np.zeros(unrouted, dtype=np.int64))
+        if unrouted and self.shift_detector is not None:
+            for _ in range(unrouted):
+                self.shift_detector.update(False)
         # return_exceptions so every block future is retrieved even when
         # several fail (no "exception was never retrieved" loop warnings);
         # the first failure is then re-raised like a plain gather.
@@ -786,7 +820,7 @@ class StreamServer:
         return rows
 
     def worker_stats(self) -> List[Dict[str, float]]:
-        """Per-worker-process rows (``executor="process"`` only): the
+        """Per-worker rows (``executor="process"`` / ``"cluster"``): the
         :class:`ShardServingStats` counters aggregated per worker, plus
         pid / respawn / requeued-block accounting.  Empty for in-process
         executors."""
@@ -827,6 +861,7 @@ def run_stream(
     pool_context: Optional[str] = None,
     pool_transport: Optional[str] = None,
     pool_dispatch: Optional[str] = None,
+    cluster_address: Optional[str] = None,
     submit: str = "bulk",
 ) -> StreamResult:
     """Replay a pattern stream through a server; return verdicts + stats.
@@ -864,6 +899,7 @@ def run_stream(
             pool_context=pool_context,
             pool_transport=pool_transport,
             pool_dispatch=pool_dispatch,
+            cluster_address=cluster_address,
         )
         async with server:
             t0 = time.perf_counter()

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import os
 from collections import deque
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Optional, Tuple
 
 import numpy as np
@@ -112,6 +112,17 @@ class BlockRing:
                     self.shm._fd = -1
                 self.shm._mmap = None
                 self.shm._buf = None
+            except Exception:
+                pass
+            # The detach bypasses SharedMemory.close(), so the segment
+            # stays registered with multiprocessing.resource_tracker and
+            # the tracker prints a spurious "leaked shared_memory"
+            # warning at interpreter exit (a clean close() leaves the
+            # registration for unlink(), which unregisters internally —
+            # this path never reaches either).  Drop the registration by
+            # hand; unlink() tolerates a second unregister.
+            try:
+                resource_tracker.unregister(self.shm._name, "shared_memory")
             except Exception:
                 pass
 

@@ -247,8 +247,14 @@ class TestStreamServer:
             router, patterns, classes,
             shift_detector=shift, distance_detector=distance,
         )
+        # The binary detector sees every row (unmonitored classes are
+        # trusted verdicts); the distance histogram sees only *served*
+        # rows — no shard computed a distance for the rest, and synthetic
+        # zeros would pollute the divergence baseline.
+        routed = int(np.isin(classes, monitor.classes).sum())
+        assert routed < len(patterns)  # _queries mixes unmonitored classes
         assert shift.peek().samples_seen == len(patterns)
-        assert distance.peek().samples_seen == len(patterns)
+        assert distance.peek().samples_seen == routed
         # The windowed mean matches the tail of the exact distance stream
         # only statistically (order is batch-dependent); check totals.
         np.testing.assert_array_equal(result.verdicts, sync_supported)
@@ -469,6 +475,80 @@ class TestStreamServer:
 
         with pytest.raises(RuntimeError):
             asyncio.run(_call())
+
+    def test_check_many_with_every_row_unmonitored(self):
+        """Empty route groups: all rows trusted, nothing queued, and the
+        distance histogram sees none of them."""
+        monitor = _monitor(num_classes=3)
+        router = ShardRouter.partition(monitor, 2)
+        patterns, _ = _queries(monitor, n=50)
+        unmonitored = np.full(50, len(monitor.classes) + 7)
+        shift = DistributionShiftDetector(baseline_rate=0.05, window=50)
+        distance = DistanceShiftDetector(np.arange(5), window=50)
+
+        async def _run():
+            server = StreamServer(
+                router, shift_detector=shift, distance_detector=distance
+            )
+            async with server:
+                verdicts = await server.check_many(patterns, unmonitored)
+                return verdicts, server.stats()
+
+        verdicts, stats = asyncio.run(_run())
+        assert verdicts.all() and len(verdicts) == 50
+        assert sum(row["requests"] for row in stats) == 0  # nothing queued
+        assert shift.peek().samples_seen == 50  # trusted verdicts counted
+        assert distance.peek().samples_seen == 0  # histogram untouched
+
+    def test_unmonitored_rows_never_reach_the_distance_histogram(self):
+        """Regression: unrouted rows used to be fed as synthetic
+        distance-0 samples, piling unmonitored traffic into the
+        distance-0 bin and skewing the TV-divergence baseline.  Both
+        request paths must leave the histogram untouched for them."""
+        monitor = _monitor()
+        router = ShardRouter.partition(monitor, 2)
+        patterns, classes = _queries(monitor, n=120)
+        served_mask = np.isin(classes, monitor.classes)
+        assert 0 < served_mask.sum() < len(patterns)
+        exact = monitor.min_distances(patterns, classes)
+        detector = DistanceShiftDetector(exact[served_mask], window=120)
+
+        async def _run():
+            server = StreamServer(router, distance_detector=detector)
+            async with server:
+                await server.check_many(patterns[:60], classes[:60])
+                for i in range(60, 120):  # per-request path
+                    await server.check(patterns[i], classes[i])
+
+        asyncio.run(_run())
+        state = detector.peek()
+        assert state.samples_seen == int(served_mask.sum())
+        # The histogram is exactly the served rows' distance multiset —
+        # bit-identical to feeding the monolith's distances for them.
+        twin = DistanceShiftDetector(exact[served_mask], window=120)
+        twin.update_many(
+            np.minimum(exact[served_mask], detector.max_distance + 1)
+        )
+        np.testing.assert_allclose(state.histogram, twin.peek().histogram)
+
+    def test_server_stop_is_idempotent_and_safe_before_start(self):
+        router = ShardRouter.partition(_monitor(), 2)
+
+        async def _run():
+            server = StreamServer(router)
+            await server.stop()  # never started: no-op
+            await server.start()
+            await server.start()  # double start: no-op
+            patterns, classes = _queries(_monitor(), n=20)
+            verdicts = await server.check_many(patterns, classes)
+            await server.stop()
+            await server.stop()  # double stop: no-op
+            with pytest.raises(RuntimeError):
+                await server.check_many(patterns, classes)
+            return verdicts
+
+        verdicts = asyncio.run(_run())
+        assert len(verdicts) == 20
 
 
 class TestDistanceShiftDetector:

@@ -1,0 +1,578 @@
+"""Cross-host serving suite: the TCP cluster must be invisible.
+
+Moving the worker fleet from ``multiprocessing`` pipes to sockets may
+never change an answer.  The equivalence half drives query streams
+through a live :class:`ClusterCoordinator` fleet and asserts
+bit-identical verdicts and distances against the in-process
+``ShardRouter`` — including the routing edges (empty zones, unmonitored
+classes) and a byte-hostile transport (a fake worker that replies one
+byte at a time).  The fault half proves the reconnect-else-re-place
+story: SIGKILL mid-block with respawn + requeue, a dropped connection
+healed by the worker redialling under the same name, replica re-placement
+onto survivors when the respawn budget is gone, and the γ / zone-epoch
+resync handshakes over TCP.  The frame codec gets its own unit tests:
+the length prefix must reassemble frames from arbitrary fragmentation
+and tell a clean close from a torn one.
+"""
+
+import asyncio
+import os
+import pickle
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.monitor import NeuronActivationMonitor, ZoneSnapshot, partition_payloads
+from repro.serving import (
+    ClusterCoordinator,
+    MonitorShard,
+    ShardRouter,
+    StreamServer,
+    WorkerCrashError,
+    run_stream,
+)
+from repro.serving import netproto
+from repro.serving.cluster import parse_address, run_worker
+
+WIDTH = 16
+#: Monitored classes; EMPTY_CLASS has a zone but never receives patterns.
+CLASSES = list(range(6))
+EMPTY_CLASS = 5
+
+
+def _build_monitor(backend="bitset", indexed=False, gamma=1, seed=0):
+    rng = np.random.default_rng(seed)
+    patterns = (rng.random((200, WIDTH)) < 0.4).astype(np.uint8)
+    labels = rng.integers(0, EMPTY_CLASS, len(patterns))  # class 5 stays empty
+    monitor = NeuronActivationMonitor(
+        WIDTH, CLASSES, gamma=gamma, backend=backend, indexed=indexed
+    )
+    monitor.record(patterns, labels, labels)
+    assert monitor.zones[EMPTY_CLASS].is_empty()
+    return monitor
+
+
+def _queries(n=200, seed=1, extra_classes=3):
+    rng = np.random.default_rng(seed)
+    patterns = (rng.random((n, WIDTH)) < 0.4).astype(np.uint8)
+    classes = rng.integers(0, len(CLASSES) + extra_classes, n)
+    return patterns, classes
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# frame codec
+# ----------------------------------------------------------------------
+class TestNetproto:
+    def test_frame_layout_is_length_prefixed_pickle(self):
+        message = ("ok", 7, ([True, False], None))
+        frame = netproto.encode_frame(message)
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - netproto.HEADER_BYTES
+        assert pickle.loads(frame[4:]) == message
+        assert netproto.decode_length(frame[:4]) == length
+
+    def test_oversized_length_prefix_is_rejected(self):
+        header = (netproto.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(netproto.ProtocolError, match="ceiling"):
+            netproto.decode_length(header)
+
+    def test_read_frame_reassembles_one_byte_fragments(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = netproto.encode_frame(("ping", 123))
+            task = asyncio.ensure_future(netproto.read_frame(reader))
+            for i in range(len(frame)):
+                reader.feed_data(frame[i : i + 1])
+                await asyncio.sleep(0)
+            return await task
+
+        assert asyncio.run(scenario()) == ("ping", 123)
+
+    def test_eof_between_frames_is_a_clean_close(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(netproto.encode_frame(("pong", 1)))
+            reader.feed_eof()
+            first = await netproto.read_frame(reader)
+            with pytest.raises(netproto.ConnectionClosed):
+                await netproto.read_frame(reader)
+            return first
+
+        assert asyncio.run(scenario()) == ("pong", 1)
+
+    def test_eof_inside_a_frame_is_a_protocol_error(self):
+        async def truncated(cut):
+            reader = asyncio.StreamReader()
+            reader.feed_data(netproto.encode_frame(("req", list(range(64))))[:cut])
+            reader.feed_eof()
+            await netproto.read_frame(reader)
+
+        with pytest.raises(netproto.ProtocolError, match="header"):
+            asyncio.run(truncated(2))  # torn inside the length prefix
+        with pytest.raises(netproto.ProtocolError, match="payload"):
+            asyncio.run(truncated(10))  # torn inside the payload
+        # ConnectionClosed subclasses ProtocolError: one except arm
+        # handles both on the read loops.
+        assert issubclass(netproto.ConnectionClosed, netproto.ProtocolError)
+
+    def test_blocking_connection_round_trips(self):
+        left, right = socket.socketpair()
+        a, b = netproto.FrameConnection(left), netproto.FrameConnection(right)
+        try:
+            payload = ("req", 0, 1, "check", b"\x00" * 10_000, 5, WIDTH,
+                       np.arange(5), None)
+            a.send(payload)
+            got = b.recv()
+            assert got[:4] == payload[:4] and got[4] == payload[4]
+            b.send(("bye",))
+            assert a.recv() == ("bye",)
+            a.close()
+            with pytest.raises(netproto.ConnectionClosed):
+                b.recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:7410") == ("10.0.0.5", 7410)
+        assert parse_address(("localhost", 9)) == ("localhost", 9)
+        with pytest.raises(ValueError):
+            parse_address("7410")
+
+
+# ----------------------------------------------------------------------
+# cross-host equivalence
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet():
+    """One live self-hosted cluster shared across the equivalence tests.
+
+    The router is partitioned from a *separate* monitor build, so the
+    cluster answers only agree if payload rehydration over TCP is
+    genuinely faithful.
+    """
+    router = ShardRouter.partition(_build_monitor(), 3)
+    with ClusterCoordinator(router.shards, workers=2, ready_timeout=60) as cluster:
+        yield cluster, ShardRouter.partition(_build_monitor(), 3)
+
+
+class TestEquivalence:
+    def test_verdicts_bit_identical_to_router(self, fleet):
+        cluster, router = fleet
+        patterns, classes = _queries()
+        np.testing.assert_array_equal(
+            cluster.check(patterns, classes), router.check(patterns, classes)
+        )
+
+    def test_min_distances_bit_identical_to_router(self, fleet):
+        cluster, router = fleet
+        patterns, classes = _queries(seed=2)
+        np.testing.assert_array_equal(
+            cluster.min_distances(patterns, classes),
+            router.min_distances(patterns, classes),
+        )
+
+    def test_capped_distances_match(self, fleet):
+        cluster, router = fleet
+        patterns, classes = _queries(seed=3)
+        np.testing.assert_array_equal(
+            cluster.min_distances(patterns, classes, cap=2),
+            router.min_distances(patterns, classes, cap=2),
+        )
+
+    def test_unmonitored_and_empty_classes_route_like_the_router(self, fleet):
+        cluster, router = fleet
+        patterns, _ = _queries(n=40)
+        # Every row lands on the empty zone or an unmonitored class.
+        classes = np.where(np.arange(40) % 2 == 0, EMPTY_CLASS, len(CLASSES))
+        np.testing.assert_array_equal(
+            cluster.check(patterns, classes), router.check(patterns, classes)
+        )
+        assert cluster.owns(EMPTY_CLASS) and not cluster.owns(len(CLASSES))
+
+    def test_bad_block_fails_its_own_future_only(self, fleet):
+        cluster, _ = fleet
+        wrong_width = np.zeros((4, WIDTH + 8), dtype=np.uint8)
+        future = cluster.submit(0, wrong_width, np.zeros(4, dtype=np.int64))
+        with pytest.raises(Exception):
+            future.result(timeout=30)
+        patterns, classes = _queries(n=20)
+        assert len(cluster.check(patterns, classes)) == 20  # fleet still up
+
+    def test_unknown_shard_is_rejected_on_submit(self, fleet):
+        cluster, _ = fleet
+        with pytest.raises(KeyError):
+            cluster.submit(99, np.zeros((1, WIDTH), np.uint8), np.zeros(1))
+
+    def test_stats_rows_cover_the_cli_table(self, fleet):
+        cluster, _ = fleet
+        patterns, classes = _queries(n=50)
+        cluster.check(patterns, classes)
+        rows = cluster.stats()
+        assert len(rows) == 2
+        for row in rows:
+            for key in ("worker", "pid", "requests", "batches", "mean_batch",
+                        "respawns", "requeued_blocks", "p50_ms", "p99_ms"):
+                assert key in row
+            assert row["transport"] == "tcp"
+
+
+# ----------------------------------------------------------------------
+# fault injection: SIGKILL, dropped connection, reconnect, re-place
+# ----------------------------------------------------------------------
+class TestFaults:
+    def test_sigkill_mid_block_respawns_and_requeues(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=300)
+        want = oracle.check(patterns, classes)
+        with ClusterCoordinator(router.shards, workers=2,
+                                ready_timeout=60) as cluster:
+            stop = threading.Event()
+            failures = []
+
+            def traffic():
+                while not stop.is_set():
+                    try:
+                        got = cluster.check(patterns, classes)
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append(exc)
+                        return
+                    if not np.array_equal(got, want):
+                        failures.append(AssertionError("verdict drift"))
+                        return
+
+            producer = threading.Thread(target=traffic)
+            producer.start()
+            try:
+                for _ in range(3):
+                    time.sleep(0.1)
+                    pids = cluster.worker_pids()
+                    if pids:
+                        os.kill(pids[0], signal.SIGKILL)
+            finally:
+                stop.set()
+                producer.join(timeout=120)
+            assert not failures, failures[0]
+            # The kills landed on live workers, so the respawn/requeue
+            # machinery demonstrably ran.
+            assert cluster.total_respawns >= 1
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+
+    def test_dropped_connection_heals_bit_identically(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=200)
+        want = oracle.check(patterns, classes)
+        with ClusterCoordinator(router.shards, workers=2,
+                                ready_timeout=60) as cluster:
+            name = cluster.worker_names()[0]
+            assert cluster.drop_connection(name)
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            assert cluster.total_respawns >= 1
+
+    def test_external_worker_reconnects_under_its_name(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=120)
+        want = oracle.check(patterns, classes)
+        port = _free_port()
+        cluster = ClusterCoordinator(
+            router.shards, listen=f"127.0.0.1:{port}", workers=1,
+            ready_timeout=60, reconnect_grace=30,
+        )
+        # The worker thread redials until the coordinator is listening,
+        # and again after every dropped connection (same name, so the
+        # re-registration reclaims its shard placement).
+        worker = threading.Thread(
+            target=run_worker,
+            args=((f"127.0.0.1:{port}"),),
+            kwargs=dict(name="ext-a", reconnect_attempts=50,
+                        reconnect_backoff=0.1),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            cluster.start()
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            assert cluster.worker_names() == ["ext-a"]
+            assert cluster.drop_connection("ext-a")
+            # The same external worker dials back in and re-registers.
+            deadline = time.monotonic() + 30
+            while "ext-a" not in cluster.worker_names():
+                assert time.monotonic() < deadline, "worker never reconnected"
+                time.sleep(0.05)
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            assert cluster.total_requeued == 0  # drop landed between blocks
+        finally:
+            cluster.stop()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+
+    def test_shards_replaced_on_survivors_when_budget_exhausted(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=150)
+        want = oracle.check(patterns, classes)
+        with ClusterCoordinator(router.shards, workers=2, replicas=1,
+                                max_respawns=0, ready_timeout=60) as cluster:
+            shard_counts = sorted(
+                len(w.shard_ids)
+                for w in cluster._workers_by_name.values()
+            )
+            assert sum(shard_counts) == 3  # replicas=1: disjoint placement
+            os.kill(cluster.worker_pids()[0], signal.SIGKILL)
+            # No respawn budget: the dead worker's shards must re-place
+            # onto the survivor for these blocks to ever resolve.
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            survivor_shards = [
+                len(w.shard_ids)
+                for w in cluster._workers_by_name.values()
+                if not w.dead
+            ]
+            assert survivor_shards == [3]
+
+    def test_all_budgets_exhausted_raises_worker_crash(self):
+        router = ShardRouter.partition(_build_monitor(), 2)
+        patterns, classes = _queries(n=40)
+        with ClusterCoordinator(router.shards, workers=1, max_respawns=0,
+                                ready_timeout=5) as cluster:
+            os.kill(cluster.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises((WorkerCrashError, RuntimeError)):
+                cluster.check(patterns, classes)
+
+    def test_slow_partial_frame_worker_still_bit_identical(self):
+        """A byte-hostile but protocol-correct worker: every reply frame
+        arrives one byte at a time.  The coordinator's reader must
+        reassemble the dribble and the verdicts must not change."""
+        router = ShardRouter.partition(_build_monitor(), 2)
+        oracle = ShardRouter.partition(_build_monitor(), 2)
+        patterns, classes = _queries(n=60)
+        want = oracle.check(patterns, classes)
+        port = _free_port()
+        stop_flag = threading.Event()
+
+        def dribbling_worker():
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    sock = socket.create_connection(("127.0.0.1", port))
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                return
+            conn = netproto.FrameConnection(sock)
+
+            def dribble(message):
+                frame = netproto.encode_frame(message)
+                for i in range(len(frame)):
+                    sock.sendall(frame[i : i + 1])
+
+            dribble(("register", "dribbler", os.getpid()))
+            shards = {}
+            try:
+                while not stop_flag.is_set():
+                    msg = conn.recv()
+                    kind = msg[0]
+                    if kind == "init" or kind == "zone":
+                        shards = {
+                            p["shard_id"]: MonitorShard.from_payload(p)
+                            for p in msg[1]
+                        }
+                        dribble(("ready", len(shards)) if kind == "init"
+                                else ("zone_ok", msg[3]))
+                    elif kind == "req":
+                        from repro.serving.cluster import _answer_block
+                        dribble(_answer_block(shards, msg))
+                    elif kind == "ping":
+                        dribble(("pong", msg[1]))
+                    elif kind == "gamma":
+                        dribble(("gamma_ok", msg[2]))
+                    elif kind == "stop":
+                        dribble(("bye",))
+                        return
+            except netproto.ProtocolError:
+                return
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=dribbling_worker, daemon=True)
+        thread.start()
+        cluster = ClusterCoordinator(
+            router.shards, listen=f"127.0.0.1:{port}", workers=1,
+            ready_timeout=60,
+        )
+        try:
+            cluster.start()
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            np.testing.assert_array_equal(
+                cluster.min_distances(patterns, classes),
+                oracle.min_distances(patterns, classes),
+            )
+        finally:
+            stop_flag.set()
+            cluster.stop()
+            thread.join(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# control plane: γ broadcast, zone-epoch swap
+# ----------------------------------------------------------------------
+class TestControlPlane:
+    def test_gamma_broadcast_matches_rebuilt_oracle(self):
+        router = ShardRouter.partition(_build_monitor(gamma=1), 3)
+        patterns, classes = _queries()
+        with ClusterCoordinator(router.shards, workers=2,
+                                ready_timeout=60) as cluster:
+            cluster.set_gamma(3)
+            oracle = ShardRouter.partition(_build_monitor(gamma=3), 3)
+            np.testing.assert_array_equal(
+                cluster.check(patterns, classes),
+                oracle.check(patterns, classes),
+            )
+
+    def test_zone_swap_is_fleet_atomic_and_observable(self):
+        old = _build_monitor(gamma=0)
+        router = ShardRouter.partition(old, 3)
+        layout = [(s.shard_id, list(s.classes)) for s in router.shards]
+        rng = np.random.default_rng(11)
+        patterns = (rng.random((150, WIDTH)) < 0.6).astype(np.uint8)
+        classes = rng.integers(0, len(CLASSES), 150)
+        new = NeuronActivationMonitor.merge([old])
+        new.record(patterns, classes, classes)
+        snapshot = ZoneSnapshot(
+            epoch=1, gamma=new.gamma,
+            payloads=tuple(partition_payloads(new, layout)),
+        )
+        with ClusterCoordinator(router.shards, workers=2,
+                                ready_timeout=60) as cluster:
+            before = cluster.check(patterns, classes)
+            np.testing.assert_array_equal(before, old.check(patterns, classes))
+            assert not before.all()  # the swap must be observable
+            cluster.apply_snapshot(snapshot)
+            assert cluster.epoch == 1
+            assert cluster.total_swaps == 1
+            after = cluster.check(patterns, classes)
+            np.testing.assert_array_equal(after, new.check(patterns, classes))
+            assert after.all()
+            with pytest.raises(ValueError, match="not newer"):
+                cluster.apply_snapshot(snapshot)
+
+    def test_respawned_worker_rehydrates_at_current_epoch(self):
+        old = _build_monitor(gamma=0)
+        router = ShardRouter.partition(old, 3)
+        layout = [(s.shard_id, list(s.classes)) for s in router.shards]
+        rng = np.random.default_rng(13)
+        patterns = (rng.random((100, WIDTH)) < 0.6).astype(np.uint8)
+        classes = rng.integers(0, len(CLASSES), 100)
+        new = NeuronActivationMonitor.merge([old])
+        new.record(patterns, classes, classes)
+        snapshot = ZoneSnapshot(
+            epoch=1, gamma=new.gamma,
+            payloads=tuple(partition_payloads(new, layout)),
+        )
+        with ClusterCoordinator(router.shards, workers=2,
+                                ready_timeout=60) as cluster:
+            cluster.apply_snapshot(snapshot)
+            os.kill(cluster.worker_pids()[0], signal.SIGKILL)
+            # The respawned worker registers against the *installed*
+            # payload set — answers must be post-swap everywhere.
+            np.testing.assert_array_equal(
+                cluster.check(patterns, classes), new.check(patterns, classes)
+            )
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_stop_is_idempotent_and_safe_before_start(self):
+        router = ShardRouter.partition(_build_monitor(), 2)
+        cluster = ClusterCoordinator(router.shards, workers=1)
+        cluster.stop()  # never started: no-op
+        cluster.start()
+        pids = cluster.worker_pids()
+        cluster.stop()
+        cluster.stop()  # second stop: no-op
+        deadline = time.monotonic() + 30
+        while any(_pid_alive(pid) for pid in pids):
+            assert time.monotonic() < deadline, "worker outlived stop()"
+            time.sleep(0.05)
+        with pytest.raises(RuntimeError, match="not running"):
+            cluster.submit(0, np.zeros((1, WIDTH), np.uint8), np.zeros(1))
+
+    def test_restart_after_stop(self):
+        router = ShardRouter.partition(_build_monitor(), 2)
+        patterns, classes = _queries(n=40)
+        oracle = ShardRouter.partition(_build_monitor(), 2)
+        want = oracle.check(patterns, classes)
+        cluster = ClusterCoordinator(router.shards, workers=1, ready_timeout=60)
+        for _ in range(2):
+            cluster.start()
+            np.testing.assert_array_equal(cluster.check(patterns, classes), want)
+            cluster.stop()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# StreamServer integration
+# ----------------------------------------------------------------------
+class TestStreamServerCluster:
+    def test_executor_cluster_end_to_end(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=150)
+        want = oracle.check(patterns, classes)
+
+        async def scenario():
+            server = StreamServer(router, executor="cluster", workers=2)
+            async with server:
+                verdicts = await server.check_many(patterns, classes)
+                singles = await asyncio.gather(
+                    *(server.check(patterns[i], classes[i]) for i in range(25))
+                )
+                stats = server.worker_stats()
+            return verdicts, singles, stats
+
+        verdicts, singles, stats = asyncio.run(scenario())
+        np.testing.assert_array_equal(verdicts, want)
+        np.testing.assert_array_equal(np.asarray(singles), want[:25])
+        assert stats and all(row["transport"] == "tcp" for row in stats)
+
+    def test_run_stream_cluster_executor(self):
+        router = ShardRouter.partition(_build_monitor(), 3)
+        oracle = ShardRouter.partition(_build_monitor(), 3)
+        patterns, classes = _queries(n=120)
+        result = run_stream(
+            router, patterns, classes, executor="cluster", workers=2
+        )
+        np.testing.assert_array_equal(
+            result.verdicts, oracle.check(patterns, classes)
+        )
+        assert result.worker_stats
+        assert all(row["transport"] == "tcp" for row in result.worker_stats)
+
+    def test_invalid_executor_still_rejected(self):
+        router = ShardRouter.partition(_build_monitor(), 2)
+        with pytest.raises(ValueError, match="executor"):
+            StreamServer(router, executor="rocket")
+        with pytest.raises(ValueError, match="workers"):
+            StreamServer(router, executor="cluster", workers=0)

@@ -423,6 +423,31 @@ class TestPoolValidation:
         with pytest.raises(ValueError, match="gamma"):
             ProcessShardPool(router.shards).set_gamma(-1)
 
+    def test_stop_is_idempotent_and_safe_before_start(self):
+        monitor = _build_monitor()
+        router = ShardRouter.partition(monitor, 2)
+        pool = ProcessShardPool(router.shards, num_workers=2)
+        pool.stop()  # never started: no-op, nothing to tear down
+        pool.start()
+        patterns, classes = _queries(n=40, extra_classes=0)
+        np.testing.assert_array_equal(
+            pool.check(patterns, classes), monitor.check(patterns, classes)
+        )
+        pids = pool.worker_pids()
+        pool.stop()
+        pool.stop()  # second stop: no-op, no double-unlink/double-join
+        for pid in pids:
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break
+                assert time.monotonic() < deadline, "worker outlived stop()"
+                time.sleep(0.01)
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.submit(0, patterns[:1], classes[:1])
+
 
 # ----------------------------------------------------------------------
 # StreamServer with executor="process"
@@ -466,8 +491,11 @@ class TestProcessExecutorServer:
         np.testing.assert_array_equal(
             result.verdicts, monitor.check(patterns, classes)
         )
+        # Unmonitored-class rows feed the binary detector only; the
+        # distance histogram must see served distances exclusively.
+        routed = int(np.isin(classes, monitor.classes).sum())
         assert shift.peek().samples_seen == len(patterns)
-        assert distance.peek().samples_seen == len(patterns)
+        assert distance.peek().samples_seen == routed
 
     def test_env_override_and_knob_validation(self, monkeypatch):
         router = ShardRouter.partition(_build_monitor(), 2)

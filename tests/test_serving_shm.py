@@ -21,6 +21,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -321,3 +322,142 @@ class TestSegmentLeaks:
                     pool.check(patterns, classes)
                     time.sleep(0.01)
         assert _ring_segments() <= before
+
+
+# ----------------------------------------------------------------------
+# BlockRing.close(): resource-tracker hygiene on the BufferError path
+# ----------------------------------------------------------------------
+class TestBlockRingClose:
+    def test_detach_path_unregisters_from_resource_tracker(self, monkeypatch):
+        """A close() forced down the BufferError fallback must drop the
+        segment's resource-tracker registration by hand — the detach
+        bypasses SharedMemory.close(), so nothing else ever will, and
+        the tracker would print a spurious "leaked shared_memory"
+        warning at interpreter exit."""
+        from multiprocessing import resource_tracker
+
+        ring = shmring.BlockRing(
+            f"{shmring.SEGMENT_PREFIX}-test-detach-{os.getpid()}",
+            slots=2, slot_bytes=64, create=True,
+        )
+        tracked_name = ring.shm._name
+        unregistered = []
+        monkeypatch.setattr(
+            resource_tracker, "unregister",
+            lambda name, rtype: unregistered.append((name, rtype)),
+        )
+        view = ring.u8(0, 16)  # live export: close() must hit BufferError
+        ring.close()
+        assert unregistered == [(tracked_name, "shared_memory")]
+        assert ring.shm._fd == -1  # the detach itself still happened
+        del view
+        ring.unlink()  # monkeypatched unregister: only shm_unlink runs
+
+    def test_clean_close_leaves_registration_for_unlink(self, monkeypatch):
+        """No live views: close() succeeds normally and must NOT
+        unregister — that is unlink()'s job (SharedMemory.unlink
+        unregisters internally), and unregistering early would let a
+        crash between close and unlink truly leak the segment."""
+        from multiprocessing import resource_tracker
+
+        ring = shmring.BlockRing(
+            f"{shmring.SEGMENT_PREFIX}-test-clean-{os.getpid()}",
+            slots=2, slot_bytes=64, create=True,
+        )
+        unregistered = []
+        monkeypatch.setattr(
+            resource_tracker, "unregister",
+            lambda name, rtype: unregistered.append((name, rtype)),
+        )
+        ring.close()
+        assert unregistered == []
+        ring.unlink()
+        assert len(unregistered) == 1  # unlink's own internal unregister
+
+    def test_no_leak_warning_at_interpreter_exit(self):
+        """End-to-end regression: a child interpreter that exits with a
+        detached (BufferError'd) segment must not print the tracker's
+        "leaked shared_memory" warning."""
+        import subprocess
+        import sys
+
+        name = f"{shmring.SEGMENT_PREFIX}-test-exit-{os.getpid()}"
+        child = (
+            "from repro.serving import shmring\n"
+            f"ring = shmring.BlockRing({name!r}, slots=2, slot_bytes=64, "
+            "create=True)\n"
+            "view = ring.u8(0, 16)\n"
+            "ring.close()  # view alive: detach path\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True, text=True, timeout=60,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            assert result.returncode == 0, result.stderr
+            assert "leaked shared_memory" not in result.stderr, result.stderr
+        finally:
+            # The child never unlinked (that is the scenario): the name
+            # survives in /dev/shm for the parent to reap.
+            try:
+                os.unlink(f"/dev/shm/{name}")
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# stop() with a wedged pump thread
+# ----------------------------------------------------------------------
+class TestWedgedPumpShutdown:
+    def test_wedged_pump_warns_and_keeps_its_ring_mapped(self):
+        """A pump that misses its join window must be reported by name,
+        and its ring must stay mapped (unlinked, not closed) so a late
+        reply resolving through slot views touches live memory."""
+        before = _ring_segments()
+        monitor = _build_monitor()
+        router = ShardRouter.partition(monitor, 2)
+        pool = ProcessShardPool(
+            router.shards, num_workers=2, transport="shm", ready_timeout=2
+        )
+        pool.start()
+        try:
+            patterns, classes = _queries(n=40)
+            pool.check(patterns, classes)
+            # Swap worker 0's pump handle for a stand-in that never
+            # exits: stop() must time out joining it, warn, and spare
+            # ring 0 from the close.
+            release = threading.Event()
+            stuck = threading.Thread(
+                target=release.wait, name="repro-shard-pump-0", daemon=True
+            )
+            stuck.start()
+            pool._workers[0].pump = stuck
+            with pytest.warns(RuntimeWarning, match="repro-shard-pump-0"):
+                pool.stop()
+            assert pool._rings[0] is not None  # mapping kept for the pump
+            assert pool._rings[1] is None  # healthy slot fully destroyed
+            # Unlink still ran for both: nothing pool-owned in /dev/shm.
+            assert _ring_segments() <= before
+            # The kept mapping is genuinely alive: slot views still read.
+            assert pool._rings[0].request.u8(0, 8) is not None
+        finally:
+            release.set()
+            stuck.join(timeout=10)
+            ring = pool._rings[0]
+            if ring is not None:  # now truly quiesced: safe to unmap
+                ring.close()
+                pool._rings[0] = None
+
+    def test_clean_stop_still_warns_nothing(self):
+        monitor = _build_monitor()
+        router = ShardRouter.partition(monitor, 2)
+        pool = ProcessShardPool(router.shards, num_workers=2, transport="shm")
+        pool.start()
+        patterns, classes = _queries(n=40)
+        pool.check(patterns, classes)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            pool.stop()
+        assert all(ring is None for ring in pool._rings)

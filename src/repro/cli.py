@@ -37,6 +37,23 @@ Commands
 
         python -m repro serve-worker 10.0.0.5:7410 --name replica-a
 
+``store``
+    Inspect or maintain a crash-consistent on-disk zone store
+    (:mod:`repro.store`): ``info`` prints the recovered cursor state,
+    ``verify`` re-validates every checksum from disk (exit 1 on any
+    corruption), ``compact`` folds the WAL tail into a fresh
+    checksummed segment, e.g.::
+
+        python -m repro store info runs/mnist-zones
+        python -m repro store verify runs/mnist-zones
+        python -m repro store compact runs/mnist-zones
+
+    ``serve --store DIR`` plugs the same directory into the serving
+    path: an empty directory is initialized from the built monitor, a
+    populated one rehydrates the monitor by mapping its newest segment
+    and replaying the WAL tail — including everything a ``--drift-respond``
+    run absorbed before it stopped (or crashed).
+
 All heavy lifting is delegated to :mod:`repro.analysis`; the CLI is a thin,
 scriptable veneer used by the examples and CI.
 """
@@ -214,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
         "workers reconnect or have their shards re-placed on survivors",
     )
     serve_p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable zone store directory: an empty DIR is initialized "
+        "from the built monitor and every fresh pattern/gamma/snapshot "
+        "is write-through logged; a populated DIR rehydrates the "
+        "monitor from its newest segment + WAL tail (crash-consistent "
+        "cold start), overriding the cached zone contents",
+    )
+    serve_p.add_argument(
         "--drift-respond", action="store_true",
         help="close the drift loop: stage flagged out-of-zone patterns, "
         "absorb them on alarm, re-choose gamma on the retained "
@@ -254,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
     worker_p.add_argument(
         "--reconnect-backoff", type=float, default=0.5,
         help="seconds between redials",
+    )
+
+    store_p = sub.add_parser(
+        "store",
+        help="inspect or maintain a crash-consistent on-disk zone store",
+    )
+    store_p.add_argument(
+        "action", choices=("info", "verify", "compact"),
+        help="info: recovered cursor summary; verify: re-validate every "
+        "checksum from disk (exit 1 on corruption); compact: fold the "
+        "WAL tail into a fresh checksummed segment",
+    )
+    store_p.add_argument(
+        "directory", metavar="DIR", help="zone store directory",
+    )
+    store_p.add_argument(
+        "--keep-segments", type=int, default=1,
+        help="previous segment generations kept as fallbacks by compact",
+    )
+    store_p.add_argument(
+        "--json", action="store_true",
+        help="emit the raw report as JSON instead of the human summary",
     )
     return parser
 
@@ -360,6 +407,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         indexed=args.indexed,
     )
+    store = None
+    if args.store is not None:
+        from repro.monitor.monitor import NeuronActivationMonitor
+        from repro.store import ZoneStore
+
+        os.makedirs(args.store, exist_ok=True)
+        store = ZoneStore.open(args.store)
+        if store.initialized:
+            # The store is the ground truth: map the newest segment and
+            # replay the WAL tail — the zones of the previous run (drift
+            # absorptions included) replace the freshly built ones.
+            monitor = NeuronActivationMonitor.from_store(
+                store, backend=args.backend
+            )
+            print(f"store: rehydrated {args.store} "
+                  f"(epoch {store.epoch}, gamma {monitor.gamma}, "
+                  f"{sum(z.num_visited_patterns for z in monitor.zones.values())} "
+                  f"visited patterns)")
+        else:
+            monitor.attach_store(store)
+            print(f"store: initialized {args.store} from the built monitor")
     router = ShardRouter.partition(monitor, args.shards)
     patterns, labels, predictions = system.patterns_of("val")
     total = args.requests if args.requests is not None else len(patterns)
@@ -391,6 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             predictions,
             labels,
             min_staged=args.drift_min_staged,
+            store=store,
         )
 
     if args.workers < 0:
@@ -488,6 +557,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # The shards serve from their own rehydrated engines; this reports
     # the build-time monitor the stream was partitioned from.
     _print_engine_stats(monitor)
+    if store is not None:
+        print(f"store: epoch {store.epoch}, wal offset {store.wal_offset}, "
+              f"segment seq {store.segment_seq}")
+        store.flush(sync=True)
+        store.close()
     return 0
 
 
@@ -503,6 +577,71 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         reconnect_backoff=args.reconnect_backoff,
     )
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import StoreError, ZoneStore
+
+    if not os.path.isdir(args.directory):
+        raise SystemExit(f"store directory does not exist: {args.directory}")
+    store = ZoneStore.open(args.directory)
+    try:
+        if args.action == "info":
+            info = store.info()
+            if args.json:
+                print(json.dumps(info, indent=2, sort_keys=True))
+                return 0
+            print(f"store:      {info['directory']}")
+            print(f"initialized: {info['initialized']}  "
+                  f"epoch={info['epoch']}  gamma={info['gamma']}  "
+                  f"fsync={info['fsync']}")
+            print(f"segment:    seq={info['segment_seq']}  "
+                  f"rows={info.get('segment_rows', {})}")
+            print(f"wal:        offset={info['wal_offset']}  "
+                  f"tail_bytes={info['wal_tail_bytes']}  "
+                  f"tail_rows={info.get('wal_tail_rows', {})}")
+            if info["recovery_events"]:
+                print("recovery events:")
+                for event in info["recovery_events"]:
+                    print(f"  - {event}")
+            return 0
+        if args.action == "verify":
+            report = store.verify()
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                for entry in report["segments"]:
+                    status = "ok" if entry.get("valid") else (
+                        f"CORRUPT ({entry.get('error') or entry.get('corrupt_classes')})"
+                    )
+                    print(f"segment {entry['path']}: {status}")
+                wal = report["wal"]
+                tail = (
+                    "clean" if not wal["torn_bytes"]
+                    else f"{wal['torn_bytes']} torn byte(s): {wal['reason']}"
+                )
+                print(f"wal {wal['path']}: {wal['records']} records, {tail}")
+                if report.get("quarantined"):
+                    print(f"quarantined: {', '.join(report['quarantined'])}")
+                if "snapshot_counts_match" in report:
+                    print("snapshot marker counts: "
+                          + ("match" if report["snapshot_counts_match"]
+                             else f"MISMATCH {report['snapshot_count_mismatches']}"))
+                print(f"verify: {'OK' if report['ok'] else 'FAILED'}")
+            return 0 if report["ok"] else 1
+        # compact
+        try:
+            path = store.compact(keep_segments=args.keep_segments)
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        print(f"compacted into {os.path.basename(path)}  "
+              f"(epoch={store.epoch}, gamma={store.gamma}, "
+              f"wal_offset={store.wal_offset})")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_lint(args) -> int:
@@ -543,6 +682,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "serve-worker":
         return _cmd_serve_worker(args)
+    if args.command == "store":
+        return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

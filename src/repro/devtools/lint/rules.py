@@ -472,6 +472,12 @@ BLESSED_PRODUCERS = frozenset(
         "as_payload",
         "read_request",
         "read_response",
+        # The zone store's framing helpers (repro.store): WAL records
+        # decode to packed-bit row matrices and segment bodies are
+        # mmap'd packed views — both are the portable wire form, never
+        # live engine objects.
+        "as_array",
+        "unpack_patterns",
     }
 )
 

@@ -151,25 +151,101 @@ class BitsetZoneBackend(ZoneBackend):
         # Intra-batch dedup and the cross-batch filter both run at C speed:
         # unique void rows, then a sorted-lookup membership test against the
         # stored set (no per-row Python, however large the zone).
-        words = np.unique(self._pack_words(patterns), axis=0)
-        fresh = ~self._member_mask(words)
-        if fresh.any():
-            old_rows = len(self._words)
-            self._words = np.concatenate([self._words, words[fresh]], axis=0)
-            self._sorted_void = self._merge_sorted(words[fresh])
-            # Built per-γ band indices absorb the appended rows in place
-            # (searchsorted + scatter per band); an index that declines —
-            # the merged rows would outnumber its build-time rows, so the
-            # frozen triage prototype has gone stale — is dropped and
-            # lazily rebuilt on the next query.
-            if self._indices:
-                self._indices = {
-                    gamma: index
-                    for gamma, index in self._indices.items()
-                    if index.merge(self._words, old_rows)
-                }
+        self._add_words(np.unique(self._pack_words(patterns), axis=0))
 
-    def _merge_sorted(self, fresh_words: np.ndarray) -> np.ndarray:
+    def add_packed(
+        self, packed: np.ndarray, assume_sorted_unique: bool = False
+    ) -> np.ndarray:
+        """Bulk-insert ``(N, row_bytes)`` bit-packed rows (store cold start).
+
+        The zone store and the portable payloads both carry patterns in
+        ``pack_patterns`` form; this entry point skips the unpackbits →
+        packbits round trip of :meth:`add_patterns` and goes straight to
+        the word representation.  Bits past ``num_vars`` are masked off,
+        so foreign padding can never make two equal patterns distinct.
+        Returns the packed rows that were actually new (the write-through
+        sink logs exactly these).
+
+        ``assume_sorted_unique`` marks rows that arrive deduplicated in
+        lexicographic byte order — exactly what ``np.unique(rows,
+        axis=0)`` produces and what compacted store segments hold.  The
+        claim is *verified* with one O(N) strictly-increasing pass (so a
+        foreign segment can never corrupt the sorted structure); when it
+        holds, the two O(N log N) sorts of the general path are skipped,
+        which is what makes the mmap cold start beat an archive parse.
+        """
+        packed = np.ascontiguousarray(np.atleast_2d(packed), dtype=np.uint8)
+        if packed.shape[1] != self._row_bytes:
+            raise ValueError(
+                f"packed rows have {packed.shape[1]} bytes, "
+                f"expected {self._row_bytes}"
+            )
+        if len(packed) == 0:
+            return packed.reshape(0, self._row_bytes)
+        tail_bits = self._row_bytes * 8 - self.num_vars
+        if tail_bits:
+            packed = packed.copy()
+            packed[:, -1] &= 0xFF << tail_bits & 0xFF
+        pad = self._row_words * 8 - self._row_bytes
+        if pad:
+            packed = np.pad(packed, ((0, 0), (0, pad)))
+        packed = np.ascontiguousarray(packed)
+        row_view = packed.view(np.uint64)
+        presorted = False
+        if assume_sorted_unique and len(packed) > 1:
+            # Verify strict lexicographic byte order (== void/memcmp
+            # order) in one vectorized pass: big-endian word values sort
+            # exactly like their bytes, so a row pair is ordered at its
+            # first differing word.
+            be = packed.view(">u8")
+            a, b = be[:-1], be[1:]
+            neq = a != b
+            distinct = neq.any(axis=1)
+            first = neq.argmax(axis=1)
+            idx = np.arange(len(a))
+            presorted = bool(
+                np.all(distinct & (a[idx, first] < b[idx, first]))
+            )
+        elif assume_sorted_unique:
+            presorted = True
+        if presorted:
+            words = row_view
+        else:
+            # np.unique sorts by uint64 *columns*; _merge_sorted re-sorts
+            # the fresh rows into void byte order afterwards.
+            words = np.unique(row_view, axis=0)
+        fresh_words = self._add_words(words, void_sorted=presorted)
+        return fresh_words.view(np.uint8)[:, : self._row_bytes]
+
+    def _add_words(
+        self, words: np.ndarray, void_sorted: bool = False
+    ) -> np.ndarray:
+        """Merge already-deduplicated packed word rows; returns the fresh ones."""
+        fresh = ~self._member_mask(words)
+        if not fresh.any():
+            return words[:0]
+        old_rows = len(self._words)
+        self._words = np.concatenate([self._words, words[fresh]], axis=0)
+        # A boolean take from void-sorted rows stays void-sorted.
+        self._sorted_void = self._merge_sorted(
+            words[fresh], presorted=void_sorted
+        )
+        # Built per-γ band indices absorb the appended rows in place
+        # (searchsorted + scatter per band); an index that declines —
+        # the merged rows would outnumber its build-time rows, so the
+        # frozen triage prototype has gone stale — is dropped and
+        # lazily rebuilt on the next query.
+        if self._indices:
+            self._indices = {
+                gamma: index
+                for gamma, index in self._indices.items()
+                if index.merge(self._words, old_rows)
+            }
+        return words[fresh]
+
+    def _merge_sorted(
+        self, fresh_words: np.ndarray, presorted: bool = False
+    ) -> np.ndarray:
         """Merge new (already-deduplicated) rows into the sorted void array.
 
         An incremental add used to re-sort the full dedup array —
@@ -179,9 +255,13 @@ class BitsetZoneBackend(ZoneBackend):
         high-frequency fleet merges cheap (ROADMAP "Indexed merge/rebuild
         cost").  Note ``np.unique(..., axis=0)`` sorts by uint64 *column*
         order, which differs from void byte order on little-endian hosts,
-        so the small batch is re-sorted as void rows first.
+        so the small batch is re-sorted as void rows first —
+        ``presorted`` rows (verified void order, the store cold-start
+        path) skip that sort.
         """
-        new_sorted = np.sort(fresh_words.view(self._void).ravel())
+        new_sorted = fresh_words.view(self._void).ravel()
+        if not presorted:
+            new_sorted = np.sort(new_sorted)
         old = self._sorted_void
         if not len(old):
             return new_sorted

@@ -94,16 +94,45 @@ class StagingZone:
     buffer is *not* a comfort zone — it is never queried, never
     deduplicated, never enlarged; it only carries raw evidence to the
     next :meth:`DriftResponder.respond`.
+
+    ``max_staged`` bounds each class's buffer: sustained drift with no
+    (or a failing) responder would otherwise grow memory without bound.
+    When a class exceeds the cap its *oldest* rows are dropped — the
+    newest evidence is what the next absorption should see — and every
+    dropped row is counted in :attr:`total_dropped` (surfaced as
+    ``staged_dropped`` in the serving layer's ``drift_stats()``).
     """
 
-    def __init__(self, layer_width: int):
+    def __init__(self, layer_width: int, max_staged: Optional[int] = None):
         if layer_width <= 0:
             raise ValueError(f"layer_width must be positive, got {layer_width}")
+        if max_staged is not None and max_staged <= 0:
+            raise ValueError(f"max_staged must be positive, got {max_staged}")
         self.layer_width = layer_width
+        self.max_staged = max_staged
         self._lock = named_lock("StagingZone._lock")
         self._staged: Dict[int, List[np.ndarray]] = {}
         self._total = 0
         self.total_ever = 0
+        self.total_dropped = 0
+
+    def _trim(self, class_id: int) -> None:
+        """Drop oldest rows of one class down to ``max_staged`` (lock held)."""
+        if self.max_staged is None:
+            return
+        chunks = self._staged.get(class_id, [])
+        excess = sum(len(rows) for rows in chunks) - self.max_staged
+        while excess > 0 and chunks:
+            head = chunks[0]
+            if len(head) <= excess:
+                chunks.pop(0)
+                dropped = len(head)
+            else:
+                chunks[0] = head[excess:]
+                dropped = excess
+            excess -= dropped
+            self._total -= dropped
+            self.total_dropped += dropped
 
     def add(self, patterns: np.ndarray, predicted_classes: np.ndarray) -> int:
         """Stage flagged rows under their predicted classes; returns count."""
@@ -127,8 +156,9 @@ class StagingZone:
                 # Copy: the serving layer hands us views into batch
                 # buffers it will reuse.
                 self._staged.setdefault(int(c), []).append(rows.copy())
-            self._total += len(patterns)
-            self.total_ever += len(patterns)
+                self._total += len(rows)
+                self.total_ever += len(rows)
+                self._trim(int(c))
         return len(patterns)
 
     @property
@@ -220,6 +250,15 @@ class DriftResponder:
         An alarm only triggers a response once at least this many
         patterns are staged — absorbing a handful of outliers would churn
         epochs without moving the zones.
+    max_staged:
+        Optional per-class staging cap (drop-oldest; see
+        :class:`StagingZone`).
+    store:
+        Optional :class:`~repro.store.ZoneStore`: every response then
+        durably logs the absorbed patterns, the re-chosen γ and a
+        snapshot marker carrying the published epoch, so zone epochs
+        survive restart and cross-host publication.  The responder's
+        epoch counter resumes from the store's recorded epoch.
     """
 
     def __init__(
@@ -230,6 +269,8 @@ class DriftResponder:
         val_labels: np.ndarray,
         calibrator: Optional[GammaCalibrator] = None,
         min_staged: int = 32,
+        max_staged: Optional[int] = None,
+        store=None,
     ):
         if min_staged <= 0:
             raise ValueError(f"min_staged must be positive, got {min_staged}")
@@ -244,13 +285,23 @@ class DriftResponder:
         if len(val_patterns) == 0:
             raise ValueError("responder needs a non-empty validation set")
         self.monitor = monitor
-        self.staging = StagingZone(monitor.layer_width)
+        self.staging = StagingZone(monitor.layer_width, max_staged=max_staged)
         self.calibrator = calibrator if calibrator is not None else GammaCalibrator()
         self.min_staged = min_staged
         self._val_patterns = val_patterns
         self._val_predictions = val_predictions
         self._val_labels = val_labels
-        self.epoch = 0
+        self._store = store
+        if store is not None and monitor.store is not store:
+            # Initializes a fresh store with the monitor's config and
+            # current visited sets; on an existing store this validates
+            # config agreement and (re-)registers the write-through.
+            monitor.attach_store(store)
+        # Epochs must stay monotonic across restarts: resume from the
+        # store's last durable snapshot marker.
+        self.epoch = (  # lint: disable=epoch-monotonicity -- constructor resume from the durable marker; WAL append order is the guard
+            store.epoch if store is not None and store.initialized else 0
+        )
         self.absorptions = 0
         self.total_absorbed = 0
         self.last_calibration: Optional[CalibrationResult] = None
@@ -334,6 +385,31 @@ class DriftResponder:
                 absorbed_classes=tuple(sorted(staged)),
                 calibration=calibration,
             )
+            if self._store is not None:
+                # Durably log the delta before publishing: only rows that
+                # were genuinely new to the pre-merge zones (replay is a
+                # set union, but there is no reason to log known rows),
+                # then γ if it moved, then the snapshot marker (fsync'd
+                # under the default policy) carrying the new epoch.
+                for c in sorted(staged):
+                    fresh = self.monitor.zones[c]._fresh_rows(
+                        self.monitor.project(staged[c])
+                    )
+                    if len(fresh):
+                        self._store.append_insert(c, fresh)
+                if candidate.gamma != self.monitor.gamma:
+                    self._store.append_gamma(candidate.gamma)
+                self._store.append_snapshot(
+                    snapshot.epoch,
+                    snapshot.gamma,
+                    {
+                        c: candidate.zones[c].num_visited_patterns
+                        for c in candidate.classes
+                    },
+                )
+                # The candidate takes over as the authoritative monitor;
+                # keep its direct-insert path writing through as well.
+                candidate.attach_store(self._store)
             self.monitor = candidate
             self.epoch = snapshot.epoch  # lint: disable=epoch-monotonicity -- snapshot.epoch is self.epoch + 1 computed above, under the same lock hold
             self.absorptions += 1
@@ -351,6 +427,7 @@ class DriftResponder:
             "absorbed_patterns": self.total_absorbed,
             "staged": self.staging.total,
             "staged_ever": self.staging.total_ever,
+            "staged_dropped": self.staging.total_dropped,
         }
 
     def __repr__(self) -> str:

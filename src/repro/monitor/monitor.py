@@ -98,6 +98,8 @@ class NeuronActivationMonitor:
             )
             for c in self.classes
         }
+        #: Attached :class:`~repro.store.ZoneStore` (``None`` = volatile).
+        self._store = None
 
     # ------------------------------------------------------------------
     # construction (Algorithm 1)
@@ -235,9 +237,12 @@ class NeuronActivationMonitor:
         """Change γ on every zone (lazily recomputed on next query)."""
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
+        changed = gamma != self.gamma
         self.gamma = gamma
         for zone in self.zones.values():
             zone.set_gamma(gamma)
+        if changed and self._store is not None:
+            self._store.append_gamma(gamma)
 
     def statistics(self) -> Dict[int, Dict[str, float]]:
         """Per-class zone statistics."""
@@ -332,6 +337,122 @@ class NeuronActivationMonitor:
                 if len(visited):
                     merged.zones[c].add_patterns(visited)
         return merged
+
+    # ------------------------------------------------------------------
+    # durable store (crash-consistent WAL + segments)
+    # ------------------------------------------------------------------
+    def store_meta(self) -> Dict[str, object]:
+        """The monitor config as recorded in a store's META record.
+
+        The same fields as :meth:`save`'s metadata (plus the monitored
+        neuron indices), so store state stays payload-compatible with
+        the portable ``to_payload()`` / save-file form.
+        """
+        return {
+            "layer_width": self.layer_width,
+            "gamma": self.gamma,
+            "classes": self.classes,
+            "pattern_width": int(len(self.monitored_neurons)),
+            "backend": self.backend_name,
+            "indexed": self.indexed,
+            "monitored_neurons": [int(i) for i in self.monitored_neurons],
+        }
+
+    def attach_store(self, store) -> None:
+        """Write-through this monitor to a :class:`~repro.store.ZoneStore`.
+
+        A fresh store is initialized with this monitor's config and the
+        current visited sets; an existing store must agree on the layer
+        / projection / class layout (γ may differ — it is a logged,
+        replayable quantity, not identity).  From here on every fresh
+        pattern insert and every γ change is appended to the store's
+        WAL, so a crash at any point recovers to the last append.
+        """
+        from repro.store import StoreError
+
+        meta = self.store_meta()
+        if not store.initialized:
+            store.initialize(meta)
+            for c in self.classes:
+                visited = self.zones[c].backend.visited_patterns()
+                if len(visited):
+                    store.append_insert(c, pack_patterns(visited))
+        else:
+            existing = store.meta
+            for key in ("layer_width", "pattern_width"):
+                if int(existing[key]) != int(meta[key]):
+                    raise StoreError(
+                        f"store {key}={existing[key]} does not match "
+                        f"monitor {key}={meta[key]}"
+                    )
+            if [int(c) for c in existing["classes"]] != meta["classes"]:
+                raise StoreError(
+                    f"store classes {existing['classes']} do not match "
+                    f"monitor classes {meta['classes']}"
+                )
+            if "monitored_neurons" in existing and list(
+                existing["monitored_neurons"]
+            ) != meta["monitored_neurons"]:
+                raise StoreError("store monitored neuron set differs from monitor")
+        self._store = store
+        for c, zone in self.zones.items():
+            zone.attach_sink(
+                lambda rows, _c=c: store.append_insert(_c, rows)
+            )
+
+    def detach_store(self) -> None:
+        """Stop write-through (the store keeps everything logged so far)."""
+        self._store = None
+        for zone in self.zones.values():
+            zone.attach_sink(None)
+
+    @property
+    def store(self):
+        return self._store
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        backend: Optional[str] = None,
+        attach: bool = True,
+    ) -> "NeuronActivationMonitor":
+        """Cold-start a monitor from a store directory or open store.
+
+        Recovery replays the newest valid segment plus the WAL tail into
+        fresh zones via the packed fast path (no unpack/re-pack round
+        trip on the bitset backend).  ``backend`` overrides the recorded
+        engine, exactly like :meth:`load`.  With ``attach=True`` the
+        rebuilt monitor immediately writes through to the same store.
+        """
+        from repro.store import ZoneStore
+
+        if isinstance(store, (str, os.PathLike)):
+            store = ZoneStore.open(store)
+        state = store.state()
+        meta = state.meta
+        restored_backend = backend or meta.get("backend", DEFAULT_BACKEND)
+        monitor = cls(
+            layer_width=int(meta["layer_width"]),
+            classes=[int(c) for c in meta["classes"]],
+            gamma=int(state.gamma),
+            monitored_neurons=meta.get("monitored_neurons"),
+            backend=restored_backend,
+            indexed=bool(meta.get("indexed", False)) and restored_backend == "bitset",
+        )
+        for c in monitor.classes:
+            # Segment bodies are deduplicated and byte-sorted by
+            # compaction, so the bitset backend ingests them sort-free;
+            # the WAL tail is raw append order and takes the full path.
+            seg_rows = state.segment_rows.get(c)
+            if seg_rows is not None and seg_rows.size:
+                monitor.zones[c].add_packed(seg_rows, assume_sorted_unique=True)
+            tail = state.tail_rows.get(c)
+            if tail is not None and tail.size:
+                monitor.zones[c].add_packed(tail)
+        if attach:
+            monitor.attach_store(store)
+        return monitor
 
     # ------------------------------------------------------------------
     # persistence

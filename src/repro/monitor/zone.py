@@ -11,12 +11,13 @@ which produce identical verdicts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.bdd import BDDManager
 from repro.monitor.backends import DEFAULT_BACKEND, ZoneBackend, make_backend
+from repro.monitor.patterns import pack_patterns, unpack_patterns
 
 
 class ComfortZone:
@@ -70,6 +71,10 @@ class ComfortZone:
             self.backend = make_backend(
                 backend, num_neurons, manager=manager, indexed=indexed
             )
+        #: Optional durability write-through: called with the ``(K,
+        #: row_bytes)`` bit-packed rows that were *new* to ``Z^0`` after
+        #: every successful insert (see :meth:`attach_sink`).
+        self._sink: Optional[Callable[[np.ndarray], None]] = None
 
     @property
     def num_visited_patterns(self) -> int:
@@ -87,7 +92,7 @@ class ComfortZone:
     # ------------------------------------------------------------------
     def add_pattern(self, pattern: Sequence[int]) -> None:
         """Record one visited activation pattern (Algorithm 1, line 6)."""
-        self.backend.add_patterns(np.asarray(pattern, dtype=np.uint8).reshape(1, -1))
+        self.add_patterns(np.asarray(pattern, dtype=np.uint8).reshape(1, -1))
 
     def add_patterns(self, patterns: Iterable[Sequence[int]]) -> None:
         """Record many visited patterns in one bulk insert."""
@@ -95,7 +100,67 @@ class ComfortZone:
             patterns = np.asarray(list(patterns), dtype=np.uint8)
         if patterns.size == 0:
             return
-        self.backend.add_patterns(np.atleast_2d(patterns))
+        patterns = np.atleast_2d(patterns)
+        fresh = self._fresh_rows(patterns) if self._sink is not None else None
+        self.backend.add_patterns(patterns)
+        if fresh is not None and len(fresh):
+            self._sink(fresh)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per bit-packed pattern row (``pack_patterns`` width)."""
+        return (self.num_neurons + 7) // 8
+
+    def add_packed(
+        self, packed: np.ndarray, assume_sorted_unique: bool = False
+    ) -> None:
+        """Bulk-insert ``(N, row_bytes)`` bit-packed rows.
+
+        The cold-start fast path: the zone store and portable payloads
+        carry patterns in ``pack_patterns`` form, and the bitset backend
+        ingests that form directly (no unpack/re-pack round trip).
+        ``assume_sorted_unique`` forwards the compacted-segment hint —
+        rows already deduplicated in ``np.unique(axis=0)`` order — which
+        the bitset backend verifies and then ingests sort-free.
+        Backends without native packed ingestion fall back to
+        :meth:`add_patterns` on the unpacked rows.
+        """
+        packed = np.ascontiguousarray(np.atleast_2d(packed), dtype=np.uint8)
+        if packed.size == 0:
+            return
+        if packed.shape[1] != self.row_bytes:
+            raise ValueError(
+                f"packed rows have {packed.shape[1]} bytes, "
+                f"expected {self.row_bytes}"
+            )
+        if hasattr(self.backend, "add_packed"):
+            fresh = self.backend.add_packed(
+                packed, assume_sorted_unique=assume_sorted_unique
+            )
+            if self._sink is not None and len(fresh):
+                self._sink(fresh)
+            return
+        patterns = unpack_patterns(packed, self.num_neurons)
+        self.add_patterns(patterns)
+
+    def _fresh_rows(self, patterns: np.ndarray) -> np.ndarray:
+        """Bit-packed rows of *patterns* not yet in ``Z^0`` (deduplicated)."""
+        packed = pack_patterns(np.asarray(patterns, dtype=np.uint8))
+        uniq, first = np.unique(packed, axis=0, return_index=True)
+        member = self.backend.contains_batch(np.atleast_2d(patterns)[first], 0)
+        return uniq[~member]
+
+    def attach_sink(self, sink: Optional[Callable[[np.ndarray], None]]) -> None:
+        """Register (or clear) the durability write-through.
+
+        After every successful insert the sink receives the bit-packed
+        rows that were new to the visited set — exactly the rows a WAL
+        must replay to rebuild this zone.  Emission happens *after* the
+        backend accepted the rows, so a rejected insert (bad bits) never
+        reaches the log, and a crash between the two loses only what the
+        process itself lost.
+        """
+        self._sink = sink
 
     def set_gamma(self, gamma: int) -> None:
         """Change the enlargement radius (a pure query parameter now)."""

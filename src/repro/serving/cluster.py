@@ -86,6 +86,29 @@ from repro.serving.server import ShardServingStats
 from repro.serving.shard import MonitorShard
 
 
+#: Environment overrides for the coordinator's liveness clock — the
+#: constructor arguments still win when passed explicitly.
+ENV_HEARTBEAT_INTERVAL = "REPRO_CLUSTER_HEARTBEAT_INTERVAL"
+ENV_HEARTBEAT_TIMEOUT = "REPRO_CLUSTER_HEARTBEAT_TIMEOUT"
+
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+
+def _env_seconds(name: str, default: float) -> float:
+    """A positive float from the environment, or *default* when unset."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number of seconds, got {raw!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
 def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
     """``"host:port"`` (or a ``(host, port)`` pair) → ``(host, port)``."""
     if isinstance(address, tuple):
@@ -325,9 +348,14 @@ class ClusterCoordinator:
         Bound on ``start()``, block-dispatch wait, drains and handshakes.
     heartbeat_interval / heartbeat_timeout:
         Liveness ping cadence and the silence threshold after which a
-        connection is declared dead.  The timeout must comfortably
+        connection is declared dead.  ``None`` (default) reads
+        ``REPRO_CLUSTER_HEARTBEAT_INTERVAL`` /
+        ``REPRO_CLUSTER_HEARTBEAT_TIMEOUT`` from the environment,
+        falling back to 1 s / 15 s.  The timeout must comfortably
         exceed the slowest expected kernel: a worker mid-batch answers
-        pings only between blocks.
+        pings only between blocks — a slow-but-alive worker whose
+        silence stays *at or under* the threshold is never declared
+        dead (the sweep fires strictly past it).
     reconnect_grace:
         How long a vanished *external* worker may re-register before its
         shards are re-placed on the survivors.
@@ -342,8 +370,8 @@ class ClusterCoordinator:
         context: Optional[str] = None,
         max_respawns: int = 5,
         ready_timeout: float = 60.0,
-        heartbeat_interval: float = 1.0,
-        heartbeat_timeout: float = 15.0,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
         reconnect_grace: float = 2.0,
     ):
         shards = list(shards)
@@ -357,8 +385,22 @@ class ClusterCoordinator:
         self.replicas = replicas
         self.max_respawns = max_respawns
         self.ready_timeout = ready_timeout
-        self.heartbeat_interval = heartbeat_interval
-        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = (
+            float(heartbeat_interval) if heartbeat_interval is not None
+            else _env_seconds(ENV_HEARTBEAT_INTERVAL, DEFAULT_HEARTBEAT_INTERVAL)
+        )
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout) if heartbeat_timeout is not None
+            else _env_seconds(ENV_HEARTBEAT_TIMEOUT, DEFAULT_HEARTBEAT_TIMEOUT)
+        )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {self.heartbeat_timeout}"
+            )
         self.reconnect_grace = reconnect_grace
         self._spawn_local = listen is None
         self._bind = ("127.0.0.1", 0) if listen is None else parse_address(listen)
@@ -415,6 +457,42 @@ class ClusterCoordinator:
         self._ready = threading.Event()
         self._running = False
         self._stopping = False
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        num_shards: Optional[int] = None,
+        backend: Optional[str] = None,
+        **kwargs,
+    ) -> "ClusterCoordinator":
+        """Rehydrate a cluster from a crash-consistent zone store.
+
+        *store* is a :class:`~repro.store.ZoneStore` (or its directory
+        path).  The recovered monitor is partitioned into ``num_shards``
+        slices (default: the fleet size) and the coordinator's γ and
+        zone epoch are stamped from the store before the listener opens,
+        so every registration handshake carries the recovered γ and each
+        worker is stamped at the recorded epoch.  Remaining keyword
+        arguments go to the constructor verbatim.
+        """
+        from repro.monitor.monitor import NeuronActivationMonitor
+        from repro.serving.shard import ShardRouter
+        from repro.store import ZoneStore
+
+        if not isinstance(store, ZoneStore):
+            store = ZoneStore.open(store)
+        monitor = NeuronActivationMonitor.from_store(
+            store, backend=backend, attach=False
+        )
+        if num_shards is None:
+            num_shards = int(kwargs.get("workers", 2))
+        router = ShardRouter.partition(monitor, num_shards)
+        cluster = cls(router.shards, **kwargs)
+        with cluster._lock:
+            cluster._gamma = int(store.gamma)
+            cluster._epoch = int(store.epoch)
+        return cluster
 
     # ------------------------------------------------------------------
     # lifecycle

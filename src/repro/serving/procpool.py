@@ -421,6 +421,43 @@ class ProcessShardPool:
         self._running = False
         self._stopping = False
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        num_shards: Optional[int] = None,
+        backend: Optional[str] = None,
+        **kwargs,
+    ) -> "ProcessShardPool":
+        """Rehydrate a pool from a crash-consistent zone store.
+
+        *store* is a :class:`~repro.store.ZoneStore` (or its directory
+        path).  The recovered monitor — segment map plus WAL tail replay
+        — is partitioned round-robin into ``num_shards`` slices (default:
+        the worker count), and the pool's zone epoch and γ are stamped
+        from the store **before** any worker spawns, so every warm-up
+        handshake rehydrates at exactly the recorded epoch and later
+        snapshots must be strictly newer.  Remaining keyword arguments go
+        to the constructor verbatim.
+        """
+        from repro.monitor.monitor import NeuronActivationMonitor
+        from repro.serving.shard import ShardRouter
+        from repro.store import ZoneStore
+
+        if not isinstance(store, ZoneStore):
+            store = ZoneStore.open(store)
+        monitor = NeuronActivationMonitor.from_store(
+            store, backend=backend, attach=False
+        )
+        if num_shards is None:
+            num_shards = int(kwargs.get("num_workers", 2))
+        router = ShardRouter.partition(monitor, num_shards)
+        pool = cls(router.shards, **kwargs)
+        with pool._lock:
+            pool._gamma = int(store.gamma)
+            pool._epoch = int(store.epoch)
+        return pool
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -223,6 +223,13 @@ class StreamServer:
         (``"shm"``/``"pipe"``, default shm unless ``REPRO_SERVING_SHM=0``)
         and block dispatch (``"balance"``/``"owner"``, default shortest
         outstanding-queue balance).
+    cluster_heartbeat_interval / cluster_heartbeat_timeout:
+        Forwarded to :class:`~repro.serving.cluster.ClusterCoordinator`
+        (``executor="cluster"``): liveness ping cadence and the silence
+        threshold after which a worker is declared dead.  ``None``
+        (default) defers to the ``REPRO_CLUSTER_HEARTBEAT_INTERVAL`` /
+        ``REPRO_CLUSTER_HEARTBEAT_TIMEOUT`` environment knobs, falling
+        back to 1 s / 15 s.
     """
 
     def __init__(
@@ -242,6 +249,8 @@ class StreamServer:
         pool_transport: Optional[str] = None,
         pool_dispatch: Optional[str] = None,
         cluster_address: Optional[str] = None,
+        cluster_heartbeat_interval: Optional[float] = None,
+        cluster_heartbeat_timeout: Optional[float] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -294,6 +303,8 @@ class StreamServer:
         self.pool_transport = pool_transport
         self.pool_dispatch = pool_dispatch
         self.cluster_address = cluster_address
+        self.cluster_heartbeat_interval = cluster_heartbeat_interval
+        self.cluster_heartbeat_timeout = cluster_heartbeat_timeout
         self._executor: Optional[ThreadPoolExecutor] = None
         # ProcessShardPool (executor="process") or ClusterCoordinator
         # (executor="cluster") — both answer the same submit/stop/stats/
@@ -365,6 +376,8 @@ class StreamServer:
                     listen=self.cluster_address,
                     workers=self.workers,
                     context=self.pool_context,
+                    heartbeat_interval=self.cluster_heartbeat_interval,
+                    heartbeat_timeout=self.cluster_heartbeat_timeout,
                 )
                 coordinator.start()  # blocks until the fleet registered
                 return coordinator

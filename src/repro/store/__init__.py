@@ -1,0 +1,48 @@
+"""Durable crash-consistent zone store (WAL + mmap segments).
+
+Every zone in the serving stack used to live in process memory only:
+workers rehydrate from in-memory payload pickles and the drift loop's
+:class:`~repro.monitor.drift.ZoneSnapshot` epochs vanished on a
+full-fleet restart.  This package closes that durability gap:
+
+* :mod:`repro.store.wal` — an append-only pattern WAL of
+  length-prefixed, CRC32C-checksummed records (per-class packed-bit
+  pattern inserts, γ changes, zone-epoch snapshot markers), with
+  detect-and-truncate recovery of a torn tail.
+* :mod:`repro.store.segment` — periodically compacted, checksummed,
+  mmap-able packed-bit segment files (header: magic / version / class
+  layout / row counts; one body CRC per class so corruption is located,
+  not just detected), written tmp-then-rename so a crash mid-compaction
+  never damages the previous generation.
+* :mod:`repro.store.store` — :class:`ZoneStore`, the orchestration:
+  cold start is a segment file map plus a WAL tail replay instead of a
+  pickle parse; recovery after *any* crash point is detect → truncate →
+  replay to a bit-identical monitor; a corrupt segment is quarantined
+  and the state rebuilt from the WAL.
+* :mod:`repro.store.checksum` — CRC32C (Castagnoli), byte-table
+  reference plus a vectorized numpy log-reduction kernel for large
+  buffers (the container bakes in no crc32c wheel).
+
+See ``src/repro/monitor/backends/README.md`` ("Durability") for the
+record format, the compaction / recovery state machine and the fsync
+policy knob ``REPRO_STORE_FSYNC``.
+"""
+
+from repro.store.checksum import crc32c
+from repro.store.store import (
+    StoreCorruptionError,
+    StoreError,
+    ZoneStore,
+)
+from repro.store.wal import PatternWAL
+from repro.store.segment import SegmentFile, write_segment
+
+__all__ = [
+    "crc32c",
+    "PatternWAL",
+    "SegmentFile",
+    "write_segment",
+    "StoreCorruptionError",
+    "StoreError",
+    "ZoneStore",
+]

@@ -1,0 +1,69 @@
+"""Deterministic torn-write fault injection for durability tests.
+
+Every byte the store writes — WAL appends, segment bodies, file headers —
+funnels through :func:`write`.  When ``REPRO_STORE_CRASH_AT_BYTE=<n>`` is
+set, the process is granted a budget of *n* store-written bytes; the
+write that exhausts it is cut short at exactly the budget boundary
+(flushed and fsync'd so the partial bytes really reach the file) and the
+process is killed with SIGKILL.  Driving *n* across a file's byte range
+reproduces a crash at every possible torn-write offset — mid-record,
+mid-length-prefix, mid-segment-header — without timing games.
+
+The budget is read once per process (tests set the env var before
+spawning the writer child) and is deliberately process-wide: a single
+budget sweep crosses WAL appends *and* the segment writes of a
+compaction, which is how the mid-compaction crash windows get covered.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+ENV_CRASH_AT_BYTE = "REPRO_STORE_CRASH_AT_BYTE"
+
+_remaining: int | None = None
+_written = 0
+
+
+def _budget() -> int:
+    global _remaining
+    if _remaining is None:
+        raw = os.environ.get(ENV_CRASH_AT_BYTE, "")
+        _remaining = int(raw) if raw else -1
+    return _remaining
+
+
+def written() -> int:
+    """Total store bytes this process has written through :func:`write`.
+
+    The crash sweep's coordinate system: an uncrashed reference run
+    records this counter at each workload checkpoint, and the budgets
+    sampled between two checkpoints land the kill inside that phase —
+    mid-insert, mid-compaction, mid-snapshot-marker.
+    """
+    return _written
+
+
+def write(fileobj, data) -> None:
+    """Write *data* to *fileobj*, honouring the crash-at-byte budget."""
+    global _remaining, _written
+    budget = _budget()
+    view = memoryview(data)
+    if view.nbytes == 0:  # zero-row arrays cannot be cast to "B"
+        return
+    view = view.cast("B")
+    if budget < 0:
+        _written += len(view)
+        fileobj.write(view)
+        return
+    if len(view) < budget:
+        _remaining = budget - len(view)
+        _written += len(view)
+        fileobj.write(view)
+        return
+    _written += budget
+    fileobj.write(view[:budget])
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
+    os.kill(os.getpid(), signal.SIGKILL)

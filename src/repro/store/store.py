@@ -1,0 +1,572 @@
+"""ZoneStore: crash-consistent orchestration of WAL + segments.
+
+Directory layout::
+
+    <dir>/wal.rzw                   the append-only pattern WAL
+    <dir>/segment-<seq>.rzs         compacted checksummed segments
+    <dir>/*.quarantined-*           corrupt files set aside, never deleted
+
+Recovery state machine (runs in :meth:`ZoneStore.open`):
+
+1. Walk segments newest-first.  A segment that fails framing or any
+   per-class body CRC is **quarantined** (renamed aside) and the next
+   older one is tried; with no valid segment the state is rebuilt from
+   the full WAL.
+2. Validate the WAL header.  An unreadable WAL is quarantined and a
+   fresh one is started with ``base`` = the chosen segment's
+   ``wal_offset``, keeping logical offsets monotonic.
+3. Scan the WAL tail from the chosen segment's ``wal_offset``.  A torn
+   tail (crash mid-append) is detected by length/CRC validation and
+   truncated back to the last valid record.
+4. State = segment bodies + replay of the WAL tail records (inserts are
+   set-union, γ / epoch are last-wins), which makes replay idempotent:
+   every crash window of compaction — tmp file half written, crash
+   between ``os.replace`` and old-segment cleanup — recovers to the
+   same state.
+
+Nothing is ever accepted unchecked: every WAL record and every segment
+class body is CRC32C-verified before its bytes reach a zone.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.store import wal as wal_mod
+from repro.store.segment import (
+    SegmentError,
+    SegmentFile,
+    list_segments,
+    write_segment,
+)
+from repro.store.wal import (
+    GammaRecord,
+    InsertRecord,
+    MetaRecord,
+    PatternWAL,
+    SnapshotRecord,
+    WALError,
+    fsync_policy,
+)
+
+WAL_NAME = "wal.rzw"
+
+ENV_AUTO_COMPACT = "REPRO_STORE_AUTO_COMPACT"
+
+
+class StoreError(Exception):
+    """Misuse or inconsistent request against the store."""
+
+
+class StoreCorruptionError(StoreError):
+    """Checksummed data failed validation and no fallback recovered it."""
+
+
+@dataclass
+class RecoveredState:
+    """The replayed zone state: monitor config + per-class packed rows."""
+
+    meta: dict
+    gamma: int
+    epoch: int
+    wal_offset: int
+    class_rows: Dict[int, np.ndarray]
+    segment_seq: Optional[int] = None
+    snapshot_counts: Dict[int, int] = field(default_factory=dict)
+    #: Per-class rows from the newest valid segment only — compaction
+    #: wrote them with ``np.unique(axis=0)``, so they are deduplicated
+    #: and in lexicographic byte order (the bitset backend's sort-free
+    #: cold-start ingest relies on exactly this).
+    segment_rows: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: Per-class rows replayed from the WAL tail (raw append order,
+    #: duplicates possible).
+    tail_rows: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def row_bytes(self) -> int:
+        return (int(self.meta["pattern_width"]) + 7) // 8
+
+    def dedup_counts(self) -> Dict[int, int]:
+        """Per-class distinct row counts (insert replay is raw append)."""
+        return {
+            c: (0 if rows.size == 0 else len(np.unique(rows, axis=0)))
+            for c, rows in self.class_rows.items()
+        }
+
+
+class ZoneStore:
+    """One durable zone store directory (WAL + segments + quarantine).
+
+    Open an existing directory (recovering to a consistent state) with
+    :meth:`open`; the constructor is an alias.  New stores start
+    uninitialized until a monitor writes its META record via
+    :meth:`initialize` (usually through ``monitor.attach_store``).
+    """
+
+    def __init__(
+        self,
+        directory,
+        fsync: Optional[str] = None,
+        auto_compact_bytes: Optional[int] = None,
+    ):
+        self.directory = os.fspath(directory)
+        self.fsync = fsync_policy(fsync)
+        if auto_compact_bytes is None:
+            raw = os.environ.get(ENV_AUTO_COMPACT, "")
+            auto_compact_bytes = int(raw) if raw else 0
+        #: Compact when the WAL tail past the newest segment exceeds this
+        #: many bytes (0 disables auto-compaction).
+        self.auto_compact_bytes = int(auto_compact_bytes)
+        #: Human-readable recovery actions taken while opening.
+        self.recovery_events: List[str] = []
+        os.makedirs(self.directory, exist_ok=True)
+        self._segment: Optional[SegmentFile] = None
+        self._recover()
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        fsync: Optional[str] = None,
+        auto_compact_bytes: Optional[int] = None,
+    ) -> "ZoneStore":
+        return cls(directory, fsync=fsync, auto_compact_bytes=auto_compact_bytes)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: str, why: str) -> None:
+        target = path + ".quarantined"
+        n = 0
+        while os.path.exists(target):
+            n += 1
+            target = f"{path}.quarantined-{n}"
+        os.replace(path, target)
+        self.recovery_events.append(
+            f"quarantined {os.path.basename(path)} -> "
+            f"{os.path.basename(target)}: {why}"
+        )
+
+    def _pick_segment(self) -> Optional[SegmentFile]:
+        for path in list_segments(self.directory):
+            try:
+                candidate = SegmentFile(path)
+            except SegmentError as exc:
+                self._quarantine(path, str(exc))
+                continue
+            bad_classes = candidate.verify()
+            if bad_classes:
+                candidate.close()
+                self._quarantine(
+                    path, f"class body checksum mismatch for classes {bad_classes}"
+                )
+                continue
+            return candidate
+        return None
+
+    def _recover(self) -> None:
+        self._segment = self._pick_segment()
+        wal_path = os.path.join(self.directory, WAL_NAME)
+        base = self._segment.wal_offset if self._segment is not None else 0
+        try:
+            self._wal = PatternWAL(wal_path, fsync=self.fsync)
+        except WALError as exc:
+            # Unreadable header: the file cannot even be framed.  Set it
+            # aside and restart logical offsets at the segment cursor so
+            # existing segments stay valid.
+            self._quarantine(wal_path, str(exc))
+            self._wal = PatternWAL(wal_path, fsync=self.fsync, base=base)
+        # Replay starts at the newest valid segment's cursor: records
+        # before it are folded into the segment bodies already.
+        scan = self._wal.scan(start=max(base, self._wal.base))
+        if not scan.clean:
+            cut = self._wal.repair(scan)
+            self.recovery_events.append(
+                f"truncated {cut} torn WAL byte(s): {scan.reason}"
+            )
+        self._tail_records = list(scan.records)
+        self._meta: Optional[dict] = (
+            dict(self._segment.meta) if self._segment is not None else None
+        )
+        self._gamma = self._segment.gamma if self._segment is not None else 0
+        self._epoch = (  # lint: disable=epoch-monotonicity -- recovery bootstrap from the newest durable segment
+            self._segment.epoch if self._segment is not None else 0
+        )
+        self._snapshot_counts: Dict[int, int] = {}
+        for record in self._tail_records:
+            self._fold(record)
+
+    def _fold(self, record) -> None:
+        if isinstance(record, MetaRecord):
+            if self._meta is None:
+                self._meta = dict(record.meta)
+                self._gamma = int(record.meta.get("gamma", self._gamma))
+        elif isinstance(record, GammaRecord):
+            self._gamma = record.gamma
+        elif isinstance(record, SnapshotRecord):
+            self._epoch = record.epoch  # lint: disable=epoch-monotonicity -- WAL replay is last-wins by append order
+            self._gamma = record.gamma
+            self._snapshot_counts = dict(record.counts)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def initialized(self) -> bool:
+        return self._meta is not None
+
+    @property
+    def meta(self) -> dict:
+        if self._meta is None:
+            raise StoreError(f"{self.directory}: store holds no monitor yet")
+        return dict(self._meta)
+
+    @property
+    def gamma(self) -> int:
+        return self._gamma
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def row_bytes(self) -> int:
+        return (int(self.meta["pattern_width"]) + 7) // 8
+
+    @property
+    def wal_offset(self) -> int:
+        return self._wal.offset
+
+    @property
+    def segment_seq(self) -> Optional[int]:
+        return self._segment.seq if self._segment is not None else None
+
+    @property
+    def wal_tail_bytes(self) -> int:
+        """WAL bytes appended since the newest segment's cursor."""
+        start = self._segment.wal_offset if self._segment is not None else 0
+        return max(0, self._wal.offset - start)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def initialize(self, meta: dict) -> None:
+        """Record the monitor config; first write of a fresh store."""
+        if self._meta is not None:
+            raise StoreError(
+                f"{self.directory}: store already initialized; "
+                "open() recovers the existing monitor"
+            )
+        required = ("layer_width", "classes", "pattern_width")
+        missing = [k for k in required if k not in meta]
+        if missing:
+            raise StoreError(f"store meta missing keys {missing}")
+        record = MetaRecord(self._wal.append_meta(meta), dict(meta))
+        self._tail_records.append(record)
+        self._fold(record)
+
+    def _require_init(self) -> None:
+        if self._meta is None:
+            raise StoreError(
+                f"{self.directory}: store not initialized (no META record)"
+            )
+
+    def append_insert(self, class_id: int, packed_rows: np.ndarray) -> None:
+        """Log fresh packed-bit rows for one class."""
+        self._require_init()
+        packed_rows = np.ascontiguousarray(packed_rows, dtype=np.uint8)
+        if packed_rows.ndim != 2 or packed_rows.shape[1] != self.row_bytes:
+            raise StoreError(
+                f"insert rows must be (N, {self.row_bytes}) packed bytes, "
+                f"got shape {packed_rows.shape}"
+            )
+        if packed_rows.shape[0] == 0:
+            return
+        offset = self._wal.append_insert(class_id, packed_rows)
+        self._tail_records.append(
+            InsertRecord(offset, int(class_id), packed_rows.tobytes())
+        )
+
+    def append_gamma(self, gamma: int) -> None:
+        self._require_init()
+        offset = self._wal.append_gamma(gamma)
+        record = GammaRecord(offset, int(gamma))
+        self._tail_records.append(record)
+        self._fold(record)
+
+    def append_snapshot(
+        self, epoch: int, gamma: int, counts: Dict[int, int]
+    ) -> None:
+        """Durably mark a published ZoneSnapshot (fsync'd by default)."""
+        self._require_init()
+        offset = self._wal.append_snapshot(epoch, gamma, counts)
+        record = SnapshotRecord(offset, int(epoch), int(gamma), dict(counts))
+        self._tail_records.append(record)
+        self._fold(record)
+        self.maybe_compact()
+
+    def flush(self, sync: bool = False) -> None:
+        self._wal.flush(sync=sync)
+
+    # ------------------------------------------------------------------
+    # state assembly
+    # ------------------------------------------------------------------
+    def state(self) -> RecoveredState:
+        """Assemble the replayed state: segment bodies + WAL tail.
+
+        Insert rows are raw appends (duplicates possible — zone backends
+        and compaction deduplicate); γ and epoch are last-wins.
+        """
+        self._require_init()
+        row_bytes = self.row_bytes
+        empty = np.zeros((0, row_bytes), dtype=np.uint8)
+        segment_rows: Dict[int, np.ndarray] = {}
+        tail_parts: Dict[int, List[np.ndarray]] = {}
+        if self._segment is not None:
+            for class_id in self._segment.classes:
+                rows = self._segment.rows(class_id)
+                if rows.size:
+                    segment_rows[class_id] = rows
+        for record in self._tail_records:
+            if isinstance(record, InsertRecord):
+                rows = record.as_array(row_bytes)
+                if rows.size:
+                    tail_parts.setdefault(record.class_id, []).append(rows)
+        tail_rows = {
+            c: np.concatenate(chunks, axis=0) for c, chunks in tail_parts.items()
+        }
+        class_rows = {}
+        for c in {int(c) for c in self._meta["classes"]} | set(
+            segment_rows
+        ) | set(tail_rows):
+            chunks = []
+            if c in segment_rows:
+                chunks.append(segment_rows[c])
+            if c in tail_rows:
+                chunks.append(tail_rows[c])
+            class_rows[c] = (
+                np.concatenate(chunks, axis=0) if chunks else empty
+            )
+        return RecoveredState(
+            meta=self.meta,
+            gamma=self._gamma,
+            epoch=self._epoch,
+            wal_offset=self._wal.offset,
+            class_rows=class_rows,
+            segment_seq=self.segment_seq,
+            snapshot_counts=dict(self._snapshot_counts),
+            segment_rows=segment_rows,
+            tail_rows=tail_rows,
+        )
+
+    def _dedup_counts_before(self, offset: int) -> Dict[int, int]:
+        """Per-class dedup counts replaying only records below *offset*
+        (segment bodies always count: they fold records below the
+        segment cursor, which never exceeds a tail marker's offset)."""
+        row_bytes = self.row_bytes
+        parts: Dict[int, List[np.ndarray]] = {}
+        if self._segment is not None:
+            for class_id in self._segment.classes:
+                rows = self._segment.rows(class_id)
+                if rows.size:
+                    parts.setdefault(class_id, []).append(rows)
+        for record in self._tail_records:
+            if isinstance(record, InsertRecord) and record.offset < offset:
+                rows = record.as_array(row_bytes)
+                if rows.size:
+                    parts.setdefault(record.class_id, []).append(rows)
+        return {
+            c: int(len(np.unique(np.concatenate(chunks, axis=0), axis=0)))
+            for c, chunks in parts.items()
+        }
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep_segments: int = 1) -> str:
+        """Fold segment + WAL tail into a new segment (atomic replace).
+
+        The WAL is left untouched — it remains the ground truth that a
+        corrupt segment is rebuilt from — and up to *keep_segments*
+        previous generations are retained as additional fallbacks.
+        """
+        self._require_init()
+        state = self.state()
+        dedup = {
+            c: (rows if rows.size == 0 else np.unique(rows, axis=0))
+            for c, rows in state.class_rows.items()
+        }
+        seq = (self._segment.seq + 1) if self._segment is not None else 1
+        path = write_segment(
+            self.directory,
+            seq=seq,
+            meta=state.meta,
+            epoch=state.epoch,
+            gamma=state.gamma,
+            wal_offset=state.wal_offset,
+            class_rows=dedup,
+            row_bytes=state.row_bytes,
+            fsync=self.fsync != wal_mod.FSYNC_NEVER,
+        )
+        if self._segment is not None:
+            # state.segment_rows are zero-copy views into the old
+            # mapping; drop them (dedup above copied what we need) so
+            # the mmap can actually close.
+            state.segment_rows = {}
+            state.class_rows = {}
+            self._segment.close()
+        self._segment = SegmentFile(path)
+        survivors = {path} | set(list_segments(self.directory)[: keep_segments + 1])
+        for old in list_segments(self.directory):
+            if old not in survivors:
+                os.unlink(old)
+        # Records at offsets the new segment covers are no longer needed
+        # for state assembly (META is kept: it also serves fresh WALs).
+        self._tail_records = [
+            r
+            for r in self._tail_records
+            if r.offset >= state.wal_offset or isinstance(r, MetaRecord)
+        ]
+        return path
+
+    def maybe_compact(self) -> Optional[str]:
+        """Auto-compact when the WAL tail exceeds the configured budget."""
+        if self.auto_compact_bytes and self.wal_tail_bytes > self.auto_compact_bytes:
+            return self.compact()
+        return None
+
+    # ------------------------------------------------------------------
+    # verification / info
+    # ------------------------------------------------------------------
+    def verify(self) -> dict:
+        """Re-validate every artifact from disk; returns a report dict.
+
+        ``ok`` is true when every segment frames and checksums cleanly
+        and the WAL has no torn tail.  Counts from the latest snapshot
+        marker are cross-checked against the replayed dedup counts.
+        """
+        report: dict = {
+            "directory": self.directory,
+            "segments": [],
+            "ok": True,
+        }
+        for path in list_segments(self.directory):
+            entry: dict = {"path": os.path.basename(path)}
+            try:
+                seg = SegmentFile(path)
+            except SegmentError as exc:
+                entry.update(valid=False, error=str(exc))
+                report["ok"] = False
+            else:
+                bad = seg.verify()
+                entry.update(
+                    valid=not bad,
+                    seq=seg.seq,
+                    epoch=seg.epoch,
+                    gamma=seg.gamma,
+                    wal_offset=seg.wal_offset,
+                    rows={c: seg.row_count(c) for c in seg.classes},
+                )
+                if bad:
+                    entry["corrupt_classes"] = bad
+                    report["ok"] = False
+                seg.close()
+            report["segments"].append(entry)
+        scan = self._wal.scan(start=self._wal.base)
+        report["wal"] = {
+            "path": WAL_NAME,
+            "base": self._wal.base,
+            "records": len(scan.records),
+            "valid_end": scan.valid_end,
+            "torn_bytes": scan.torn_bytes,
+            "reason": scan.reason,
+        }
+        if not scan.clean:
+            report["ok"] = False
+        if self.initialized:
+            state = self.state()
+            report["counts"] = {
+                int(c): int(n) for c, n in state.dedup_counts().items()
+            }
+            marker_offsets = [
+                r.offset
+                for r in self._tail_records
+                if isinstance(r, SnapshotRecord)
+            ]
+            if state.snapshot_counts and marker_offsets:
+                # The marker recorded counts as of its own offset —
+                # inserts logged after it are expected surplus, so the
+                # cross-check replays only up to the marker.  A marker
+                # already folded into a segment leaves the tail and is
+                # covered by the segment's own body checksums instead.
+                at_marker = self._dedup_counts_before(max(marker_offsets))
+                mismatched = {
+                    c: (state.snapshot_counts[c], at_marker.get(c, 0))
+                    for c in state.snapshot_counts
+                    if state.snapshot_counts[c] != at_marker.get(c, 0)
+                }
+                report["snapshot_counts_match"] = not mismatched
+                if mismatched:
+                    report["snapshot_count_mismatches"] = {
+                        str(c): {"marker": m, "replayed": r}
+                        for c, (m, r) in mismatched.items()
+                    }
+                    report["ok"] = False
+        report["quarantined"] = sorted(
+            n for n in os.listdir(self.directory) if ".quarantined" in n
+        )
+        return report
+
+    def info(self) -> dict:
+        """Cheap structural summary (no body re-verification)."""
+        info: dict = {
+            "directory": self.directory,
+            "initialized": self.initialized,
+            "epoch": self._epoch,
+            "gamma": self._gamma,
+            "wal_offset": self._wal.offset,
+            "wal_tail_bytes": self.wal_tail_bytes,
+            "segment_seq": self.segment_seq,
+            "fsync": self.fsync,
+            "auto_compact_bytes": self.auto_compact_bytes,
+            "recovery_events": list(self.recovery_events),
+        }
+        if self.initialized:
+            meta = self.meta
+            info["classes"] = [int(c) for c in meta["classes"]]
+            info["pattern_width"] = int(meta["pattern_width"])
+            counts: Dict[int, int] = {int(c): 0 for c in meta["classes"]}
+            if self._segment is not None:
+                for c in self._segment.classes:
+                    counts[c] = self._segment.row_count(c)
+            tail_rows = {int(c): 0 for c in counts}
+            for record in self._tail_records:
+                if isinstance(record, InsertRecord):
+                    tail_rows.setdefault(record.class_id, 0)
+                    tail_rows[record.class_id] += len(record.rows) // self.row_bytes
+            info["segment_rows"] = counts
+            info["wal_tail_rows"] = tail_rows
+        return info
+
+    def close(self) -> None:
+        self._wal.close()
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def __enter__(self) -> "ZoneStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ZoneStore({self.directory!r}, epoch={self._epoch}, "
+            f"gamma={self._gamma}, segment={self.segment_seq}, "
+            f"wal_offset={self._wal.offset})"
+        )

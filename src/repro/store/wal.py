@@ -1,0 +1,306 @@
+"""Append-only pattern WAL: length-prefixed, CRC32C-checksummed records.
+
+File layout::
+
+    header   <4sHHQI>  magic b"RZWL" | version | reserved | base | crc
+    record*  <II>      payload length | crc32c(payload)   then payload
+
+``base`` is the logical offset of the first record in this file: logical
+offsets are what segments record as their replay cursor, and they stay
+monotonic even if a future generation prunes the WAL (or a corrupt WAL
+is quarantined and restarted at the last segment's offset).  The header
+CRC covers the first 16 bytes.
+
+Record payloads are typed by their first byte — no pickle anywhere in
+the durability path:
+
+====  ========  =====================================================
+type  name      payload after the type byte
+====  ========  =====================================================
+1     META      UTF-8 JSON monitor config (layer width, classes, γ,
+                monitored neurons, backend, pattern/row widths)
+2     INSERT    ``<I`` class id, then N×row_bytes raw packed-bit rows
+3     GAMMA     ``<I`` new γ
+4     SNAPSHOT  ``<QI`` epoch, γ, then UTF-8 JSON per-class dedup
+                counts — the durable form of a published ZoneSnapshot
+====  ========  =====================================================
+
+Recovery contract: :meth:`PatternWAL.scan` decodes records until the
+first frame that fails its length bound, CRC, or payload decode; that
+offset is the valid end.  A torn tail (crash mid-append) is therefore
+*detected*, never parsed, and :meth:`PatternWAL.repair` truncates the
+file back to the last valid record.  Bytes past the first bad frame are
+unreachable by design — framing cannot be trusted beyond it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.store import _faults
+from repro.store.checksum import crc32c
+
+MAGIC = b"RZWL"
+VERSION = 1
+
+HEADER = struct.Struct("<4sHHQI")  # magic, version, reserved, base, header crc
+RECORD = struct.Struct("<II")  # payload length, payload crc32c
+
+TYPE_META = 1
+TYPE_INSERT = 2
+TYPE_GAMMA = 3
+TYPE_SNAPSHOT = 4
+
+_INSERT_PREFIX = struct.Struct("<BI")  # type, class id
+_GAMMA_BODY = struct.Struct("<BI")  # type, gamma
+_SNAPSHOT_PREFIX = struct.Struct("<BQI")  # type, epoch, gamma
+
+#: Framing sanity bound — a length prefix above this is treated as
+#: corruption rather than an allocation request.
+MAX_RECORD_BYTES = 1 << 30
+
+FSYNC_ALWAYS = "always"
+FSYNC_MARKERS = "markers"
+FSYNC_NEVER = "never"
+
+ENV_FSYNC = "REPRO_STORE_FSYNC"
+
+
+def fsync_policy(override: Optional[str] = None) -> str:
+    """Resolve the fsync policy: explicit override > env > ``markers``."""
+    value = override if override is not None else os.environ.get(ENV_FSYNC, "")
+    value = value.strip().lower()
+    if value in ("1", "true", "yes", FSYNC_ALWAYS):
+        return FSYNC_ALWAYS
+    if value in ("0", "false", "no", FSYNC_NEVER):
+        return FSYNC_NEVER
+    if value in ("", FSYNC_MARKERS):
+        return FSYNC_MARKERS
+    raise ValueError(f"unknown fsync policy {value!r}")
+
+
+class WALError(Exception):
+    """The WAL file is structurally unusable (bad header, wrong magic)."""
+
+
+@dataclass(frozen=True)
+class MetaRecord:
+    offset: int  # logical offset of the record frame
+    meta: dict
+
+
+@dataclass(frozen=True)
+class InsertRecord:
+    offset: int
+    class_id: int
+    rows: bytes  # N × row_bytes raw packed-bit rows
+
+    def as_array(self, row_bytes: int) -> np.ndarray:
+        if row_bytes <= 0 or len(self.rows) % row_bytes:
+            raise WALError(
+                f"insert record at offset {self.offset}: {len(self.rows)} "
+                f"body bytes is not a multiple of row_bytes={row_bytes}"
+            )
+        return np.frombuffer(self.rows, dtype=np.uint8).reshape(-1, row_bytes)
+
+
+@dataclass(frozen=True)
+class GammaRecord:
+    offset: int
+    gamma: int
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    offset: int
+    epoch: int
+    gamma: int
+    counts: Dict[int, int]
+
+
+WalRecord = Union[MetaRecord, InsertRecord, GammaRecord, SnapshotRecord]
+
+
+@dataclass
+class ScanResult:
+    records: List[WalRecord] = field(default_factory=list)
+    valid_end: int = 0  # logical offset just past the last valid record
+    torn_bytes: int = 0  # bytes past valid_end that failed validation
+    reason: Optional[str] = None  # why the scan stopped early
+
+    @property
+    def clean(self) -> bool:
+        return self.torn_bytes == 0
+
+
+def _decode(offset: int, payload: bytes) -> WalRecord:
+    rtype = payload[0]
+    if rtype == TYPE_META:
+        return MetaRecord(offset, json.loads(payload[1:].decode("utf-8")))
+    if rtype == TYPE_INSERT:
+        _, class_id = _INSERT_PREFIX.unpack_from(payload)
+        return InsertRecord(offset, class_id, payload[_INSERT_PREFIX.size :])
+    if rtype == TYPE_GAMMA:
+        _, gamma = _GAMMA_BODY.unpack(payload)
+        return GammaRecord(offset, gamma)
+    if rtype == TYPE_SNAPSHOT:
+        _, epoch, gamma = _SNAPSHOT_PREFIX.unpack_from(payload)
+        raw = json.loads(payload[_SNAPSHOT_PREFIX.size :].decode("utf-8"))
+        counts = {int(c): int(n) for c, n in raw.items()}
+        return SnapshotRecord(offset, epoch, gamma, counts)
+    raise ValueError(f"unknown record type {rtype}")
+
+
+class PatternWAL:
+    """One append-only WAL file with checksummed frames and torn-tail repair."""
+
+    def __init__(self, path, fsync: Optional[str] = None, base: int = 0):
+        self.path = os.fspath(path)
+        self.fsync = fsync_policy(fsync)
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "ab")
+        if not exists:
+            self.base = base
+            header = HEADER.pack(MAGIC, VERSION, 0, base, 0)[:-4]
+            _faults.write(self._file, header + crc32c(header).to_bytes(4, "little"))
+            self.flush(sync=self.fsync != FSYNC_NEVER)
+        else:
+            try:
+                self.base = self._read_header()
+            except WALError:
+                self._file.close()
+                raise
+        self._offset = self.base + os.path.getsize(self.path) - HEADER.size
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Logical end offset (grows by frame size on every append)."""
+        return self._offset
+
+    def _append(self, payload: bytes, marker: bool = False) -> int:
+        frame = RECORD.pack(len(payload), crc32c(payload)) + payload
+        _faults.write(self._file, frame)
+        if self.fsync == FSYNC_ALWAYS or (marker and self.fsync == FSYNC_MARKERS):
+            self.flush(sync=True)
+        else:
+            self._file.flush()
+        offset = self._offset
+        self._offset += len(frame)
+        return offset
+
+    def append_meta(self, meta: dict) -> int:
+        payload = bytes([TYPE_META]) + json.dumps(meta, sort_keys=True).encode("utf-8")
+        return self._append(payload, marker=True)
+
+    def append_insert(self, class_id: int, rows: np.ndarray) -> int:
+        rows = np.ascontiguousarray(rows, dtype=np.uint8)
+        payload = _INSERT_PREFIX.pack(TYPE_INSERT, int(class_id)) + rows.tobytes()
+        return self._append(payload)
+
+    def append_gamma(self, gamma: int) -> int:
+        return self._append(_GAMMA_BODY.pack(TYPE_GAMMA, int(gamma)))
+
+    def append_snapshot(self, epoch: int, gamma: int, counts: Dict[int, int]) -> int:
+        body = json.dumps(
+            {str(int(c)): int(n) for c, n in counts.items()}, sort_keys=True
+        ).encode("utf-8")
+        payload = _SNAPSHOT_PREFIX.pack(TYPE_SNAPSHOT, int(epoch), int(gamma)) + body
+        return self._append(payload, marker=True)
+
+    def flush(self, sync: bool = False) -> None:
+        self._file.flush()
+        if sync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    # scanning / recovery
+    # ------------------------------------------------------------------
+    def _read_header(self) -> int:
+        with open(self.path, "rb") as f:
+            raw = f.read(HEADER.size)
+        if len(raw) < HEADER.size:
+            raise WALError(f"{self.path}: truncated WAL header")
+        magic, version, _, base, header_crc = HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise WALError(f"{self.path}: bad WAL magic {magic!r}")
+        if version != VERSION:
+            raise WALError(f"{self.path}: unsupported WAL version {version}")
+        if crc32c(raw[:-4]) != header_crc:
+            raise WALError(f"{self.path}: WAL header checksum mismatch")
+        return base
+
+    def scan(self, start: int = 0) -> ScanResult:
+        """Decode records with logical offsets >= *start*.
+
+        Stops at the first frame that fails validation; the remainder is
+        reported as ``torn_bytes`` with a ``reason`` and is what
+        :meth:`repair` would truncate.  *start* must be a frame boundary
+        (a logical offset previously returned by an append or recorded
+        as a segment's replay cursor); the file is read from there, not
+        from the beginning.
+        """
+        self._file.flush()
+        base = self._read_header()  # re-validates the header on every scan
+        origin = max(start, base)
+        with open(self.path, "rb") as f:
+            f.seek(HEADER.size + (origin - base))
+            data = f.read()
+        view = memoryview(data)
+        size = len(view)
+        result = ScanResult(valid_end=origin)
+        pos = 0
+        while pos < size:
+            offset = origin + pos
+            if size - pos < RECORD.size:
+                result.reason = "torn length prefix"
+                break
+            length, expected_crc = RECORD.unpack_from(view, pos)
+            if length == 0 or length > MAX_RECORD_BYTES:
+                result.reason = f"implausible record length {length}"
+                break
+            if size - pos - RECORD.size < length:
+                result.reason = "torn record body"
+                break
+            payload = bytes(view[pos + RECORD.size : pos + RECORD.size + length])
+            if crc32c(payload) != expected_crc:
+                result.reason = "record checksum mismatch"
+                break
+            try:
+                record = _decode(offset, payload)
+            except Exception as exc:
+                result.reason = f"undecodable record: {exc}"
+                break
+            pos += RECORD.size + length
+            result.valid_end = origin + pos
+            result.records.append(record)
+        result.torn_bytes = size - (result.valid_end - origin)
+        return result
+
+    def repair(self, scan: Optional[ScanResult] = None) -> int:
+        """Truncate everything past the last valid record; returns bytes cut."""
+        if scan is None:
+            scan = self.scan()
+        if scan.torn_bytes:
+            self._file.close()
+            file_end = HEADER.size + (scan.valid_end - self.base)
+            with open(self.path, "r+b") as f:
+                f.truncate(file_end)
+                f.flush()
+                os.fsync(f.fileno())
+            self._file = open(self.path, "ab")
+            self._offset = scan.valid_end
+        return scan.torn_bytes

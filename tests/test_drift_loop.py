@@ -96,6 +96,47 @@ class TestStagingZone:
         assert zone.add(np.empty((0, WIDTH), dtype=np.uint8), np.empty(0)) == 0
         assert zone.total == 0
 
+    def test_max_staged_drops_oldest_per_class(self):
+        zone = StagingZone(WIDTH, max_staged=5)
+        stamped = np.zeros((8, WIDTH), dtype=np.uint8)
+        stamped[:, :3] = np.unpackbits(
+            np.arange(8, dtype=np.uint8)[:, None], axis=1
+        )[:, -3:]  # encode the arrival index in the first three columns
+        zone.add(stamped, np.zeros(8, dtype=np.int64))
+        assert zone.total == 5
+        assert zone.total_ever == 8
+        assert zone.total_dropped == 3
+        staged = zone.drain()[0]
+        # drop-oldest: the survivors are the five *newest* arrivals
+        np.testing.assert_array_equal(staged, stamped[3:])
+
+    def test_max_staged_bounds_each_class_independently(self):
+        zone = StagingZone(WIDTH, max_staged=4)
+        patterns = np.zeros((6, WIDTH), dtype=np.uint8)
+        patterns[:, 0] = 1
+        zone.add(patterns, np.zeros(6, dtype=np.int64))
+        zone.add(patterns[:2], np.ones(2, dtype=np.int64))
+        counts = zone.counts()
+        assert counts[0] == 4  # trimmed to the bound
+        assert counts[1] == 2  # untouched: under its own bound
+        assert zone.total_dropped == 2
+
+    def test_max_staged_validation(self):
+        with pytest.raises(ValueError, match="max_staged"):
+            StagingZone(WIDTH, max_staged=0)
+
+    def test_dropped_counter_surfaces_in_responder_stats(self):
+        monitor = _build_monitor()
+        patterns, labels = _validation()
+        responder = DriftResponder(
+            monitor, patterns, labels, labels, max_staged=3
+        )
+        drifted, classes = _shifted_stream(n=10)
+        responder.staging.add(drifted, classes)
+        stats = responder.stats()
+        assert stats["staged_dropped"] == responder.staging.total_dropped
+        assert responder.staging.total_ever == 10
+
 
 # ----------------------------------------------------------------------
 # snapshots + responder

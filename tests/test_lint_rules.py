@@ -351,6 +351,28 @@ def test_payload_boundary_blesses_ring_producers():
     assert not findings, findings
 
 
+_PAYLOAD_STORE_GOOD = """
+def rehydrate(conn, record, segment, row_bytes, class_id):
+    tail = record.as_array(row_bytes)
+    body = unpack_patterns(segment.rows(class_id), row_bytes * 8)
+    conn.send(("rows", tail, body))
+"""
+
+_PAYLOAD_STORE_STILL_BAD = """
+def rehydrate(conn, store):
+    conn.send(("zone", store.zone))
+"""
+
+
+def test_payload_boundary_blesses_store_framing_helpers():
+    """Store WAL/segment decoders hand back packed-bit matrices — a
+    portable wire form — while engine internals stay banned."""
+    findings, _ = findings_for(_PAYLOAD_STORE_GOOD, "payload-boundary")
+    assert not findings, findings
+    findings, _ = findings_for(_PAYLOAD_STORE_STILL_BAD, "payload-boundary")
+    assert findings
+
+
 # ----------------------------------------------------------------------
 # epoch-monotonicity
 # ----------------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.serving import (
     run_stream,
 )
 from repro.serving import netproto
+from repro.serving import cluster as cluster_mod
 from repro.serving.cluster import parse_address, run_worker
 
 WIDTH = 16
@@ -85,6 +86,49 @@ class TestNetproto:
         header = (netproto.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
         with pytest.raises(netproto.ProtocolError, match="ceiling"):
             netproto.decode_length(header)
+
+    def test_write_frame_rejects_oversized_payload_before_sending(
+        self, monkeypatch
+    ):
+        # The ceiling is enforced on the *write* side too: an oversized
+        # message raises before a single byte reaches the stream, so the
+        # peer never sees a torn or half-framed write.
+        monkeypatch.setattr(netproto, "MAX_FRAME_BYTES", 64)
+        written = []
+
+        class _Writer:
+            def write(self, data):
+                written.append(data)
+
+        with pytest.raises(netproto.ProtocolError, match="ceiling"):
+            netproto.write_frame(_Writer(), ("req", b"\x00" * 4096))
+        assert written == []
+
+    def test_blocking_send_rejects_oversized_payload_before_sending(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(netproto, "MAX_FRAME_BYTES", 64)
+        left, right = socket.socketpair()
+        a, b = netproto.FrameConnection(left), netproto.FrameConnection(right)
+        try:
+            with pytest.raises(netproto.ProtocolError, match="ceiling"):
+                a.send(("req", b"\x00" * 4096))
+            # The connection is still clean: the peer saw zero bytes, so
+            # a well-sized frame round-trips afterwards.
+            a.send(("ping", 1))
+            assert b.recv() == ("ping", 1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_payload_exactly_at_the_ceiling_is_allowed(self, monkeypatch):
+        message = ("x", 1)
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        monkeypatch.setattr(netproto, "MAX_FRAME_BYTES", len(payload))
+        frame = netproto.encode_frame(message)  # == ceiling: not over it
+        assert netproto.decode_length(frame[:4]) == len(payload)
+        with pytest.raises(netproto.ProtocolError, match="ceiling"):
+            netproto.encode_frame(("x", "one byte longer"))
 
     def test_read_frame_reassembles_one_byte_fragments(self):
         async def scenario():
@@ -530,6 +574,98 @@ def _pid_alive(pid: int) -> bool:
     except OSError:
         return False
     return True
+
+
+# ----------------------------------------------------------------------
+# heartbeat configuration and the silence boundary
+# ----------------------------------------------------------------------
+class TestHeartbeatConfig:
+    def test_defaults_are_one_and_fifteen_seconds(self, monkeypatch):
+        monkeypatch.delenv(cluster_mod.ENV_HEARTBEAT_INTERVAL, raising=False)
+        monkeypatch.delenv(cluster_mod.ENV_HEARTBEAT_TIMEOUT, raising=False)
+        router = ShardRouter.partition(_build_monitor(), 2)
+        cluster = ClusterCoordinator(router.shards)
+        assert cluster.heartbeat_interval == 1.0
+        assert cluster.heartbeat_timeout == 15.0
+
+    def test_environment_overrides_the_default(self, monkeypatch):
+        monkeypatch.setenv(cluster_mod.ENV_HEARTBEAT_INTERVAL, "0.25")
+        monkeypatch.setenv(cluster_mod.ENV_HEARTBEAT_TIMEOUT, "40")
+        router = ShardRouter.partition(_build_monitor(), 2)
+        cluster = ClusterCoordinator(router.shards)
+        assert cluster.heartbeat_interval == 0.25
+        assert cluster.heartbeat_timeout == 40.0
+
+    def test_constructor_argument_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(cluster_mod.ENV_HEARTBEAT_TIMEOUT, "99")
+        router = ShardRouter.partition(_build_monitor(), 2)
+        cluster = ClusterCoordinator(router.shards, heartbeat_timeout=3.5)
+        assert cluster.heartbeat_timeout == 3.5
+
+    @pytest.mark.parametrize("bad", ["soon", "-3", "0"])
+    def test_bad_environment_value_is_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(cluster_mod.ENV_HEARTBEAT_TIMEOUT, bad)
+        router = ShardRouter.partition(_build_monitor(), 2)
+        with pytest.raises(ValueError, match="REPRO_CLUSTER_HEARTBEAT_TIMEOUT"):
+            ClusterCoordinator(router.shards)
+
+    def test_slow_but_alive_worker_survives_the_silence_boundary(self):
+        """Regression: a worker whose silence stays under the configured
+        threshold is never declared dead — the sweep only drops
+        connections *past* ``heartbeat_timeout``, so slow-but-alive
+        workers (mid-batch, answering pings only between blocks) keep
+        their placement."""
+        router = ShardRouter.partition(_build_monitor(), 2)
+        cluster = ClusterCoordinator(
+            router.shards,
+            listen="127.0.0.1:0",
+            workers=1,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=1.5,
+            ready_timeout=15,
+        )
+        starter = threading.Thread(target=cluster.start)
+        starter.start()
+        conn = None
+        try:
+            deadline = time.monotonic() + 15
+            while cluster._address is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert cluster._address is not None, "listener never bound"
+            sock = socket.create_connection(cluster._address)
+            conn = netproto.FrameConnection(sock)
+            conn.send(("register", "sluggish", os.getpid()))
+            msg = conn.recv()
+            assert msg[0] == "init"
+            conn.send(("ready", len(msg[1])))
+            starter.join(timeout=15)
+            assert "sluggish" in cluster.worker_names()
+            # Silent for most of the threshold — many missed ping rounds,
+            # but never *past* heartbeat_timeout.
+            time.sleep(0.9)
+            assert "sluggish" in cluster.worker_names(), (
+                "worker declared dead before the silence threshold"
+            )
+            # One inbound frame is liveness: answer a queued ping.
+            ping = conn.recv()
+            assert ping[0] == "ping"
+            conn.send(("pong", ping[1]))
+            time.sleep(0.2)
+            assert "sluggish" in cluster.worker_names()
+            # Now actually exceed the threshold: total silence until the
+            # sweep declares the connection dead.
+            deadline = time.monotonic() + 15
+            while ("sluggish" in cluster.worker_names()
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert "sluggish" not in cluster.worker_names(), (
+                "worker silent past heartbeat_timeout was never dropped"
+            )
+        finally:
+            if conn is not None:
+                conn.close()
+            cluster.stop()
+            starter.join(timeout=15)
 
 
 # ----------------------------------------------------------------------

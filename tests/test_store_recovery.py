@@ -1,0 +1,506 @@
+"""Randomized fault-injection suite for the on-disk zone store.
+
+A child process executes a deterministic workload plan — inserts,
+gamma changes, snapshot markers, a compaction — against a store
+directory, with ``REPRO_STORE_CRASH_AT_BYTE`` granting it a budget of
+store-written bytes; the write that exhausts the budget is torn at
+exactly that byte and the process is SIGKILLed (see
+``repro.store._faults``).  A first, uncrashed reference run prints the
+byte counter at each workload checkpoint, giving the sweep a coordinate
+system: budgets sampled between two checkpoints land the kill inside
+that phase — mid-insert, mid-compaction, mid-snapshot-marker.
+
+The invariant after *every* crash point, on top of the store opening
+cleanly, is **exact-prefix recovery**: the recovered store state equals
+the replay of the first K WAL records for some K, never a blend, never
+garbage — and monitors rebuilt from it on both backends return verdicts
+bit-identical to an oracle monitor built directly from that prefix.
+A separate sweep flips single bytes in the finished store's artifacts
+and asserts the corruption is quarantined or truncated (never silently
+accepted): the state must still be an exact prefix, and anything short
+of full state must be accompanied by a recovery event.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.monitor.monitor import NeuronActivationMonitor
+from repro.store import ZoneStore
+from repro.store.segment import list_segments
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+WIDTH = 16
+CLASSES = [0, 1, 2]
+ROW_BYTES = (WIDTH + 7) // 8
+
+CHILD = """\
+import json, sys
+import numpy as np
+from repro.store import ZoneStore
+import repro.store._faults as _faults
+
+store_dir, plan_path = sys.argv[1], sys.argv[2]
+with open(plan_path) as f:
+    plan = json.load(f)
+store = ZoneStore.open(store_dir)
+for op in plan["ops"]:
+    kind = op["op"]
+    if kind == "init":
+        store.initialize(op["meta"])
+    elif kind == "insert":
+        rows = np.frombuffer(
+            bytes.fromhex(op["rows"]), dtype=np.uint8
+        ).reshape(-1, plan["row_bytes"])
+        store.append_insert(op["class"], rows)
+    elif kind == "gamma":
+        store.append_gamma(op["gamma"])
+    elif kind == "snapshot":
+        store.append_snapshot(
+            op["epoch"], op["gamma"],
+            {int(c): n for c, n in op["counts"].items()},
+        )
+    elif kind == "compact":
+        store.compact()
+    elif kind == "ckpt":
+        print("CKPT", op["name"], _faults.written(), flush=True)
+store.flush(sync=True)
+store.close()
+print("CKPT done", _faults.written(), flush=True)
+"""
+
+
+def _packed(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = (rng.random((n, WIDTH)) < 0.5).astype(np.uint8)
+    return np.packbits(raw, axis=1)
+
+
+def _dedup_union(chunks):
+    if not chunks:
+        return np.zeros((0, ROW_BYTES), dtype=np.uint8)
+    return np.unique(np.concatenate(chunks), axis=0)
+
+
+def build_plan():
+    """The deterministic workload: two insert phases bracketing a
+    snapshot marker and a compaction, with checkpoints between phases."""
+    meta = {
+        "layer_width": WIDTH,
+        "classes": CLASSES,
+        "pattern_width": WIDTH,
+        "gamma": 1,
+    }
+    ops = [{"op": "init", "meta": meta}, {"op": "ckpt", "name": "init"}]
+    chunks = {c: [] for c in CLASSES}
+
+    def insert(class_id, n, seed):
+        rows = _packed(n, seed)
+        chunks[class_id].append(rows)
+        ops.append({"op": "insert", "class": class_id, "rows": rows.tobytes().hex()})
+
+    for i in range(6):
+        insert(i % 3, 8, seed=100 + i)
+    ops.append({"op": "ckpt", "name": "inserts1"})
+    counts1 = {c: int(len(_dedup_union(chunks[c]))) for c in CLASSES}
+    ops.append({"op": "snapshot", "epoch": 1, "gamma": 1, "counts": counts1})
+    ops.append({"op": "ckpt", "name": "snapshot1"})
+    ops.append({"op": "compact"})
+    ops.append({"op": "ckpt", "name": "compact"})
+    for i in range(4):
+        insert((i + 1) % 3, 6, seed=200 + i)
+    ops.append({"op": "ckpt", "name": "inserts2"})
+    ops.append({"op": "gamma", "gamma": 2})
+    counts2 = {c: int(len(_dedup_union(chunks[c]))) for c in CLASSES}
+    ops.append({"op": "snapshot", "epoch": 2, "gamma": 2, "counts": counts2})
+    ops.append({"op": "ckpt", "name": "snapshot2"})
+    return {"row_bytes": ROW_BYTES, "ops": ops}
+
+
+def prefix_states(plan):
+    """Enumerate the store state after each WAL-record prefix.
+
+    Index 0 is the empty (uninitialized) store; each subsequent entry
+    folds one more WAL-producing op.  ``compact``/``ckpt`` ops append no
+    record and therefore add no state.
+    """
+    states = [
+        {"initialized": False, "gamma": 0, "epoch": 0,
+         "rows": {c: b"" for c in CLASSES}}
+    ]
+    gamma, epoch = 0, 0
+    chunks = {c: [] for c in CLASSES}
+    initialized = False
+    for op in plan["ops"]:
+        kind = op["op"]
+        if kind in ("ckpt", "compact"):
+            continue
+        if kind == "init":
+            initialized = True
+            gamma = int(op["meta"].get("gamma", 0))
+        elif kind == "insert":
+            rows = np.frombuffer(
+                bytes.fromhex(op["rows"]), dtype=np.uint8
+            ).reshape(-1, ROW_BYTES)
+            chunks[op["class"]].append(rows)
+        elif kind == "gamma":
+            gamma = op["gamma"]
+        elif kind == "snapshot":
+            epoch, gamma = op["epoch"], op["gamma"]
+        states.append(
+            {
+                "initialized": initialized,
+                "gamma": gamma,
+                "epoch": epoch,
+                "rows": {c: _dedup_union(chunks[c]).tobytes() for c in CLASSES},
+            }
+        )
+    return states
+
+
+def store_state_key(store):
+    if not store.initialized:
+        return {"initialized": False, "gamma": 0, "epoch": 0,
+                "rows": {c: b"" for c in CLASSES}}
+    state = store.state()
+    rows = {}
+    for c in CLASSES:
+        got = state.class_rows.get(c)
+        rows[c] = (
+            b"" if got is None or got.size == 0
+            else np.unique(got, axis=0).tobytes()
+        )
+    return {"initialized": True, "gamma": store.gamma,
+            "epoch": store.epoch, "rows": rows}
+
+
+def _oracle_monitor(state, backend):
+    monitor = NeuronActivationMonitor(
+        WIDTH, CLASSES, gamma=state["gamma"], backend=backend
+    )
+    for c in CLASSES:
+        if state["rows"][c]:
+            rows = np.frombuffer(state["rows"][c], dtype=np.uint8)
+            monitor.zones[c].add_packed(rows.reshape(-1, ROW_BYTES).copy())
+    return monitor
+
+
+_PROBE = (np.random.default_rng(999).random((60, WIDTH)) < 0.5).astype(np.uint8)
+_PROBE_CLASSES = np.random.default_rng(998).integers(0, 3, len(_PROBE))
+
+
+def assert_recovered(store_dir, states, crashed):
+    """The core invariant: whatever is on disk opens to an exact prefix."""
+    store = ZoneStore.open(store_dir)
+    try:
+        key = store_state_key(store)
+        matches = [i for i, s in enumerate(states) if s == key]
+        assert matches, (
+            f"recovered state is not any record prefix "
+            f"(gamma={key['gamma']}, epoch={key['epoch']}, "
+            f"rows={[len(v) // ROW_BYTES for v in key['rows'].values()]}, "
+            f"events={store.recovery_events})"
+        )
+        index = matches[0]
+        if store.initialized:
+            report = store.verify()
+            if not report["ok"]:
+                # Deep verify re-scans the *whole* WAL, so it may flag
+                # latent damage in the region a valid segment already
+                # covers.  That is a report for the operator, not a
+                # recovery gap: state never depends on covered records.
+                assert all(e["valid"] for e in report["segments"]), report
+                assert report.get("snapshot_counts_match", True), report
+                cursor = max(e["wal_offset"] for e in report["segments"])
+                assert report["wal"]["valid_end"] <= cursor, report
+            for backend in ("bitset", "bdd"):
+                recovered = NeuronActivationMonitor.from_store(
+                    store, backend=backend, attach=False
+                )
+                oracle = _oracle_monitor(states[index], backend)
+                np.testing.assert_array_equal(
+                    recovered.check(_PROBE, _PROBE_CLASSES),
+                    oracle.check(_PROBE, _PROBE_CLASSES),
+                    err_msg=f"backend={backend} prefix={index}",
+                )
+        if not crashed:
+            assert index == len(states) - 1, "uncrashed run lost records"
+    finally:
+        store.close()
+    # Recovery must be durable: a second open finds nothing to repair.
+    again = ZoneStore.open(store_dir)
+    try:
+        assert again.recovery_events == []
+        assert store_state_key(again) == states[matches[0]]
+    finally:
+        again.close()
+    return matches[0]
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """Reference run: executes the plan uncrashed, returns the plan,
+    checkpoint byte offsets, prefix states, and the pristine store."""
+    root = tmp_path_factory.mktemp("store_recovery")
+    plan = build_plan()
+    plan_path = root / "plan.json"
+    plan_path.write_text(json.dumps(plan))
+    child_path = root / "child.py"
+    child_path.write_text(CHILD)
+    reference_dir = root / "reference"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop("REPRO_STORE_CRASH_AT_BYTE", None)
+    # Byte checkpoints must be identical between the reference run and
+    # every crash run, so the auto-compaction knob is pinned off here;
+    # test_crash_with_auto_compaction_armed covers it explicitly.
+    env["REPRO_STORE_AUTO_COMPACT"] = "0"
+    proc = subprocess.run(
+        [sys.executable, str(child_path), str(reference_dir), str(plan_path)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    checkpoints = {}
+    for line in proc.stdout.splitlines():
+        if line.startswith("CKPT "):
+            _, name, count = line.split()
+            checkpoints[name] = int(count)
+    assert set(checkpoints) >= {
+        "init", "inserts1", "snapshot1", "compact", "inserts2",
+        "snapshot2", "done",
+    }
+    return {
+        "root": root,
+        "plan_path": plan_path,
+        "child_path": child_path,
+        "reference_dir": reference_dir,
+        "checkpoints": checkpoints,
+        "states": prefix_states(plan),
+        "env": env,
+    }
+
+
+def _run_crash_child(harness, store_dir, budget):
+    env = dict(harness["env"])
+    env["REPRO_STORE_CRASH_AT_BYTE"] = str(budget)
+    return subprocess.run(
+        [sys.executable, str(harness["child_path"]), str(store_dir),
+         str(harness["plan_path"])],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+PHASES = [
+    ("init", "inserts1"),      # mid-insert, phase 1
+    ("inserts1", "snapshot1"),  # mid-snapshot-marker
+    ("snapshot1", "compact"),   # mid-compaction (segment write)
+    ("compact", "inserts2"),    # mid-insert, post-compaction
+    ("inserts2", "snapshot2"),  # mid-gamma / mid-final-marker
+]
+
+
+class TestCrashSweep:
+    def test_reference_run_recovers_fully(self, harness):
+        assert_recovered(
+            harness["reference_dir"], harness["states"], crashed=False
+        )
+
+    def test_crash_before_first_byte(self, harness):
+        store_dir = harness["root"] / "crash-zero"
+        proc = _run_crash_child(harness, store_dir, 0)
+        assert proc.returncode == -signal.SIGKILL
+        assert_recovered(store_dir, harness["states"], crashed=True)
+
+    @pytest.mark.parametrize("phase", [p[0] for p in PHASES])
+    def test_crash_inside_each_phase(self, harness, phase):
+        """Window ends plus randomized interior offsets, per phase."""
+        start, end = next(p for p in PHASES if p[0] == phase)
+        lo = harness["checkpoints"][start]
+        hi = harness["checkpoints"][end]
+        assert hi > lo, f"phase {phase}->{end} wrote no bytes"
+        rng = np.random.default_rng(abs(hash(phase)) % (2**32))
+        budgets = {lo + 1, hi - 1, hi}
+        budgets.update(int(b) for b in rng.integers(lo + 1, hi, size=3))
+        prefixes = []
+        for budget in sorted(budgets):
+            store_dir = harness["root"] / f"crash-{phase}-{budget}"
+            proc = _run_crash_child(harness, store_dir, budget)
+            assert proc.returncode == -signal.SIGKILL, (
+                f"budget {budget}: child survived\n{proc.stderr}"
+            )
+            prefixes.append(
+                assert_recovered(store_dir, harness["states"], crashed=True)
+            )
+        # More surviving bytes can never mean fewer surviving records.
+        assert prefixes == sorted(prefixes), (phase, budgets, prefixes)
+
+    def test_mid_compaction_crash_loses_nothing(self, harness):
+        """Compaction appends no WAL records, so a kill anywhere inside
+        it must recover the complete pre-compaction state — the torn
+        tmp segment is ignored, the WAL remains ground truth."""
+        lo = harness["checkpoints"]["snapshot1"]
+        hi = harness["checkpoints"]["compact"]
+        budget = (lo + hi) // 2
+        store_dir = harness["root"] / "crash-mid-compact"
+        proc = _run_crash_child(harness, store_dir, budget)
+        assert proc.returncode == -signal.SIGKILL
+        # Everything logged before the compaction started is intact.
+        index = assert_recovered(store_dir, harness["states"], crashed=True)
+        ops = json.loads(harness["plan_path"].read_text())["ops"]
+        records_before_compact = 0
+        for op in ops:
+            if op["op"] == "compact":
+                break
+            if op["op"] in ("init", "insert", "gamma", "snapshot"):
+                records_before_compact += 1
+        assert index == records_before_compact
+        # The torn segment attempt never becomes a readable artifact.
+        assert list_segments(store_dir) == []
+
+    def test_crash_with_auto_compaction_armed(self, harness):
+        """With a 1-byte REPRO_STORE_AUTO_COMPACT budget every snapshot
+        marker triggers a compaction; the sweep re-derives checkpoints
+        for that byte layout and the prefix invariant must still hold
+        through the marker+compaction window."""
+        env = dict(harness["env"])
+        env["REPRO_STORE_AUTO_COMPACT"] = "1"
+        ref_dir = harness["root"] / "auto-ref"
+        proc = subprocess.run(
+            [sys.executable, str(harness["child_path"]), str(ref_dir),
+             str(harness["plan_path"])],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        checkpoints = {}
+        for line in proc.stdout.splitlines():
+            if line.startswith("CKPT "):
+                _, name, count = line.split()
+                checkpoints[name] = int(count)
+        assert_recovered(ref_dir, harness["states"], crashed=False)
+        lo, hi = checkpoints["inserts1"], checkpoints["snapshot1"]
+        rng = np.random.default_rng(4242)
+        budgets = {lo + 1, hi - 1} | {
+            int(b) for b in rng.integers(lo + 1, hi, size=2)
+        }
+        for budget in sorted(budgets):
+            store_dir = harness["root"] / f"crash-auto-{budget}"
+            env["REPRO_STORE_CRASH_AT_BYTE"] = str(budget)
+            proc = subprocess.run(
+                [sys.executable, str(harness["child_path"]), str(store_dir),
+                 str(harness["plan_path"])],
+                env=env, capture_output=True, text=True, timeout=120,
+            )
+            assert proc.returncode == -signal.SIGKILL, proc.stderr
+            assert_recovered(store_dir, harness["states"], crashed=True)
+
+    def test_budget_beyond_total_never_crashes(self, harness):
+        total = harness["checkpoints"]["done"]
+        store_dir = harness["root"] / "crash-never"
+        proc = _run_crash_child(harness, store_dir, total + 10_000)
+        assert proc.returncode == 0, proc.stderr
+        assert_recovered(store_dir, harness["states"], crashed=False)
+
+
+class TestCorruptionSweep:
+    """Single flipped bytes in finished artifacts: quarantine or
+    truncate, never silently accept."""
+
+    def _mutated_copy(self, harness, tag, path_picker, offset):
+        src = harness["reference_dir"]
+        dst = harness["root"] / f"corrupt-{tag}-{offset}"
+        shutil.copytree(src, dst)
+        target = path_picker(dst)
+        raw = bytearray(open(target, "rb").read())
+        raw[offset % len(raw)] ^= 0xA5
+        with open(target, "wb") as f:
+            f.write(bytes(raw))
+        return dst
+
+    def test_random_segment_corruption(self, harness):
+        seg_path = list_segments(harness["reference_dir"])[0]
+        size = os.path.getsize(seg_path)
+        rng = np.random.default_rng(7)
+        offsets = {0, 5, size - 1} | {
+            int(o) for o in rng.integers(0, size, size=6)
+        }
+        full = len(harness["states"]) - 1
+        for offset in sorted(offsets):
+            dst = self._mutated_copy(
+                harness, "seg",
+                lambda d: list_segments(d)[0], offset,
+            )
+            store = ZoneStore.open(dst)
+            try:
+                events = list(store.recovery_events)
+                key = store_state_key(store)
+            finally:
+                store.close()
+            assert key == harness["states"][full], (offset, events)
+            # A corrupt segment can only ever be quarantined — the WAL
+            # rebuilds full state, so the flip costs nothing.
+            assert events, f"offset {offset}: corruption silently accepted"
+            index = assert_recovered(dst, harness["states"], crashed=True)
+            assert index == full
+
+    def test_random_wal_corruption(self, harness):
+        wal_path = os.path.join(harness["reference_dir"], "wal.rzw")
+        size = os.path.getsize(wal_path)
+        rng = np.random.default_rng(8)
+        offsets = {1, size - 3} | {int(o) for o in rng.integers(0, size, size=6)}
+        full = len(harness["states"]) - 1
+        for offset in sorted(offsets):
+            dst = self._mutated_copy(
+                harness, "wal",
+                lambda d: os.path.join(d, "wal.rzw"), offset,
+            )
+            store = ZoneStore.open(dst)
+            try:
+                events = list(store.recovery_events)
+                key = store_state_key(store)
+            finally:
+                store.close()
+            matches = [i for i, s in enumerate(harness["states"]) if s == key]
+            assert matches, (
+                f"offset {offset}: recovered state is not a prefix "
+                f"(events={events})"
+            )
+            # Anything short of full state must be an announced repair,
+            # and the segment guarantees at least its own cursor's state.
+            if matches[0] != full:
+                assert events, (
+                    f"offset {offset}: lost records with no recovery event"
+                )
+            assert_recovered(dst, harness["states"], crashed=True)
+
+    def test_both_artifacts_corrupted(self, harness):
+        """Worst case: segment body AND WAL tail damaged — the store
+        still comes up on the longest intact prefix, announcing both
+        repairs."""
+        dst = harness["root"] / "corrupt-both"
+        shutil.copytree(harness["reference_dir"], dst)
+        seg_path = list_segments(dst)[0]
+        raw = bytearray(open(seg_path, "rb").read())
+        raw[-1] ^= 0xFF
+        with open(seg_path, "wb") as f:
+            f.write(bytes(raw))
+        wal_path = os.path.join(dst, "wal.rzw")
+        raw = bytearray(open(wal_path, "rb").read())
+        raw[-3] ^= 0xFF
+        with open(wal_path, "wb") as f:
+            f.write(bytes(raw))
+        store = ZoneStore.open(dst)
+        try:
+            assert len(store.recovery_events) >= 2
+            key = store_state_key(store)
+        finally:
+            store.close()
+        matches = [i for i, s in enumerate(harness["states"]) if s == key]
+        assert matches and matches[0] < len(harness["states"]) - 1
+        assert_recovered(dst, harness["states"], crashed=True)
